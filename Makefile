@@ -1,0 +1,29 @@
+# Developer entry points. Offline environments without the `wheel`
+# package can use `make develop` instead of `pip install -e .`.
+
+.PHONY: install develop test bench bench-full report examples clean
+
+install:
+	pip install -e ".[test]"
+
+develop:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_BENCH_FULL=1 pytest benchmarks/ --benchmark-only
+
+report:
+	python -m repro.analysis.report
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
+
+clean:
+	rm -rf benchmarks/_artifacts .pytest_cache src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,65 @@
+"""Application-layer benchmarks: set cover and dominating set.
+
+The technique-transfer claim of the application layer, benchmarked: the
+distributed algorithm, run through the reductions, solves weighted set
+cover and minimum dominating set with bounded quality and the same
+round/message guarantees.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.apps.dominating_set import (
+    dominating_set_to_set_cover,
+    is_dominating_set,
+    solve_dominating_set_distributed,
+)
+from repro.apps.set_cover import (
+    SetCoverInstance,
+    set_cover_lp_bound,
+    solve_set_cover_distributed,
+)
+from repro.net.topology import Topology
+
+
+def test_set_cover_distributed(benchmark):
+    instance = SetCoverInstance.random(15, 60, seed=3)
+    bound = set_cover_lp_bound(instance)
+
+    solution, metrics = solve_set_cover_distributed(instance, k=16, seed=0)
+    # Quality within the greedy-style logarithmic envelope of the LP bound.
+    assert solution.weight <= (math.log(60) + 2) * 3 * bound
+    assert metrics.max_message_bits <= 96
+
+    benchmark(lambda: solve_set_cover_distributed(instance, k=16, seed=0))
+
+
+def test_dominating_set_distributed(benchmark):
+    graph = Topology.ring(40)
+    chosen, metrics = solve_dominating_set_distributed(graph, k=16, seed=0)
+    assert is_dominating_set(graph, chosen)
+    # Ring of 40: optimum is ceil(40/3) = 14; allow the distributed factor.
+    assert len(chosen) <= 28
+    assert metrics.rounds > 0
+
+    benchmark(lambda: solve_dominating_set_distributed(graph, k=16, seed=0))
+
+
+def test_dominating_set_lp_bound_anchor(benchmark):
+    graph = Topology.ring(40)
+    instance = dominating_set_to_set_cover(graph)
+    benchmark(lambda: set_cover_lp_bound(instance))
+
+
+def test_k_median_bisection(benchmark):
+    from repro.baselines.k_median import exact_k_median, solve_k_median
+    from repro.fl.generators import euclidean_instance
+
+    instance = euclidean_instance(10, 40, seed=3)
+    approx = solve_k_median(instance, p=3)
+    exact = exact_k_median(instance, p=3)
+    assert approx.num_open <= 3
+    assert approx.cost <= 3.0 * exact.cost + 1e-9
+
+    benchmark(lambda: solve_k_median(instance, p=3, max_bisections=20))

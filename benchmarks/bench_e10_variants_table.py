@@ -1,0 +1,28 @@
+"""E10 (Table 4): flagship scaled greedy vs the dual-ascent variant.
+
+Regenerates the side-by-side table and asserts both variants respect the
+linear round budget and produce bounded ratios at every ``k``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_table
+from repro.analysis.experiments import run_e10_variants_table
+from repro.core.algorithm import Variant, solve_distributed
+from repro.core.bounds import round_budget
+from repro.fl.generators import uniform_instance
+
+
+def test_e10_variants_table(benchmark, artifact_dir, quick):
+    result = run_e10_variants_table(quick=quick)
+    save_table(artifact_dir, "E10", result.table)
+    for k, variant, ratio_mean, _ratio_max, rounds in result.rows:
+        assert ratio_mean >= 0.99
+        assert rounds <= round_budget(k), (variant, k, rounds)
+
+    instance = uniform_instance(20, 60, seed=3)
+    benchmark(
+        lambda: solve_distributed(
+            instance, k=16, variant=Variant.DUAL_ASCENT, seed=0
+        )
+    )

@@ -1,0 +1,36 @@
+"""E11 (Fig 7): robustness under message loss (extension).
+
+Regenerates the drop-probability sweep and asserts the extension's
+headline: fault-free runs are always complete, and moderate loss rates
+degrade completeness gracefully rather than catastrophically (the repaired
+solution stays within a bounded multiple of the LP bound).
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import save_table
+from repro.analysis.experiments import run_e11_faults
+from repro.core.algorithm import DistributedFacilityLocation
+from repro.fl.generators import uniform_instance
+from repro.net.faults import FaultPlan
+
+
+def test_e11_faults(benchmark, artifact_dir, quick):
+    result = run_e11_faults(quick=quick)
+    save_table(artifact_dir, "E11", result.table)
+    baseline = result.rows[0]
+    assert baseline[0] == 0.0 and baseline[1] == 1.0 and baseline[2] == 0.0
+    for row in result.rows:
+        repaired = row[3]
+        if not math.isnan(repaired):
+            assert repaired <= 25.0, row
+
+    instance = uniform_instance(20, 60, seed=3)
+    plan = FaultPlan(drop_probability=0.05, seed=1)
+    benchmark(
+        lambda: DistributedFacilityLocation(
+            instance, k=9, seed=0, fault_plan=plan
+        ).run()
+    )

@@ -1,0 +1,33 @@
+"""E14 (Fig 10): anytime behaviour under early termination (extension).
+
+Regenerates the truncation sweep and asserts the extension's shape:
+served fraction and repairability are monotone non-decreasing in the round
+budget, and a completed run is always fully served and repairable.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_table
+from repro.analysis.experiments import run_e14_anytime
+from repro.core.algorithm import DistributedFacilityLocation
+from repro.fl.generators import euclidean_instance
+
+
+def test_e14_anytime(benchmark, artifact_dir, quick):
+    result = run_e14_anytime(quick=quick)
+    save_table(artifact_dir, "E14", result.table)
+    served = result.column("served_frac")
+    repairable = result.column("repairable_frac")
+    assert served == sorted(served), "served fraction must accrue with rounds"
+    assert repairable == sorted(repairable)
+    # The full run is complete.
+    assert result.rows[-1][0] == 1.0
+    assert served[-1] == 1.0
+    assert repairable[-1] == 1.0
+
+    instance = euclidean_instance(20, 60, seed=3)
+    runner = DistributedFacilityLocation(instance, k=25, seed=0)
+    half = runner.schedule_rounds() // 2
+    benchmark(
+        lambda: DistributedFacilityLocation(instance, k=25, seed=0).run_truncated(half)
+    )

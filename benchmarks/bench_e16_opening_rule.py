@@ -1,0 +1,27 @@
+"""E16 (Fig 12): the half-star opening rule, ablated.
+
+Regenerates the opening-fraction sweep and asserts the design-point
+claim: the analyzed half-star rule (0.5) beats both failure modes —
+opening on any accept (0) and demanding the full star (1).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_table
+from repro.analysis.experiments import run_e16_opening_rule
+from repro.core.algorithm import solve_distributed
+from repro.fl.generators import set_cover_instance
+
+
+def test_e16_opening_rule(benchmark, artifact_dir, quick):
+    result = run_e16_opening_rule(quick=quick)
+    save_table(artifact_dir, "E16", result.table)
+    by_fraction = {row[0]: row[1] for row in result.rows}
+    half = by_fraction[0.5]
+    assert half <= by_fraction[0.0] + 1e-9, "half-star must beat open-on-any"
+    assert half <= by_fraction[1.0] + 1e-9, "half-star must beat full-star"
+
+    instance = set_cover_instance(20, 60, seed=3)
+    benchmark(
+        lambda: solve_distributed(instance, k=9, seed=0, open_fraction=0.5)
+    )

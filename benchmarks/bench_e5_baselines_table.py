@@ -1,0 +1,38 @@
+"""E5 (Table 2): the distributed algorithm vs every sequential baseline.
+
+Regenerates the comparison table and asserts the sanity ordering: the
+exact optimum (where computed) is the best column, every ratio is >= 1,
+and the distributed algorithm at a generous ``k`` lands within a small
+multiple of the greedy reference. Times the greedy baseline as the
+performance anchor of the sequential stack.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import save_table
+from repro.analysis.experiments import run_e5_baselines_table
+from repro.baselines import greedy_solve
+from repro.fl.generators import uniform_instance
+
+
+def test_e5_baselines_table(benchmark, artifact_dir, quick):
+    result = run_e5_baselines_table(quick=quick)
+    save_table(artifact_dir, "E5", result.table)
+    headers = result.headers
+    exact_idx = headers.index("exact")
+    dist_idx = headers.index("distributed")
+    greedy_idx = headers.index("greedy")
+    for row in result.rows:
+        numeric = [
+            v for v in row[1:] if isinstance(v, float) and not math.isnan(v)
+        ]
+        assert all(v >= 0.99 for v in numeric), row
+        exact = row[exact_idx]
+        if isinstance(exact, float) and not math.isnan(exact):
+            assert exact <= min(numeric) + 1e-9
+        assert row[dist_idx] <= row[greedy_idx] * 3.0
+
+    instance = uniform_instance(15, 45, seed=3)
+    benchmark(lambda: greedy_solve(instance))

@@ -1,0 +1,33 @@
+"""E6 (Fig 4): ablation of the rounding step (dual-ascent variant).
+
+Regenerates the policy sweep and asserts the ablation's structure: the
+deterministic ``select_all`` policy needs no fallback, while aggressive
+randomized rounding (small constant) triggers fallbacks yet every run
+stays feasible (its row exists and reports a finite ratio).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_table
+from repro.analysis.experiments import run_e6_rounding_ablation
+from repro.core.algorithm import Variant, solve_distributed
+from repro.core.dual_ascent_nodes import RoundingPolicy
+from repro.fl.generators import uniform_instance
+
+
+def test_e6_rounding_ablation(benchmark, artifact_dir, quick):
+    result = run_e6_rounding_ablation(quick=quick)
+    save_table(artifact_dir, "E6", result.table)
+    assert result.rows[0][0] == "select_all"
+    assert result.rows[0][3] == 0.0  # no fallback ever
+    for row in result.rows:
+        assert row[1] >= 0.99
+        assert row[1] == row[1]  # finite (feasibility held)
+
+    instance = uniform_instance(20, 60, seed=3)
+    policy = RoundingPolicy(mode="randomized", c_round=1.0)
+    benchmark(
+        lambda: solve_distributed(
+            instance, k=9, variant=Variant.DUAL_ASCENT, seed=0, rounding=policy
+        )
+    )

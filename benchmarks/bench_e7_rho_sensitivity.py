@@ -1,0 +1,26 @@
+"""E7 (Fig 5): sensitivity to the cost-spread coefficient rho.
+
+Regenerates the rho sweep at fixed ``k`` and asserts the claim that the
+measured ratio always stays under the ``(m rho)^(1/sqrt k)`` envelope,
+which itself grows with rho.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_table
+from repro.analysis.experiments import run_e7_rho_sensitivity
+from repro.core.algorithm import solve_distributed
+from repro.fl.generators import high_spread_instance
+
+
+def test_e7_rho_sensitivity(benchmark, artifact_dir, quick):
+    result = run_e7_rho_sensitivity(quick=quick)
+    save_table(artifact_dir, "E7", result.table)
+    envelopes = result.column("envelope")
+    for row, envelope in zip(result.rows, envelopes):
+        assert row[3] <= envelope, row  # ratio_max under envelope
+    # The envelope itself must grow with rho (the claim's shape).
+    assert envelopes == sorted(envelopes)
+
+    instance = high_spread_instance(20, 60, seed=3, target_rho=100.0)
+    benchmark(lambda: solve_distributed(instance, k=16, seed=0))

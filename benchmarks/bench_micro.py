@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the load-bearing components.
+
+Not tied to an experiment ID: these time the primitives whose performance
+determines how large an instance the repository can handle, so regressions
+in the hot paths (simulator round loop, LP assembly, greedy star scans,
+JV event simulation) show up in benchmark history.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.greedy import greedy_solve
+from repro.baselines.jain_vazirani import jain_vazirani_solve
+from repro.baselines.local_search import local_search_solve
+from repro.baselines.lp import solve_lp
+from repro.core.aggregation import run_efficiency_aggregation
+from repro.core.parameters import TradeoffParameters
+from repro.fl.generators import uniform_instance
+from repro.net.node import Node
+from repro.net.simulator import Simulator
+from repro.net.topology import Topology
+
+
+class _Chatter(Node):
+    """Every node messages every neighbor every round (simulator stress)."""
+
+    def on_round(self, ctx, inbox):
+        if ctx.round_number >= 10:
+            self.finished = True
+            return
+        ctx.broadcast("x", value=float(ctx.round_number))
+
+
+def test_simulator_round_throughput(benchmark):
+    topology = Topology.complete(60)
+
+    def run():
+        nodes = [_Chatter(i) for i in range(60)]
+        Simulator(topology, nodes).run(max_rounds=11)
+
+    benchmark(run)
+
+
+def test_lp_solve(benchmark):
+    instance = uniform_instance(20, 60, seed=3)
+    benchmark(lambda: solve_lp(instance))
+
+
+def test_greedy_solve(benchmark):
+    instance = uniform_instance(20, 100, seed=3)
+    benchmark(lambda: greedy_solve(instance))
+
+
+def test_jain_vazirani_solve(benchmark):
+    instance = uniform_instance(15, 45, seed=3)
+    benchmark(lambda: jain_vazirani_solve(instance))
+
+
+def test_local_search_solve(benchmark):
+    instance = uniform_instance(15, 45, seed=3)
+    benchmark(lambda: local_search_solve(instance))
+
+
+def test_parameter_derivation(benchmark):
+    instance = uniform_instance(40, 200, seed=3)
+    benchmark(lambda: TradeoffParameters.from_instance(instance, 25))
+
+
+def test_coefficient_aggregation(benchmark):
+    instance = uniform_instance(15, 45, seed=3)
+    benchmark(lambda: run_efficiency_aggregation(instance))

@@ -1,0 +1,39 @@
+"""Shared benchmark infrastructure.
+
+Each ``bench_e*.py`` file regenerates one experiment of the index in
+DESIGN.md: it runs the experiment (quick configuration by default — set
+``REPRO_BENCH_FULL=1`` for the full EXPERIMENTS.md configuration), asserts
+the reproduced claim, writes the rendered table to
+``benchmarks/_artifacts/<ID>.txt``, and times a representative core
+operation through pytest-benchmark so performance regressions are caught.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+ARTIFACT_DIR = Path(__file__).parent / "_artifacts"
+
+
+def is_full_run() -> bool:
+    """Whether the full (EXPERIMENTS.md-sized) configuration is requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    return ARTIFACT_DIR
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    return not is_full_run()
+
+
+def save_table(artifact_dir: Path, experiment_id: str, table: str) -> None:
+    """Persist a rendered experiment table as a benchmark artifact."""
+    (artifact_dir / f"{experiment_id}.txt").write_text(table + "\n")

@@ -1,0 +1,71 @@
+"""Content-cache placement over a CDN (non-metric coverage scenario).
+
+Edge caches (facilities) can each serve the regions they are wired to —
+a region outside a cache's footprint simply cannot be served by it, and
+within a footprint serving is essentially free. Minimizing deployment
+cost so that every region is covered is *non-metric* facility location
+(weighted set cover), the hardness core of the problem and the regime the
+PODC 2005 algorithm is designed for: the logarithmic factor in its bound
+is unavoidable here.
+
+Run:  python examples/content_caching.py
+"""
+
+from __future__ import annotations
+
+from repro import greedy_solve, solve_distributed, solve_lp
+from repro.analysis.tables import render_table
+from repro.core.bounds import approximation_envelope
+from repro.fl.generators import set_cover_instance
+
+
+def main() -> None:
+    instance = set_cover_instance(
+        num_facilities=25, num_clients=120, seed=11, set_density=0.18
+    )
+    print(f"scenario: {instance}")
+    print(
+        f"{instance.num_edges} cache-region wires "
+        f"(~{instance.num_edges / instance.num_clients:.1f} caches per region)\n"
+    )
+
+    lp = solve_lp(instance)
+    greedy = greedy_solve(instance)
+    print(f"LP lower bound:       {lp.value:8.3f}")
+    print(
+        f"centralized greedy:   {greedy.cost:8.3f} "
+        f"(ratio {greedy.cost / lp.value:.3f}, the ln-n benchmark)\n"
+    )
+
+    rows = []
+    for k in (1, 4, 9, 16, 25, 49):
+        result = solve_distributed(instance, k=k, seed=2)
+        envelope = approximation_envelope(
+            k, instance.num_facilities, instance.num_clients, instance.rho
+        )
+        rows.append(
+            (
+                k,
+                result.metrics.rounds,
+                result.cost,
+                result.cost / lp.value,
+                envelope,
+                len(result.open_facilities),
+            )
+        )
+    print(
+        render_table(
+            ("k", "rounds", "cost", "ratio_vs_LP", "paper_envelope", "caches"),
+            rows,
+            title="distributed cache deployment: round budget vs quality",
+        )
+    )
+    print(
+        "\nEvery measured ratio sits far below the paper's analytic "
+        "envelope; with a few dozen rounds the distributed deployment is "
+        "within a small factor of the centralized greedy."
+    )
+
+
+if __name__ == "__main__":
+    main()

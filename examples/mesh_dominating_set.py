@@ -1,0 +1,88 @@
+"""Distributed dominating set on a mesh network (application demo).
+
+A wireless mesh needs a minimal subset of nodes to run a coordination
+service so that every node has a coordinator in radio range — a minimum
+dominating set. This is the problem family the distributed covering
+technique behind the PODC 2005 paper was built around; via the reduction
+chain  dominating set -> set cover -> facility location  the trade-off
+algorithm solves it with tunable round budget.
+
+Run:  python examples/mesh_dominating_set.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.apps.dominating_set import (
+    dominating_set_to_set_cover,
+    is_dominating_set,
+    solve_dominating_set_distributed,
+    solve_dominating_set_greedy,
+)
+from repro.apps.set_cover import set_cover_lp_bound
+from repro.analysis.tables import render_table
+from repro.net.topology import Topology
+
+
+def grid_mesh(side: int) -> Topology:
+    """A side x side grid mesh (4-neighbor radio links)."""
+    def node(row: int, col: int) -> int:
+        return row * side + col
+
+    edges = []
+    for row in range(side):
+        for col in range(side):
+            if col + 1 < side:
+                edges.append((node(row, col), node(row, col + 1)))
+            if row + 1 < side:
+                edges.append((node(row, col), node(row + 1, col)))
+    return Topology(side * side, edges)
+
+
+def main() -> None:
+    side = 8
+    mesh = grid_mesh(side)
+    print(f"mesh: {mesh} (a {side}x{side} grid, diameter {mesh.diameter()})")
+
+    lp_bound = set_cover_lp_bound(dominating_set_to_set_cover(mesh))
+    greedy = solve_dominating_set_greedy(mesh)
+    print(f"LP lower bound on coordinators: {lp_bound:.2f}")
+    print(f"centralized greedy picks:       {len(greedy)} coordinators\n")
+
+    rows = []
+    for k in (1, 4, 9, 16, 36):
+        chosen, metrics = solve_dominating_set_distributed(mesh, k=k, seed=1)
+        assert is_dominating_set(mesh, chosen)
+        rows.append(
+            (
+                k,
+                metrics.rounds,
+                len(chosen),
+                len(chosen) / lp_bound,
+                metrics.max_message_bits,
+            )
+        )
+    print(
+        render_table(
+            ("k", "rounds", "coordinators", "ratio_vs_LP", "max_bits"),
+            rows,
+            title="distributed coordinator election on the mesh",
+        )
+    )
+
+    chosen, _ = solve_dominating_set_distributed(mesh, k=36, seed=1)
+    print("\ncoordinator map (X = coordinator):")
+    for row in range(side):
+        line = "".join(
+            "X" if row * side + col in chosen else "." for col in range(side)
+        )
+        print(f"  {line}")
+    print(
+        f"\n{len(chosen)} coordinators dominate all {side * side} nodes "
+        f"(theoretical minimum >= {math.ceil(lp_bound)})."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: solve one instance with the distributed algorithm.
+
+Builds a random facility-location instance, runs the PODC 2005 trade-off
+algorithm at a few round budgets ``k``, and compares against the
+sequential greedy baseline and the LP lower bound.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import greedy_solve, solve_distributed, solve_lp
+from repro.analysis.tables import render_table
+from repro.fl.generators import uniform_instance
+
+
+def main() -> None:
+    # 20 facilities, 60 clients, complete bipartite, uniform random costs.
+    instance = uniform_instance(num_facilities=20, num_clients=60, seed=7)
+    print(f"instance: {instance}")
+    print(f"cost spread rho = {instance.rho:.1f}\n")
+
+    # The LP relaxation lower-bounds the optimum: every ratio below is an
+    # upper bound on the true approximation factor.
+    lp = solve_lp(instance)
+    print(f"LP lower bound: {lp.value:.3f}")
+
+    greedy = greedy_solve(instance)
+    print(f"greedy baseline: cost={greedy.cost:.3f} "
+          f"(ratio {greedy.cost / lp.value:.3f})\n")
+
+    rows = []
+    for k in (1, 4, 9, 16, 25, 49):
+        result = solve_distributed(instance, k=k, seed=0)
+        rows.append(
+            (
+                k,
+                result.cost,
+                result.cost / lp.value,
+                result.metrics.rounds,
+                result.metrics.total_messages,
+                result.metrics.max_message_bits,
+                len(result.open_facilities),
+            )
+        )
+    print(
+        render_table(
+            ("k", "cost", "ratio_vs_LP", "rounds", "messages", "max_bits", "open"),
+            rows,
+            title="distributed trade-off: more rounds -> better solutions",
+        )
+    )
+    print(
+        "\nNote how the ratio approaches the greedy reference as k grows, "
+        "while rounds stay linear in k and every message fits in O(log N) "
+        "bits -- the paper's claims in one table."
+    )
+
+
+if __name__ == "__main__":
+    main()

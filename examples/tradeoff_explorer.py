@@ -1,0 +1,75 @@
+"""Interactive exploration of the round/approximation trade-off.
+
+Sweeps the trade-off parameter ``k`` over several instance families, shows
+how the derived schedule (scales x settle iterations, threshold base)
+changes, and uses the analytic envelope to answer the practical question
+"how many rounds do I need for a target quality?".
+
+Run:  python examples/tradeoff_explorer.py
+"""
+
+from __future__ import annotations
+
+from repro import solve_distributed, solve_lp
+from repro.analysis.aggregate import aggregate
+from repro.analysis.tables import render_table
+from repro.core.bounds import approximation_envelope, best_k_for_target_ratio
+from repro.core.parameters import TradeoffParameters
+from repro.fl.generators import make_instance
+
+FAMILIES = ("uniform", "euclidean", "set_cover")
+K_VALUES = (1, 4, 9, 16, 25, 49)
+SEEDS = (0, 1, 2)
+
+
+def explore_family(family: str) -> None:
+    instance = make_instance(family, 20, 60, seed=3)
+    lp = solve_lp(instance)
+    rows = []
+    for k in K_VALUES:
+        params = TradeoffParameters.from_instance(instance, k)
+        ratios = aggregate(
+            [
+                solve_distributed(instance, k=k, seed=s).cost / lp.value
+                for s in SEEDS
+            ]
+        )
+        rounds = solve_distributed(instance, k=k, seed=0).metrics.rounds
+        rows.append(
+            (
+                k,
+                f"{params.num_scales}x{params.num_settle}",
+                params.base,
+                rounds,
+                ratios.format(),
+            )
+        )
+    print(
+        render_table(
+            ("k", "schedule", "threshold_base", "rounds", "ratio_vs_LP"),
+            rows,
+            title=f"family={family} (rho={instance.rho:.1f})",
+        )
+    )
+    print()
+
+
+def main() -> None:
+    for family in FAMILIES:
+        explore_family(family)
+
+    # The inverse question: how many rounds buy a target envelope?
+    instance = make_instance("uniform", 20, 60, seed=3)
+    print("rounds needed for a target analytic envelope (uniform family):")
+    for target in (200.0, 120.0, 80.0):
+        k = best_k_for_target_ratio(
+            target, instance.num_facilities, instance.num_clients, instance.rho
+        )
+        reached = approximation_envelope(
+            k, instance.num_facilities, instance.num_clients, instance.rho
+        )
+        print(f"  envelope <= {target:6.1f}  ->  k = {k:3d} (envelope {reached:.1f})")
+
+
+if __name__ == "__main__":
+    main()

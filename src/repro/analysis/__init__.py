@@ -1,0 +1,23 @@
+"""Experiment harness: ratios, aggregation, tables, canonical configs.
+
+* :mod:`~repro.analysis.ratios` — approximation ratios against the LP
+  lower bound (and the exact optimum where available);
+* :mod:`~repro.analysis.aggregate` — multi-seed aggregation with means,
+  standard deviations and normal-approximation confidence intervals;
+* :mod:`~repro.analysis.tables` — fixed-width ASCII tables, the output
+  format of every benchmark;
+* :mod:`~repro.analysis.experiments` — the canonical experiment
+  configurations E1–E13 shared by ``benchmarks/`` and EXPERIMENTS.md.
+"""
+
+from repro.analysis.aggregate import Aggregate, aggregate
+from repro.analysis.ratios import ratio_vs_lp, RatioReport
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "Aggregate",
+    "aggregate",
+    "ratio_vs_lp",
+    "RatioReport",
+    "render_table",
+]

@@ -1,0 +1,84 @@
+"""Multi-seed aggregation of experiment measurements.
+
+Distributed runs are randomized, so every experiment repeats each
+configuration over several seeds and reports mean, standard deviation,
+extremes and a normal-approximation 95% confidence interval. Implemented
+by hand (no pandas dependency) because the needs are tiny and explicit
+code keeps the statistics auditable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["Aggregate", "aggregate", "linear_fit"]
+
+_Z95 = 1.959963984540054  # two-sided 95% normal quantile
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Summary statistics of one measured quantity."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def ci95_half_width(self) -> float:
+        """Half-width of the normal-approximation 95% CI of the mean."""
+        if self.count <= 1:
+            return 0.0
+        return _Z95 * self.std / math.sqrt(self.count)
+
+    def format(self, precision: int = 3) -> str:
+        """Render as ``mean ± ci`` for tables."""
+        return f"{self.mean:.{precision}f} ± {self.ci95_half_width:.{precision}f}"
+
+
+def aggregate(values: Iterable[float]) -> Aggregate:
+    """Aggregate a non-empty collection of measurements.
+
+    Uses the sample (n-1) standard deviation; a single measurement has
+    ``std = 0``.
+    """
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot aggregate an empty collection")
+    count = len(data)
+    mean = sum(data) / count
+    if count > 1:
+        variance = sum((v - mean) ** 2 for v in data) / (count - 1)
+    else:
+        variance = 0.0
+    return Aggregate(
+        count=count,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(data),
+        maximum=max(data),
+    )
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:
+    """Least-squares line ``y = slope * x + intercept``.
+
+    Used by experiment E3 to verify that measured rounds grow linearly in
+    ``k`` (the paper's ``O(k)`` claim): the fit's residuals should be
+    negligible and the slope should match the per-iteration round count.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("linear_fit needs two equally-long sequences, len >= 2")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("all x values identical; slope undefined")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    return slope, mean_y - slope * mean_x

@@ -1,0 +1,63 @@
+"""Approximation-ratio computation.
+
+Every quality number this repository reports is a ratio of a solution cost
+to the **LP relaxation optimum** of the same instance. Because
+``LP <= OPT``, a reported ratio always *upper-bounds* the true
+approximation factor — the conservative direction for validating the
+paper's guarantee. On instances small enough for
+:func:`repro.baselines.exact.exact_solve`, the exact optimum can be used
+instead (``vs_exact``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.exact import exact_solve
+from repro.baselines.lp import LPResult, solve_lp
+from repro.exceptions import AlgorithmError
+from repro.fl.solution import FacilityLocationSolution
+
+__all__ = ["RatioReport", "ratio_vs_lp", "ratio_vs_exact"]
+
+#: Floor applied to lower bounds so degenerate zero-cost optima cannot
+#: produce infinite ratios (a zero LP optimum means a zero-cost solution
+#: exists; any algorithm that also finds cost zero then gets ratio 1).
+_LOWER_BOUND_FLOOR = 1e-12
+
+
+@dataclass(frozen=True)
+class RatioReport:
+    """A solution cost, a lower bound, and their ratio."""
+
+    cost: float
+    lower_bound: float
+    kind: str  # "lp" or "exact"
+
+    @property
+    def ratio(self) -> float:
+        """``cost / lower_bound`` with degenerate optima mapped to 1."""
+        if self.cost <= _LOWER_BOUND_FLOOR and self.lower_bound <= _LOWER_BOUND_FLOOR:
+            return 1.0
+        return self.cost / max(self.lower_bound, _LOWER_BOUND_FLOOR)
+
+
+def ratio_vs_lp(
+    solution: FacilityLocationSolution,
+    lp: LPResult | None = None,
+) -> RatioReport:
+    """Ratio of a solution against the LP lower bound of its instance."""
+    if lp is None:
+        lp = solve_lp(solution.instance)
+    return RatioReport(cost=solution.cost, lower_bound=lp.value, kind="lp")
+
+
+def ratio_vs_exact(solution: FacilityLocationSolution) -> RatioReport:
+    """Ratio against the exact optimum (tiny instances only)."""
+    optimum = exact_solve(solution.instance)
+    if solution.cost < optimum.cost - 1e-9 * max(1.0, optimum.cost):
+        raise AlgorithmError(
+            f"solution cost {solution.cost} beats the 'exact' optimum "
+            f"{optimum.cost}; the exact solver is broken"
+        )
+    return RatioReport(cost=solution.cost, lower_bound=optimum.cost, kind="exact")

@@ -1,0 +1,66 @@
+"""Fixed-width ASCII table rendering.
+
+Every benchmark prints its reproduced table/figure data through this
+module so EXPERIMENTS.md, test logs and interactive runs all show the
+same, diffable representation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["render_table", "format_cell"]
+
+
+def format_cell(value: Any, precision: int = 3) -> str:
+    """Render one cell: floats get fixed precision, the rest ``str()``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        magnitude = abs(value)
+        if magnitude != 0 and (magnitude >= 1e6 or magnitude < 10 ** (-precision)):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render rows under headers as a fixed-width ASCII table.
+
+    Column widths adapt to content; numeric cells are right-aligned,
+    text cells left-aligned.
+    """
+    text_rows = [[format_cell(v, precision) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    numeric = [True] * len(headers)
+    for row, raw in zip(text_rows, rows):
+        for idx, value in enumerate(raw):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                numeric[idx] = False
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        cells = [
+            cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i])
+            for i, cell in enumerate(row)
+        ]
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)

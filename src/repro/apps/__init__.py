@@ -1,0 +1,48 @@
+"""Application layer: problems reducible to facility location.
+
+The PODC 2005 technique applies beyond facility location proper; this
+subpackage packages the two classic reductions as first-class APIs:
+
+* :mod:`~repro.apps.set_cover` — weighted set cover (facility = set with
+  its weight as opening cost; element-clients connect at cost 0 inside the
+  set). Non-metric facility location *is* set cover plus connection costs,
+  so the distributed algorithm transfers verbatim.
+* :mod:`~repro.apps.dominating_set` — minimum (weighted) dominating set on
+  an arbitrary graph, encoded as set cover over closed neighborhoods —
+  the problem the Kuhn–Wattenhofer distributed-LP lineage was originally
+  developed for.
+* :mod:`~repro.apps.vertex_cover` — minimum (weighted) vertex cover,
+  encoded as set cover over edge-incidence sets.
+"""
+
+from repro.apps.set_cover import (
+    SetCoverInstance,
+    SetCoverSolution,
+    set_cover_to_facility_location,
+    solve_set_cover_distributed,
+    solve_set_cover_greedy,
+)
+from repro.apps.dominating_set import (
+    dominating_set_to_set_cover,
+    solve_dominating_set_distributed,
+    solve_dominating_set_greedy,
+)
+from repro.apps.vertex_cover import (
+    vertex_cover_to_set_cover,
+    solve_vertex_cover_distributed,
+    solve_vertex_cover_greedy,
+)
+
+__all__ = [
+    "SetCoverInstance",
+    "SetCoverSolution",
+    "set_cover_to_facility_location",
+    "solve_set_cover_distributed",
+    "solve_set_cover_greedy",
+    "dominating_set_to_set_cover",
+    "solve_dominating_set_distributed",
+    "solve_dominating_set_greedy",
+    "vertex_cover_to_set_cover",
+    "solve_vertex_cover_distributed",
+    "solve_vertex_cover_greedy",
+]

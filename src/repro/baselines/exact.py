@@ -1,0 +1,60 @@
+"""Exhaustive exact solver for tiny instances.
+
+Enumerates every non-empty subset of facilities (the optimal assignment
+for a fixed open set is each client's cheapest open neighbor, so only the
+open set needs enumeration). Exponential in ``m`` — guarded by an explicit
+cap — and used solely to ground-truth small cases in tests and tables:
+``LP <= OPT``, ``OPT <= greedy``, the distributed ratios, etc.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import AlgorithmError
+from repro.fl.instance import FacilityLocationInstance
+from repro.fl.solution import FacilityLocationSolution
+
+__all__ = ["exact_solve", "MAX_EXACT_FACILITIES"]
+
+#: Refuse instances with more facilities than this (2^m subsets).
+MAX_EXACT_FACILITIES = 18
+
+
+def exact_solve(instance: FacilityLocationInstance) -> FacilityLocationSolution:
+    """Return a provably optimal solution (tiny instances only).
+
+    Ties between optimal open sets break toward the lexicographically
+    smallest bitmask, so results are deterministic.
+    """
+    m = instance.num_facilities
+    if m > MAX_EXACT_FACILITIES:
+        raise AlgorithmError(
+            f"exact_solve enumerates 2^m subsets; m={m} exceeds the cap of "
+            f"{MAX_EXACT_FACILITIES}"
+        )
+    c = instance.connection_costs
+    opening = instance.opening_costs
+    best_cost = math.inf
+    best_mask = 0
+    for mask in range(1, 1 << m):
+        rows = [i for i in range(m) if mask >> i & 1]
+        opening_cost = float(opening[rows].sum())
+        if opening_cost >= best_cost:
+            continue
+        mins = c[rows, :].min(axis=0)
+        if not np.isfinite(mins).all():
+            continue
+        cost = opening_cost + float(mins.sum())
+        if cost < best_cost - 1e-15:
+            best_cost = cost
+            best_mask = mask
+    if best_mask == 0:
+        raise AlgorithmError(
+            "no feasible open set found; instance validation should have "
+            "prevented this"
+        )
+    open_set = {i for i in range(m) if best_mask >> i & 1}
+    return FacilityLocationSolution.from_open_set(instance, open_set, validate=True)

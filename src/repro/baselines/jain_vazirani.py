@@ -1,0 +1,183 @@
+"""The Jain–Vazirani primal-dual algorithm (metric 3-approximation).
+
+This is the *continuous* dual ascent the distributed dual-ascent variant
+discretizes, so it doubles as both a quality baseline (E5) and a semantic
+reference: with infinitely many levels the distributed variant's tight set
+converges to JV's.
+
+Phase 1 (dual ascent)
+    All client budgets ``alpha_j`` grow from 0 at unit rate. When
+    ``alpha_j`` passes a connection cost ``c_ij`` the edge starts *paying*
+    facility ``i`` at unit rate; when accumulated payments reach ``f_i``
+    the facility becomes *tight*. A client freezes (stops growing) the
+    moment some tight facility's connection cost is within its budget; the
+    facility becomes the client's *witness*. Implemented as an exact event
+    simulation (edge-crossing events and tightness events), not as time
+    stepping, so the duals are exact up to float arithmetic.
+
+Phase 2 (pruning)
+    Tight facilities conflict when a client contributes positively to
+    both. A maximal independent set of the conflict graph, greedily chosen
+    in order of tightness time, is opened. Every client is assigned to its
+    cheapest open neighbor; a client with no open neighbor (possible only
+    on incomplete bipartite graphs) gets its witness opened as well, which
+    preserves feasibility on any instance while leaving the classic
+    3-approximation argument intact on complete metric ones.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fl.instance import FacilityLocationInstance
+from repro.fl.solution import FacilityLocationSolution
+
+__all__ = ["jain_vazirani_solve", "JVState", "jv_dual_ascent"]
+
+_EVENT_EPS = 1e-12
+
+
+@dataclass
+class JVState:
+    """Outcome of the JV dual ascent (phase 1).
+
+    Attributes
+    ----------
+    alphas:
+        Final client budgets — a feasible dual solution, so their sum
+        lower-bounds the LP optimum (tests verify this against the LP).
+    tight_facilities:
+        Facilities whose payments reached their opening cost, with the
+        time at which they did.
+    witness:
+        The tight facility that froze each client.
+    """
+
+    alphas: np.ndarray
+    tight_facilities: dict[int, float]
+    witness: dict[int, int]
+
+
+def jv_dual_ascent(instance: FacilityLocationInstance) -> JVState:
+    """Run phase 1 exactly; see module docstring."""
+    m, n = instance.num_facilities, instance.num_clients
+    c = instance.connection_costs
+    alphas = np.zeros(n)
+    unfrozen = set(range(n))
+    tight: dict[int, float] = {}
+    witness: dict[int, int] = {}
+    # fixed[i]: payment contributed by already-frozen clients.
+    fixed = np.zeros(m)
+    time = 0.0
+
+    while unfrozen:
+        unfrozen_list = sorted(unfrozen)
+        # Current paying sets and rates.
+        rates = np.zeros(m)
+        payments = fixed.copy()
+        for i in range(m):
+            if i in tight:
+                continue
+            row = c[i]
+            for j in unfrozen_list:
+                if math.isfinite(row[j]) and row[j] <= time + _EVENT_EPS:
+                    rates[i] += 1.0
+                    payments[i] += time - row[j]
+        # Candidate event times.
+        next_time = math.inf
+        # (a) a facility becomes tight.
+        for i in range(m):
+            if i in tight or rates[i] <= 0:
+                continue
+            deficit = instance.opening_cost(i) - payments[i]
+            candidate = time + max(0.0, deficit) / rates[i]
+            next_time = min(next_time, candidate)
+        # (b) an edge starts paying (alpha crosses c_ij).
+        for i in range(m):
+            if i in tight:
+                continue
+            row = c[i]
+            for j in unfrozen_list:
+                if math.isfinite(row[j]) and row[j] > time + _EVENT_EPS:
+                    next_time = min(next_time, row[j])
+        # (c) an unfrozen client reaches a *tight* facility's cost.
+        for j in unfrozen_list:
+            for i in tight:
+                if math.isfinite(c[i, j]) and c[i, j] > time + _EVENT_EPS:
+                    next_time = min(next_time, c[i, j])
+        if not math.isfinite(next_time):
+            # No growth possible: every unfrozen client is disconnected from
+            # all non-tight facilities — impossible for valid instances.
+            raise AssertionError("JV ascent stalled; invalid instance state")
+        time = next_time
+        # New tight facilities at this time.
+        for i in range(m):
+            if i in tight or rates[i] <= 0:
+                continue
+            payment = fixed[i] + sum(
+                time - c[i, j]
+                for j in unfrozen_list
+                if math.isfinite(c[i, j]) and c[i, j] <= time + _EVENT_EPS
+            )
+            if payment >= instance.opening_cost(i) - _EVENT_EPS * max(
+                1.0, instance.opening_cost(i)
+            ):
+                tight[i] = time
+        # Freeze clients that can now afford a tight facility.
+        for j in list(unfrozen):
+            affordable = [
+                i
+                for i in tight
+                if math.isfinite(c[i, j]) and c[i, j] <= time + _EVENT_EPS
+            ]
+            if affordable:
+                best = min(affordable, key=lambda i: (tight[i], c[i, j], i))
+                alphas[j] = time
+                witness[j] = best
+                unfrozen.discard(j)
+                for i in range(m):
+                    if math.isfinite(c[i, j]) and c[i, j] <= time:
+                        fixed[i] += time - c[i, j]
+    return JVState(alphas=alphas, tight_facilities=tight, witness=witness)
+
+
+def jain_vazirani_solve(
+    instance: FacilityLocationInstance,
+) -> FacilityLocationSolution:
+    """Full JV: dual ascent, conflict pruning, assignment."""
+    state = jv_dual_ascent(instance)
+    c = instance.connection_costs
+    n = instance.num_clients
+    tight_order = sorted(
+        state.tight_facilities, key=lambda i: (state.tight_facilities[i], i)
+    )
+    # contributors[i]: clients with strictly positive contribution to i.
+    contributors: dict[int, set[int]] = {}
+    for i in tight_order:
+        contributors[i] = {
+            j
+            for j in range(n)
+            if math.isfinite(c[i, j]) and state.alphas[j] > c[i, j] + _EVENT_EPS
+        }
+    open_set: set[int] = set()
+    blocked_clients: set[int] = set()
+    for i in tight_order:
+        if contributors[i] & blocked_clients:
+            continue
+        open_set.add(i)
+        blocked_clients |= contributors[i]
+    if not open_set and tight_order:
+        open_set.add(tight_order[0])
+    # Assignment: cheapest open neighbor; open the witness when none exists.
+    assignment: dict[int, int] = {}
+    for j in range(n):
+        neighbors = [i for i in open_set if math.isfinite(c[i, j])]
+        if not neighbors:
+            witness = state.witness[j]
+            open_set.add(witness)
+            neighbors = [witness]
+        assignment[j] = min(neighbors, key=lambda i: (c[i, j], i))
+    return FacilityLocationSolution(instance, open_set, assignment, validate=True)

@@ -1,0 +1,130 @@
+"""k-median via Lagrangian relaxation of facility location.
+
+The k-median problem opens *exactly at most* ``p`` facilities (no opening
+costs) to minimize total connection cost. Jain–Vazirani's classical
+observation: uniform opening cost ``z`` is a Lagrange multiplier for the
+cardinality constraint — as ``z`` grows, the facility-location optimum
+opens fewer facilities. Bisecting ``z`` and solving the resulting
+uncapacitated instances with the JV primal-dual yields k-median solutions;
+with the exact continuous machinery this gives the classical constant
+factor, and this module implements the practical bisection variant:
+
+* run JV at ``z = 0`` (everything cheap) and at ``z`` = an upper bound
+  where a single facility opens,
+* bisect on the number of open facilities, keeping the best solution seen
+  with at most ``p`` facilities,
+* finish with a cheapest-assignment polish.
+
+The returned solution is always feasible with ``<= p`` open facilities;
+the factor is heuristic (no Lagrangian-gap rounding is performed), which
+tests quantify against the exact optimum on small instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from repro.baselines.jain_vazirani import jain_vazirani_solve
+from repro.exceptions import AlgorithmError
+from repro.fl.instance import FacilityLocationInstance
+from repro.fl.solution import FacilityLocationSolution
+
+__all__ = ["solve_k_median", "exact_k_median"]
+
+
+def _connection_only(instance: FacilityLocationInstance) -> FacilityLocationInstance:
+    """The instance with opening costs zeroed (k-median ignores them)."""
+    return instance.with_opening_costs([0.0] * instance.num_facilities)
+
+
+def _best_assignment_cost(
+    instance: FacilityLocationInstance, open_set: set[int]
+) -> float:
+    rows = sorted(open_set)
+    mins = instance.connection_costs[rows, :].min(axis=0)
+    if not np.isfinite(mins).all():
+        return math.inf
+    return float(mins.sum())
+
+
+def solve_k_median(
+    instance: FacilityLocationInstance,
+    p: int,
+    max_bisections: int = 40,
+) -> FacilityLocationSolution:
+    """Open at most ``p`` facilities minimizing total connection cost.
+
+    ``instance`` provides the sites and connection costs; its opening
+    costs are ignored (replaced by the Lagrange multiplier). Raises
+    :class:`~repro.exceptions.AlgorithmError` when ``p`` is out of range
+    or no ``p``-subset covers every client (possible on sparse instances).
+    """
+    m = instance.num_facilities
+    if not 1 <= p <= m:
+        raise AlgorithmError(f"p must lie in [1, {m}], got {p}")
+    base = _connection_only(instance)
+
+    def solve_at(z: float) -> FacilityLocationSolution:
+        priced = base.with_opening_costs([z] * m)
+        solution = jain_vazirani_solve(priced)
+        # Report costs in the unpriced world.
+        return FacilityLocationSolution(
+            base, solution.open_facilities, solution.assignment, validate=False
+        )
+
+    best: FacilityLocationSolution | None = None
+
+    def consider(solution: FacilityLocationSolution) -> None:
+        nonlocal best
+        if solution.num_open > p:
+            return
+        polished = solution.reassigned_to_cheapest()
+        if best is None or polished.cost < best.cost:
+            best = polished
+
+    low, high = 0.0, instance.max_finite_cost * instance.num_clients + 1.0
+    consider(solve_at(low))
+    consider(solve_at(high))
+    for _ in range(max_bisections):
+        mid = (low + high) / 2.0
+        solution = solve_at(mid)
+        consider(solution)
+        if solution.num_open > p:
+            low = mid
+        else:
+            high = mid
+    if best is None:
+        # Even one-facility solutions failed (disconnected sparse instance);
+        # fall back to brute force over p-subsets if feasible at all.
+        return exact_k_median(instance, p)
+    return best
+
+
+def exact_k_median(
+    instance: FacilityLocationInstance, p: int, max_facilities: int = 16
+) -> FacilityLocationSolution:
+    """Exhaustive optimum over all ``<= p``-subsets (tiny instances)."""
+    m = instance.num_facilities
+    if m > max_facilities:
+        raise AlgorithmError(
+            f"exact_k_median enumerates subsets; m={m} exceeds {max_facilities}"
+        )
+    if not 1 <= p <= m:
+        raise AlgorithmError(f"p must lie in [1, {m}], got {p}")
+    base = _connection_only(instance)
+    best_cost = math.inf
+    best_set: tuple[int, ...] | None = None
+    for size in range(1, p + 1):
+        for subset in itertools.combinations(range(m), size):
+            cost = _best_assignment_cost(base, set(subset))
+            if cost < best_cost:
+                best_cost = cost
+                best_set = subset
+    if best_set is None or not math.isfinite(best_cost):
+        raise AlgorithmError(
+            f"no subset of {p} facilities covers every client"
+        )
+    return FacilityLocationSolution.from_open_set(base, set(best_set))

@@ -1,0 +1,101 @@
+"""Deterministic LP filtering + rounding (Shmoys–Tardos–Aardal style).
+
+The classical recipe that turns the LP relaxation into an integral
+solution with a constant factor on metric instances:
+
+1. Solve the LP; let ``C_j = sum_i x_ij c_ij`` be client ``j``'s
+   fractional connection cost.
+2. **Filter**: give each client the radius ``R_j = 2 C_j``. By Markov's
+   inequality the LP assigns at least half a unit of ``x``-mass to
+   facilities within ``R_j`` of ``j``, so the *ball*
+   ``B_j = { i : c_ij <= R_j }`` carries ``y``-mass at least 1/2.
+3. **Cluster + round**: repeatedly take the unclustered client ``j*`` with
+   the smallest ``C_j``, open the cheapest facility in ``B_{j*}`` (its
+   cost is at most twice the ``y``-weighted opening cost in the ball), and
+   assign to it every remaining client whose ball intersects ``B_{j*}``.
+
+On complete metric instances the triangle inequality bounds a clustered
+client's detour by ``R_j + 2 R_{j*} <= 3 R_j``, giving the classical
+constant factor (≤ 8 with these radii; tighter constants exist but are not
+the point of this baseline). The implementation requires a complete
+bipartite instance — with missing edges the detour assignment may not
+exist — and raises :class:`~repro.exceptions.AlgorithmError` otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.lp import LPResult, solve_lp
+from repro.exceptions import AlgorithmError
+from repro.fl.instance import FacilityLocationInstance
+from repro.fl.solution import FacilityLocationSolution
+
+__all__ = ["lp_rounding_solve"]
+
+
+def lp_rounding_solve(
+    instance: FacilityLocationInstance,
+    lp: LPResult | None = None,
+    radius_factor: float = 2.0,
+) -> FacilityLocationSolution:
+    """Round the LP relaxation into a feasible solution.
+
+    Parameters
+    ----------
+    instance:
+        A *complete bipartite* instance (see module docstring).
+    lp:
+        A pre-solved relaxation to reuse; solved on demand when ``None``.
+    radius_factor:
+        The Markov filtering radius multiplier (2 keeps >= 1/2 of the
+        ``x``-mass inside each ball; larger values trade opening cost for
+        connection cost).
+    """
+    if not instance.is_complete_bipartite():
+        raise AlgorithmError(
+            "LP rounding requires a complete bipartite instance; "
+            "run it on generator families without missing edges"
+        )
+    if radius_factor <= 1.0:
+        raise AlgorithmError(
+            f"radius_factor must exceed 1 (Markov bound), got {radius_factor}"
+        )
+    if lp is None:
+        lp = solve_lp(instance)
+    c = instance.connection_costs
+    n = instance.num_clients
+    fractional = lp.fractional_connection_cost(instance)
+    radii = radius_factor * fractional
+    # Ball membership matrix: ball[i, j] = facility i is within R_j of j.
+    # A tiny absolute slack keeps degenerate all-zero-cost balls non-empty.
+    slack = 1e-12 * (1.0 + np.abs(radii))
+    ball = c <= radii[None, :] + slack[None, :]
+    if not ball.any(axis=0).all():
+        missing = np.flatnonzero(~ball.any(axis=0))[:5].tolist()
+        raise AlgorithmError(
+            f"clients {missing} have empty filtering balls; "
+            "the LP solution is inconsistent"
+        )
+    unclustered = set(range(n))
+    order = sorted(range(n), key=lambda j: (fractional[j], j))
+    open_set: set[int] = set()
+    assignment: dict[int, int] = {}
+    for center in order:
+        if center not in unclustered:
+            continue
+        center_ball = np.flatnonzero(ball[:, center])
+        cheapest = int(
+            min(center_ball, key=lambda i: (instance.opening_cost(i), i))
+        )
+        open_set.add(cheapest)
+        # Assign the center and every remaining client whose ball intersects.
+        members = [
+            j
+            for j in sorted(unclustered)
+            if bool((ball[:, j] & ball[:, center]).any())
+        ]
+        for j in members:
+            assignment[j] = cheapest
+            unclustered.discard(j)
+    return FacilityLocationSolution(instance, open_set, assignment, validate=True)

@@ -1,0 +1,98 @@
+"""The Mettu–Plaxton ball-radius algorithm (metric 3-approximation).
+
+For every facility ``i`` define its *radius* ``r_i`` as the value solving
+
+    ``sum_{j : c_ij <= r} (r - c_ij) = f_i``
+
+— the smallest ball around ``i`` whose clients could collectively pay the
+opening cost. The left side is piecewise linear and increasing in ``r``,
+so ``r_i`` is found exactly by scanning the facility's sorted connection
+costs. Facilities are then considered in non-decreasing radius order and
+``i`` opens unless an already-open facility lies within distance
+``2 r_i``, where facility-facility distance is measured through the
+cheapest shared client: ``d(i, i') = min_j (c_ij + c_i'j)``. Every client
+finally connects to its cheapest open neighbor.
+
+On complete metric instances this is the classic 3-approximation (and, in
+its original form, the core of MP's O(mn)-time algorithm). On incomplete
+graphs the ``d`` above degenerates gracefully (no shared client = no
+conflict), and a client with no open neighbor forces its cheapest neighbor
+open so feasibility is unconditional — mirroring the safety net of the
+distributed algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.fl.instance import FacilityLocationInstance
+from repro.fl.solution import FacilityLocationSolution
+
+__all__ = ["mettu_plaxton_solve", "mp_radius"]
+
+
+def mp_radius(instance: FacilityLocationInstance, facility: int) -> float:
+    """Exact Mettu–Plaxton radius of one facility.
+
+    Scans the sorted finite connection costs; within a segment where ``s``
+    clients are inside the ball, the payment grows with slope ``s``, so the
+    crossing point is solved in closed form.
+    """
+    row = instance.connection_costs[facility]
+    costs = np.sort(row[np.isfinite(row)])
+    target = instance.opening_cost(facility)
+    if costs.size == 0:
+        return math.inf
+    paid = 0.0
+    for idx in range(costs.size):
+        inside = idx + 1
+        upper = costs[idx + 1] if idx + 1 < costs.size else math.inf
+        # With `inside` clients in the ball, payment at radius r in
+        # [costs[idx], upper) equals paid + inside * (r - costs[idx]).
+        needed = (target - paid) / inside
+        if costs[idx] + needed <= upper:
+            return float(costs[idx] + needed)
+        paid += inside * (upper - costs[idx])
+    raise AssertionError("unreachable: the last segment extends to infinity")
+
+
+def _facility_distances(instance: FacilityLocationInstance) -> np.ndarray:
+    """Pairwise facility distance through the cheapest shared client."""
+    c = instance.connection_costs
+    m = instance.num_facilities
+    distance = np.full((m, m), math.inf)
+    with np.errstate(invalid="ignore"):
+        for j in range(instance.num_clients):
+            col = c[:, j]
+            distance = np.minimum(distance, col[:, None] + col[None, :])
+    np.fill_diagonal(distance, 0.0)
+    return distance
+
+
+def mettu_plaxton_solve(
+    instance: FacilityLocationInstance,
+) -> FacilityLocationSolution:
+    """Run Mettu–Plaxton and return a validated solution."""
+    m = instance.num_facilities
+    radii = np.array([mp_radius(instance, i) for i in range(m)])
+    distance = _facility_distances(instance)
+    order = sorted(range(m), key=lambda i: (radii[i], i))
+    open_set: set[int] = set()
+    for i in order:
+        if not math.isfinite(radii[i]):
+            continue
+        conflict = any(distance[i, i2] <= 2.0 * radii[i] for i2 in open_set)
+        if not conflict:
+            open_set.add(i)
+    assignment: dict[int, int] = {}
+    c = instance.connection_costs
+    for j in range(instance.num_clients):
+        neighbors = [i for i in open_set if math.isfinite(c[i, j])]
+        if not neighbors:
+            cheapest, _cost = instance.cheapest_connection(j)
+            open_set.add(cheapest)
+            neighbors = [cheapest]
+        assignment[j] = min(neighbors, key=lambda i: (c[i, j], i))
+    return FacilityLocationSolution(instance, open_set, assignment, validate=True)

@@ -1,0 +1,237 @@
+"""Command-line interface.
+
+Everything the library does is reachable from the shell::
+
+    repro generate --family euclidean -m 20 -n 60 --seed 3 -o inst.json
+    repro solve inst.json -k 16 --variant greedy
+    repro solve --family uniform -m 20 -n 60 --seed 3 -k 16
+    repro baselines inst.json
+    repro experiment E3 --quick
+    repro report EXPERIMENTS.md --quick
+
+(Installed as the ``repro`` console script; also runnable as
+``python -m repro.cli``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis import experiments as exp
+from repro.analysis.tables import render_table
+from repro.baselines import (
+    exact_solve,
+    greedy_solve,
+    jain_vazirani_solve,
+    local_search_solve,
+    lp_rounding_solve,
+    mettu_plaxton_solve,
+    solve_lp,
+)
+from repro.core.algorithm import Variant, solve_distributed
+from repro.core.dual_ascent_nodes import RoundingPolicy
+from repro.exceptions import ReproError
+from repro.fl.generators import FAMILIES, make_instance
+from repro.fl.instance import FacilityLocationInstance
+from repro.fl.io import load_instance_json, save_instance_json
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "E1": exp.run_e1_tradeoff_table,
+    "E2": exp.run_e2_ratio_vs_k,
+    "E3": exp.run_e3_rounds_vs_k,
+    "E4": exp.run_e4_message_bits,
+    "E5": exp.run_e5_baselines_table,
+    "E6": exp.run_e6_rounding_ablation,
+    "E7": exp.run_e7_rho_sensitivity,
+    "E8": exp.run_e8_families_table,
+    "E9": exp.run_e9_scalability,
+    "E10": exp.run_e10_variants_table,
+    "E11": exp.run_e11_faults,
+    "E12": exp.run_e12_ladder_necessity,
+    "E13": exp.run_e13_settle_ablation,
+    "E14": exp.run_e14_anytime,
+    "E15": exp.run_e15_concentration,
+    "E16": exp.run_e16_opening_rule,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed facility-location approximation (PODC 2005 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate an instance to JSON")
+    _add_instance_source(gen, require_family=True)
+    gen.add_argument("-o", "--output", required=True, help="output JSON path")
+
+    solve = sub.add_parser("solve", help="run the distributed algorithm")
+    solve.add_argument("instance", nargs="?", help="instance JSON path")
+    _add_instance_source(solve, require_family=False)
+    solve.add_argument("-k", type=int, default=9, help="round-budget parameter")
+    solve.add_argument(
+        "--variant",
+        choices=[v.value for v in Variant],
+        default=Variant.GREEDY.value,
+    )
+    solve.add_argument("--algo-seed", type=int, default=0, help="algorithm seed")
+    solve.add_argument(
+        "--rounding",
+        choices=["select_all", "randomized"],
+        default="select_all",
+        help="rounding policy (dual_ascent only)",
+    )
+    solve.add_argument("--c-round", type=float, default=1.0)
+    solve.add_argument("--json", action="store_true", help="machine-readable output")
+
+    base = sub.add_parser("baselines", help="run every sequential baseline")
+    base.add_argument("instance", nargs="?", help="instance JSON path")
+    _add_instance_source(base, require_family=False)
+
+    expcmd = sub.add_parser("experiment", help="run one experiment E1..E16")
+    expcmd.add_argument("id", choices=sorted(_EXPERIMENTS, key=_experiment_key))
+    expcmd.add_argument("--quick", action="store_true")
+
+    report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+    report.add_argument("--quick", action="store_true")
+    return parser
+
+
+def _experiment_key(experiment_id: str) -> int:
+    return int(experiment_id[1:])
+
+
+def _add_instance_source(
+    parser: argparse.ArgumentParser, require_family: bool
+) -> None:
+    parser.add_argument(
+        "--family",
+        choices=sorted(FAMILIES),
+        required=require_family,
+        help="generator family",
+    )
+    parser.add_argument("-m", "--facilities", type=int, default=10)
+    parser.add_argument("-n", "--clients", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=0, help="instance seed")
+
+
+def _load_instance(args: argparse.Namespace) -> FacilityLocationInstance:
+    path = getattr(args, "instance", None)
+    if path:
+        return load_instance_json(path)
+    if not args.family:
+        raise ReproError(
+            "provide an instance JSON path or --family/-m/-n/--seed"
+        )
+    return make_instance(args.family, args.facilities, args.clients, args.seed)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    instance = make_instance(args.family, args.facilities, args.clients, args.seed)
+    save_instance_json(instance, args.output)
+    print(f"wrote {args.output}: {instance}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    instance = _load_instance(args)
+    policy = RoundingPolicy(mode=args.rounding, c_round=args.c_round)
+    result = solve_distributed(
+        instance,
+        k=args.k,
+        variant=args.variant,
+        seed=args.algo_seed,
+        rounding=policy,
+    )
+    lp = solve_lp(instance)
+    payload = {
+        "instance": instance.name,
+        "k": args.k,
+        "variant": args.variant,
+        "cost": result.cost,
+        "ratio_vs_lp": result.cost / max(lp.value, 1e-12),
+        "open_facilities": sorted(result.open_facilities),
+        "rounds": result.metrics.rounds,
+        "total_messages": result.metrics.total_messages,
+        "max_message_bits": result.metrics.max_message_bits,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        rows = [(key, value) for key, value in payload.items()]
+        print(render_table(("field", "value"), rows, title="distributed solve"))
+    return 0
+
+
+def _cmd_baselines(args: argparse.Namespace) -> int:
+    instance = _load_instance(args)
+    lp = solve_lp(instance)
+    bound = max(lp.value, 1e-12)
+    rows: list[tuple[str, float, float]] = []
+
+    def add(label: str, cost: float) -> None:
+        rows.append((label, cost, cost / bound))
+
+    add("greedy", greedy_solve(instance).cost)
+    add("jain_vazirani", jain_vazirani_solve(instance).cost)
+    add("mettu_plaxton", mettu_plaxton_solve(instance).cost)
+    add("local_search", local_search_solve(instance).cost)
+    if instance.is_complete_bipartite():
+        add("lp_rounding", lp_rounding_solve(instance, lp=lp).cost)
+    if instance.num_facilities <= 16:
+        add("exact", exact_solve(instance).cost)
+    rows.append(("lp_lower_bound", lp.value, 1.0))
+    print(
+        render_table(
+            ("algorithm", "cost", "ratio_vs_lp"),
+            rows,
+            title=f"baselines on {instance.name}",
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    result = _EXPERIMENTS[args.id](quick=args.quick)
+    print(result.table)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import generate_report
+
+    generate_report(Path(args.output), quick=args.quick)
+    print(f"wrote {args.output}")
+    return 0
+
+
+_HANDLERS = {
+    "generate": _cmd_generate,
+    "solve": _cmd_solve,
+    "baselines": _cmd_baselines,
+    "experiment": _cmd_experiment,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

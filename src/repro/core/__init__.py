@@ -1,0 +1,38 @@
+"""The paper's contribution: distributed facility location with a
+round/approximation trade-off.
+
+Public entry points:
+
+* :class:`~repro.core.algorithm.DistributedFacilityLocation` — run the
+  reconstructed PODC 2005 algorithm on an instance for a trade-off
+  parameter ``k`` and get back a solution plus network metrics,
+* :class:`~repro.core.parameters.TradeoffParameters` — how ``k`` maps to
+  scales, settle iterations and the threshold base,
+* :mod:`~repro.core.bounds` — the analytic guarantee envelope
+  ``O(sqrt(k) * (m rho)^(1/sqrt k) * log(m+n))`` used by experiments,
+* :func:`~repro.core.sequential_sim.run_sequential` — a fast sequential
+  emulation of the same protocol (coin-for-coin identical results), used by
+  equivalence tests and large parameter sweeps.
+"""
+
+from repro.core.algorithm import (
+    DistributedFacilityLocation,
+    DistributedRunResult,
+    Variant,
+)
+from repro.core.parameters import TradeoffParameters
+from repro.core.bounds import (
+    approximation_envelope,
+    round_budget,
+    message_bits_envelope,
+)
+
+__all__ = [
+    "DistributedFacilityLocation",
+    "DistributedRunResult",
+    "Variant",
+    "TradeoffParameters",
+    "approximation_envelope",
+    "round_budget",
+    "message_bits_envelope",
+]

@@ -1,0 +1,177 @@
+"""Distributed aggregation of the schedule coefficients.
+
+The trade-off schedule (:class:`~repro.core.parameters.TradeoffParameters`)
+needs two instance-level coefficients, ``eff_min`` and ``eff_max`` — the
+extremes of the star-efficiency range. The paper assumes the relevant
+spread coefficient (``rho``) is known to all nodes; this module removes
+that assumption for deployments where it is not: a min/max **flooding
+aggregation** over the bipartite communication graph.
+
+Protocol
+--------
+Each facility computes its *local* efficiency extremes from its own input
+(its opening cost and incident connection costs — see
+:func:`local_efficiency_bounds`). Every node then repeatedly merges the
+(min, max) pairs it hears and re-broadcasts whenever its pair improves.
+After ``diameter`` rounds every node of a connected component holds the
+component-global extremes.
+
+Two practical notes, both verified by tests:
+
+* **Components are the right scope.** A client's candidate facilities are
+  all in its own component, so component-local coefficients produce a
+  valid (indeed potentially tighter) threshold ladder for that component —
+  global values are not required for correctness.
+* **Termination.** Nodes do not know the diameter; the aggregation runs
+  for a caller-chosen number of rounds (any upper bound on the diameter,
+  e.g. the known polynomial bound on ``N``). The messages carry two floats
+  — ``O(log N)`` bits under the cost-word convention.
+
+This costs ``O(diameter)`` extra rounds, which is why the main algorithm
+keeps the paper's known-coefficient assumption by default and treats this
+protocol as an opt-in preamble.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import AlgorithmError
+from repro.fl.instance import FacilityLocationInstance
+from repro.net.message import Message
+from repro.net.node import Node, RoundContext
+from repro.net.simulator import Simulator
+from repro.net.topology import Topology
+
+__all__ = [
+    "local_efficiency_bounds",
+    "AggregationNode",
+    "AggregationResult",
+    "run_efficiency_aggregation",
+]
+
+_KIND = "agg"
+
+
+def local_efficiency_bounds(
+    instance: FacilityLocationInstance, facility: int
+) -> tuple[float, float]:
+    """One facility's local star-efficiency extremes.
+
+    Mirrors :func:`repro.core.parameters.efficiency_range` for a single
+    facility: the best prefix-star efficiency and the worst single-client
+    star cost, both computable from the facility's own input alone.
+    """
+    row = instance.connection_costs[facility]
+    finite = row[np.isfinite(row)]
+    if finite.size == 0:
+        return math.inf, 0.0
+    ordered = np.sort(finite)
+    prefix = np.cumsum(ordered)
+    sizes = np.arange(1, ordered.size + 1)
+    ratios = (instance.opening_cost(facility) + prefix) / sizes
+    return float(ratios.min()), float(instance.opening_cost(facility) + ordered[-1])
+
+
+class AggregationNode(Node):
+    """Min/max flooding node.
+
+    Facilities seed their local bounds; clients start neutral. Every node
+    re-broadcasts whenever its best-known pair improves, so information
+    propagates one hop per round and quiesces after the component diameter.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        local_min: float = math.inf,
+        local_max: float = 0.0,
+        total_rounds: int = 0,
+    ) -> None:
+        super().__init__(node_id)
+        self.best_min = float(local_min)
+        self.best_max = float(local_max)
+        self.total_rounds = int(total_rounds)
+
+    def on_setup(self, ctx: RoundContext) -> None:
+        if math.isfinite(self.best_min) or self.best_max > 0:
+            ctx.broadcast(_KIND, low=self.best_min, high=self.best_max)
+
+    def on_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        improved = False
+        for msg in inbox:
+            if msg.kind != _KIND:
+                continue
+            low = float(msg["low"])
+            high = float(msg["high"])
+            if low < self.best_min:
+                self.best_min = low
+                improved = True
+            if high > self.best_max:
+                self.best_max = high
+                improved = True
+        if improved and ctx.round_number < self.total_rounds:
+            ctx.broadcast(_KIND, low=self.best_min, high=self.best_max)
+        if ctx.round_number >= self.total_rounds:
+            self.finished = True
+
+
+@dataclass(frozen=True)
+class AggregationResult:
+    """Outcome of the aggregation: per-node (eff_min, eff_max) views."""
+
+    eff_min: tuple[float, ...]
+    eff_max: tuple[float, ...]
+    rounds: int
+    total_messages: int
+
+    def bounds_of(self, node_id: int) -> tuple[float, float]:
+        """The (min, max) pair node ``node_id`` ended up with."""
+        return self.eff_min[node_id], self.eff_max[node_id]
+
+
+def run_efficiency_aggregation(
+    instance: FacilityLocationInstance,
+    rounds: int | None = None,
+    seed: int = 0,
+) -> AggregationResult:
+    """Run the aggregation preamble on an instance's topology.
+
+    Parameters
+    ----------
+    instance:
+        The facility-location instance (defines the topology and costs).
+    rounds:
+        How many rounds to flood. ``None`` uses the true diameter (what an
+        omniscient scheduler would pick); deployments without that
+        knowledge pass any upper bound, e.g. ``instance.num_nodes``.
+    seed:
+        Simulator seed (the protocol is deterministic; the seed only feeds
+        the unused node streams).
+    """
+    topology = Topology.from_instance(instance)
+    if rounds is None:
+        rounds = max(1, topology.diameter())
+    if rounds < 1:
+        raise AlgorithmError(f"aggregation needs >= 1 round, got {rounds}")
+    nodes: list[AggregationNode] = []
+    for i in range(instance.num_facilities):
+        low, high = local_efficiency_bounds(instance, i)
+        nodes.append(AggregationNode(i, low, high, total_rounds=rounds))
+    for j in range(instance.num_clients):
+        nodes.append(
+            AggregationNode(
+                instance.num_facilities + j, total_rounds=rounds
+            )
+        )
+    simulator = Simulator(topology, nodes, seed=seed)
+    metrics = simulator.run(max_rounds=rounds + 1)
+    return AggregationResult(
+        eff_min=tuple(n.best_min for n in nodes),
+        eff_max=tuple(n.best_max for n in nodes),
+        rounds=metrics.rounds,
+        total_messages=metrics.total_messages,
+    )

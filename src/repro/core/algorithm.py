@@ -1,0 +1,319 @@
+"""Orchestration of the distributed algorithm over the simulator.
+
+:class:`DistributedFacilityLocation` wires an instance into the bipartite
+communication topology, instantiates the protocol nodes for the chosen
+variant, runs the synchronous simulator, and extracts a checked
+:class:`~repro.fl.solution.FacilityLocationSolution` together with the
+network metrics the paper's claims are stated in.
+
+Two protocol variants are provided (experiment E10 compares them):
+
+* ``Variant.GREEDY`` — the flagship scaled parallel greedy
+  (:mod:`repro.core.greedy_nodes`), `ceil(sqrt(k))` efficiency scales with
+  `ceil(k/sqrt(k))` settle iterations each;
+* ``Variant.DUAL_ASCENT`` — the primal-dual mirror
+  (:mod:`repro.core.dual_ascent_nodes`), ``k`` discrete budget levels plus
+  a rounding phase whose policy is configurable (ablation E6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Mapping
+
+from repro.core.dual_ascent_nodes import (
+    DualClientNode,
+    DualFacilityNode,
+    RoundingPolicy,
+    dual_schedule_length,
+)
+from repro.core.greedy_nodes import (
+    GreedyClientNode,
+    GreedyFacilityNode,
+    schedule_length,
+)
+from repro.core.parameters import TradeoffParameters
+from repro.exceptions import AlgorithmError
+from repro.fl.instance import FacilityLocationInstance
+from repro.fl.solution import FacilityLocationSolution
+from repro.net.faults import FaultPlan
+from repro.net.metrics import NetworkMetrics
+from repro.net.simulator import Simulator
+from repro.net.topology import Topology
+from repro.net.trace import Trace
+
+__all__ = [
+    "Variant",
+    "DistributedRunResult",
+    "DistributedFacilityLocation",
+    "solve_distributed",
+]
+
+
+class Variant(str, Enum):
+    """Which protocol realizes the trade-off."""
+
+    GREEDY = "greedy"
+    DUAL_ASCENT = "dual_ascent"
+
+
+@dataclass(frozen=True)
+class DistributedRunResult:
+    """Everything a run produces.
+
+    ``solution`` is ``None`` only when fault injection left some client
+    unserved (``unserved_clients`` lists them); fault-free runs always
+    yield a validated feasible solution.
+    """
+
+    instance: FacilityLocationInstance
+    params: TradeoffParameters
+    variant: Variant
+    solution: FacilityLocationSolution | None
+    open_facilities: frozenset[int]
+    unserved_clients: tuple[int, ...]
+    metrics: NetworkMetrics
+    diagnostics: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def cost(self) -> float:
+        """Solution cost; raises when the run left clients unserved."""
+        if self.solution is None:
+            raise AlgorithmError(
+                f"run left {len(self.unserved_clients)} clients unserved "
+                "(fault injection); no cost is defined"
+            )
+        return self.solution.cost
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the run produced a complete feasible solution."""
+        return self.solution is not None
+
+    def repaired_solution(self) -> FacilityLocationSolution:
+        """Best-effort repair for faulty runs.
+
+        Reassigns every client to its cheapest *open* facility; raises
+        :class:`~repro.exceptions.InfeasibleSolutionError` when some client
+        has no open neighbor at all (e.g. every neighbor crashed). Used by
+        the fault experiment E11 to quantify repair cost.
+        """
+        if self.solution is not None:
+            return self.solution
+        return FacilityLocationSolution.from_open_set(
+            self.instance, self.open_facilities
+        )
+
+
+class DistributedFacilityLocation:
+    """Configured runner for the distributed trade-off algorithm.
+
+    Parameters
+    ----------
+    instance:
+        The facility-location instance to solve.
+    k:
+        Trade-off parameter: the protocol uses ``Theta(k)`` rounds.
+    variant:
+        Protocol variant (default: the flagship scaled parallel greedy).
+    seed:
+        Experiment seed; all node coin flips derive from it.
+    rounding:
+        Rounding policy (dual-ascent variant only).
+    fault_plan:
+        Optional fault injection.
+    max_message_bits:
+        Optional hard per-message bit budget (``None`` = measure only).
+    trace:
+        Optional event trace.
+    params:
+        Explicit schedule override (ablation experiments use this to pin
+        non-standard scales/settle splits); when given, ``k`` is ignored.
+    open_fraction:
+        Opening rule of the flagship variant: fraction of a proposed star
+        that must accept before a closed facility opens (default 0.5, the
+        analyzed half-star rule; ablation E16).
+    """
+
+    def __init__(
+        self,
+        instance: FacilityLocationInstance,
+        k: int,
+        variant: Variant | str = Variant.GREEDY,
+        seed: int = 0,
+        rounding: RoundingPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        max_message_bits: int | None = None,
+        trace: Trace | None = None,
+        params: TradeoffParameters | None = None,
+        open_fraction: float = 0.5,
+    ) -> None:
+        self.instance = instance
+        self.variant = Variant(variant)
+        self.seed = int(seed)
+        self.rounding = rounding or RoundingPolicy()
+        self.fault_plan = fault_plan
+        self.max_message_bits = max_message_bits
+        self.trace = trace
+        self.open_fraction = float(open_fraction)
+        if params is not None:
+            self.params = params
+        elif self.variant is Variant.GREEDY:
+            self.params = TradeoffParameters.from_instance(instance, k)
+        else:
+            self.params = TradeoffParameters.linear(instance, k)
+
+    # ------------------------------------------------------------------
+
+    def build_simulator(self) -> Simulator:
+        """Construct (but do not run) the simulator for this configuration."""
+        instance = self.instance
+        m = instance.num_facilities
+        topology = Topology.from_instance(instance)
+        nodes: list = []
+        for i in range(m):
+            client_costs = {
+                m + j: instance.connection_cost(i, j)
+                for j in instance.clients_of_facility(i)
+            }
+            if self.variant is Variant.GREEDY:
+                nodes.append(
+                    GreedyFacilityNode(
+                        i,
+                        instance.opening_cost(i),
+                        client_costs,
+                        self.params,
+                        open_fraction=self.open_fraction,
+                    )
+                )
+            else:
+                nodes.append(
+                    DualFacilityNode(
+                        i,
+                        instance.opening_cost(i),
+                        client_costs,
+                        self.params,
+                        self.rounding,
+                    )
+                )
+        for j in range(instance.num_clients):
+            facility_costs = {
+                i: instance.connection_cost(i, j)
+                for i in instance.facilities_of_client(j)
+            }
+            if self.variant is Variant.GREEDY:
+                nodes.append(GreedyClientNode(m + j, facility_costs, self.params))
+            else:
+                nodes.append(DualClientNode(m + j, facility_costs, self.params))
+        return Simulator(
+            topology,
+            nodes,
+            seed=self.seed,
+            fault_plan=self.fault_plan,
+            max_message_bits=self.max_message_bits,
+            trace=self.trace,
+        )
+
+    def schedule_rounds(self) -> int:
+        """Deterministic round budget of the configured protocol."""
+        if self.variant is Variant.GREEDY:
+            return schedule_length(self.params)
+        return dual_schedule_length(self.params)
+
+    def run(self) -> DistributedRunResult:
+        """Execute the protocol and extract the solution and metrics."""
+        simulator = self.build_simulator()
+        metrics = simulator.run(max_rounds=self.schedule_rounds() + 2)
+        return self._extract(simulator, metrics)
+
+    def run_truncated(self, max_rounds: int) -> DistributedRunResult:
+        """Execute at most ``max_rounds`` rounds and extract the partial state.
+
+        Models a network that stops early (anytime behaviour, experiment
+        E14): the run is cut mid-schedule, so clients that had not yet
+        received a SERVE confirmation are reported in
+        ``unserved_clients`` and ``solution`` is ``None`` unless the cut
+        happened after the force phase completed. Use
+        :meth:`DistributedRunResult.repaired_solution` to quantify the
+        quality of the partial open set (it raises while no open facility
+        covers every client).
+        """
+        simulator = self.build_simulator()
+        budget = min(max_rounds, self.schedule_rounds() + 2)
+        metrics = simulator.run(max_rounds=budget, allow_truncation=True)
+        return self._extract(simulator, metrics)
+
+    # ------------------------------------------------------------------
+
+    def _extract(
+        self, simulator: Simulator, metrics: NetworkMetrics
+    ) -> DistributedRunResult:
+        m = self.instance.num_facilities
+        facilities = simulator.nodes[:m]
+        clients = simulator.nodes[m:]
+        open_set = frozenset(
+            node.node_id
+            for node in facilities
+            if node.is_open and not node.crashed
+        )
+        assignment: dict[int, int] = {}
+        unserved: list[int] = []
+        for node in clients:
+            j = node.node_id - m
+            target = node.connected_to
+            if target is None or target not in open_set:
+                unserved.append(j)
+            else:
+                assignment[j] = target
+        solution: FacilityLocationSolution | None = None
+        if not unserved:
+            solution = FacilityLocationSolution(
+                self.instance, open_set, assignment, validate=True
+            )
+        diagnostics = self._diagnostics(facilities, clients)
+        return DistributedRunResult(
+            instance=self.instance,
+            params=self.params,
+            variant=self.variant,
+            solution=solution,
+            open_facilities=open_set,
+            unserved_clients=tuple(unserved),
+            metrics=metrics,
+            diagnostics=diagnostics,
+        )
+
+    def _diagnostics(self, facilities, clients) -> dict[str, Any]:
+        """Protocol-level counters used by tests and experiment tables."""
+        diagnostics: dict[str, Any] = {
+            "num_open": sum(1 for f in facilities if f.is_open),
+            "num_forced_opens": sum(
+                1 for f in facilities if getattr(f, "was_forced", False)
+            ),
+            "num_forced_clients": sum(
+                1 for c in clients if getattr(c, "used_force", False)
+            ),
+        }
+        if self.variant is Variant.GREEDY:
+            diagnostics["total_failed_accepts"] = sum(
+                c.failed_accepts for c in clients
+            )
+        else:
+            diagnostics["num_tight"] = sum(1 for f in facilities if f.is_tight)
+            diagnostics["mean_witnesses"] = (
+                sum(len(c.witnesses) for c in clients) / max(len(clients), 1)
+            )
+        return diagnostics
+
+
+def solve_distributed(
+    instance: FacilityLocationInstance,
+    k: int,
+    variant: Variant | str = Variant.GREEDY,
+    seed: int = 0,
+    **kwargs: Any,
+) -> DistributedRunResult:
+    """One-call convenience wrapper around :class:`DistributedFacilityLocation`."""
+    return DistributedFacilityLocation(
+        instance, k, variant=variant, seed=seed, **kwargs
+    ).run()

@@ -1,0 +1,321 @@
+"""Node logic of the dual-ascent variant (primal-dual mirror of the paper).
+
+This variant realizes the same round/approximation trade-off idea through
+the LP dual: clients hold budgets ``alpha_j`` that climb a geometric ladder
+of ``k`` levels (:meth:`repro.core.parameters.TradeoffParameters.linear`),
+facilities become *tight* when accumulated payments
+``P_i = sum_j max(0, alpha_j - c_ij)`` reach the opening cost, and tight
+facilities freeze the budgets of clients that can afford them. Discretizing
+the classic Jain–Vazirani continuous ascent into ``k`` multiplicative jumps
+is what trades rounds for approximation: each jump can overshoot tightness
+by at most the ladder base ``(eff_max/eff_min)^(1/k)``.
+
+Timeline
+--------
+Each level ``l`` occupies three simulator rounds:
+
+1. **ALPHA** — every unfrozen client raises ``alpha_j`` to
+   ``max(gamma_j, threshold(l))`` (``gamma_j`` = its cheapest connection
+   cost) and broadcasts it.
+2. **TIGHT** — facilities fold the new budgets into their payments; a
+   facility crossing ``P_i >= f_i`` declares itself tight (broadcast).
+3. **FREEZE** — a client hearing a tight facility whose connection cost its
+   budget covers records it as a *witness* and freezes. Frozen clients keep
+   listening and keep recording later witnesses (which may be cheaper).
+
+By the last level every client has a witness: the final threshold equals
+the maximum single-client star cost, at which point the client's own
+contribution alone pays for its cheapest facility.
+
+A constant-round *rounding phase* then converts tight facilities into open
+ones (see :class:`RoundingPolicy` — "select_all" opens every facility some
+client selected; "randomized" opens proportionally to selected payment
+mass, the paper's randomized-rounding step), followed by the deterministic
+fallback that force-opens a leftover client's cheapest witness, so
+feasibility is unconditional.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.parameters import TradeoffParameters
+from repro.exceptions import AlgorithmError
+from repro.net.message import Message
+from repro.net.node import Node, RoundContext
+
+__all__ = [
+    "DualFacilityNode",
+    "DualClientNode",
+    "RoundingPolicy",
+    "dual_schedule_length",
+    "dual_phase_of_round",
+]
+
+ALPHA = "alp"
+TIGHT = "tgt"
+SELECT = "sel"
+OPEN_AD = "oad"
+JOIN = "join"
+SERVE = "srv"
+FORCE = "frc"
+
+_ROUNDS_PER_LEVEL = 3
+_ROUNDING_ROUNDS = 5
+_PAYMENT_RTOL = 1e-12
+
+
+@dataclass(frozen=True)
+class RoundingPolicy:
+    """How tight facilities are converted into open facilities.
+
+    Attributes
+    ----------
+    mode:
+        ``"select_all"`` — every facility selected by at least one client
+        opens (deterministic). ``"randomized"`` — a selected facility opens
+        with probability ``min(1, c_round * ln(N) * mass / f_i)`` where
+        ``mass`` is the selected payment volume; leftovers are handled by
+        the deterministic fallback. The randomized mode is the paper's
+        rounding step and the subject of ablation E6.
+    c_round:
+        The rounding constant (only used by ``"randomized"``).
+    """
+
+    mode: str = "select_all"
+    c_round: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("select_all", "randomized"):
+            raise AlgorithmError(
+                f"unknown rounding mode {self.mode!r}; "
+                "expected 'select_all' or 'randomized'"
+            )
+        if self.c_round <= 0:
+            raise AlgorithmError(f"c_round must be positive, got {self.c_round}")
+
+
+def dual_schedule_length(params: TradeoffParameters) -> int:
+    """Total simulator rounds of the dual-ascent protocol."""
+    return _ROUNDS_PER_LEVEL * params.num_scales + _ROUNDING_ROUNDS
+
+
+def dual_phase_of_round(
+    params: TradeoffParameters, round_number: int
+) -> tuple[str, int]:
+    """Map a simulator round to ``(phase_name, level)``.
+
+    Phases are ``"alpha" | "tight" | "freeze"`` with a 1-based level during
+    the ascent and ``"round1" .. "round5"`` afterwards (level 0).
+    """
+    ascent_end = _ROUNDS_PER_LEVEL * params.num_scales
+    if round_number <= ascent_end:
+        level = 1 + (round_number - 1) // _ROUNDS_PER_LEVEL
+        offset = (round_number - 1) % _ROUNDS_PER_LEVEL
+        return ("alpha", "tight", "freeze")[offset], level
+    rounding_offset = round_number - ascent_end
+    if rounding_offset <= _ROUNDING_ROUNDS:
+        return f"round{rounding_offset}", 0
+    return "done", 0
+
+
+class DualFacilityNode(Node):
+    """A facility in the dual-ascent protocol."""
+
+    def __init__(
+        self,
+        node_id: int,
+        opening_cost: float,
+        client_costs: Mapping[int, float],
+        params: TradeoffParameters,
+        policy: RoundingPolicy,
+    ) -> None:
+        super().__init__(node_id)
+        self.opening_cost = float(opening_cost)
+        self.client_costs = dict(client_costs)
+        self.params = params
+        self.policy = policy
+        self.alphas: dict[int, float] = {}
+        self.is_tight = False
+        self.tight_at_level: int | None = None
+        self.is_open = False
+        self.was_forced = False
+        self.served_clients: set[int] = set()
+
+    @property
+    def payment(self) -> float:
+        """Current accumulated payment ``P_i``."""
+        return sum(
+            max(0.0, alpha - self.client_costs[j])
+            for j, alpha in self.alphas.items()
+        )
+
+    def on_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        phase, level = dual_phase_of_round(self.params, ctx.round_number)
+        if phase == "tight":
+            self._update_payments(ctx, inbox, level)
+        elif phase == "round2":
+            self._decide_open(ctx, inbox)
+        elif phase == "round4":
+            self._handle_force(ctx, inbox)
+            self.finished = True
+        elif phase in ("round5", "done"):
+            self.finished = True
+
+    def _update_payments(
+        self, ctx: RoundContext, inbox: list[Message], level: int
+    ) -> None:
+        """TIGHT: fold new budgets in; announce tightness on crossing."""
+        for msg in inbox:
+            if msg.kind == ALPHA:
+                self.alphas[msg.sender] = float(msg["alpha"])
+        # The tolerance must scale with the budget ladder, not only with
+        # f_i: when f_i is many orders of magnitude below the budgets,
+        # float cancellation in (alpha - c) can swallow f_i entirely and
+        # the exact-arithmetic tightness at the terminal level would never
+        # be observed.
+        slack = _PAYMENT_RTOL * max(self.opening_cost, self.params.eff_max)
+        threshold = self.opening_cost - slack
+        if not self.is_tight and self.payment >= threshold:
+            self.is_tight = True
+            self.tight_at_level = level
+            ctx.log("tight", level=level, payment=self.payment)
+        if self.is_tight:
+            # Re-announce every level: clients whose budgets grow later must
+            # still learn of facilities that went tight earlier, otherwise
+            # they could end the ascent without a witness.
+            ctx.broadcast(TIGHT)
+
+    def _decide_open(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        """ROUNDING: open per policy and advertise to every neighbor.
+
+        Clients then pick the cheapest *open* witness, so randomized
+        rounding with a small constant genuinely trades opening cost
+        (fewer facilities) against connection cost (longer detours) —
+        exactly the knob ablation E6 sweeps.
+        """
+        selectors = [msg for msg in inbox if msg.kind == SELECT]
+        if not selectors:
+            return
+        if self.policy.mode == "select_all":
+            opens = True
+        else:
+            mass = sum(
+                max(0.0, float(msg["alpha"]) - self.client_costs[msg.sender])
+                for msg in selectors
+            )
+            scale = math.log(max(self.params.num_nodes, 2))
+            probability = min(
+                1.0, self.policy.c_round * scale * mass / max(self.opening_cost, 1e-300)
+            )
+            opens = bool(self.rng.random() < probability)
+            ctx.log("round_coin", probability=probability, opens=opens)
+        if not opens:
+            return
+        self.is_open = True
+        ctx.broadcast(OPEN_AD)
+
+    def _handle_force(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        """Serve joiners; open unconditionally for forcing clients."""
+        for msg in inbox:
+            if msg.kind == JOIN and self.is_open:
+                self.served_clients.add(msg.sender)
+                ctx.send(msg.sender, SERVE)
+            elif msg.kind == FORCE:
+                if not self.is_open:
+                    self.is_open = True
+                    self.was_forced = True
+                    ctx.log("forced_open", by=msg.sender)
+                self.served_clients.add(msg.sender)
+                ctx.send(msg.sender, SERVE)
+
+
+class DualClientNode(Node):
+    """A client in the dual-ascent protocol."""
+
+    def __init__(
+        self,
+        node_id: int,
+        facility_costs: Mapping[int, float],
+        params: TradeoffParameters,
+    ) -> None:
+        super().__init__(node_id)
+        self.facility_costs = dict(facility_costs)
+        self.params = params
+        self.gamma = min(facility_costs.values())
+        self.alpha = 0.0
+        self.frozen = False
+        self.frozen_at_level: int | None = None
+        self.witnesses: set[int] = set()
+        self.connected_to: int | None = None
+        self.used_force = False
+
+    @property
+    def connected(self) -> bool:
+        """Whether the client has a confirmed serving facility."""
+        return self.connected_to is not None
+
+    def on_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        phase, level = dual_phase_of_round(self.params, ctx.round_number)
+        self._absorb(ctx, inbox, level)
+        if phase == "alpha":
+            if not self.frozen:
+                self.alpha = max(self.gamma, self.params.threshold(level))
+                ctx.broadcast(ALPHA, alpha=self.alpha)
+        elif phase == "round1":
+            self._select(ctx)
+        elif phase == "round3":
+            if not self.connected:
+                self._join_or_force(ctx, inbox)
+        elif phase in ("round5", "done"):
+            self.finished = True
+        if self.connected:
+            self.finished = True
+
+    def _absorb(self, ctx: RoundContext, inbox: list[Message], level: int) -> None:
+        """Record tight announcements (witnesses) and service confirmations."""
+        for msg in inbox:
+            if msg.kind == TIGHT:
+                if self.facility_costs[msg.sender] <= self.alpha * (1 + 1e-12):
+                    self.witnesses.add(msg.sender)
+                    if not self.frozen:
+                        self.frozen = True
+                        self.frozen_at_level = level
+                        ctx.log("frozen", level=level, witness=msg.sender)
+            elif msg.kind == SERVE and not self.connected:
+                self.connected_to = msg.sender
+                ctx.log("connected", facility=msg.sender)
+
+    def _cheapest_witness(self) -> int:
+        if not self.witnesses:
+            raise AlgorithmError(
+                f"client node {self.node_id} reached rounding with no witness; "
+                "the final ascent level should make this impossible"
+            )
+        return min(self.witnesses, key=lambda i: (self.facility_costs[i], i))
+
+    def _select(self, ctx: RoundContext) -> None:
+        """ROUNDING: point at the cheapest witness."""
+        target = self._cheapest_witness()
+        ctx.send(target, SELECT, alpha=self.alpha)
+
+    def _join_or_force(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        """Join the cheapest *open* witness; failing that, force one open."""
+        open_witnesses = [
+            msg.sender
+            for msg in inbox
+            if msg.kind == OPEN_AD and msg.sender in self.witnesses
+        ]
+        if open_witnesses:
+            target = min(
+                open_witnesses, key=lambda i: (self.facility_costs[i], i)
+            )
+            ctx.send(target, JOIN)
+            ctx.log("join", facility=target)
+        else:
+            target = self._cheapest_witness()
+            self.used_force = True
+            ctx.send(target, FORCE)
+            ctx.log("force", facility=target)

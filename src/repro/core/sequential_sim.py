@@ -1,0 +1,301 @@
+"""Fast sequential emulation of the distributed protocols.
+
+This module re-implements both protocol variants *without* the message
+simulator, drawing randomness from the exact same per-node streams the
+simulator would hand out. Two purposes:
+
+* **Cross-validation.** The emulation is an independent implementation of
+  the protocol semantics; tests assert that, seed for seed, it produces the
+  *identical* open set and assignment as the message-passing run. Agreement
+  between two independently-written implementations is strong evidence that
+  neither mis-encodes the protocol.
+* **Scale.** Experiments that only need solution quality (not network
+  metrics) run orders of magnitude faster here, which is what makes the
+  scalability sweep E9 feasible in CI.
+
+The emulation is faithful to the synchronous timing of the protocols: a
+client served in iteration ``t`` stops being active from iteration ``t+1``
+on, exactly as the one-round message delay dictates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.algorithm import Variant
+from repro.core.dual_ascent_nodes import RoundingPolicy
+from repro.core.parameters import TradeoffParameters
+from repro.exceptions import AlgorithmError
+from repro.fl.instance import FacilityLocationInstance
+from repro.fl.solution import FacilityLocationSolution
+from repro.net.rng import spawn_node_rngs
+
+__all__ = ["SequentialRunResult", "run_sequential"]
+
+
+@dataclass(frozen=True)
+class SequentialRunResult:
+    """Outcome of a sequential emulation run."""
+
+    instance: FacilityLocationInstance
+    params: TradeoffParameters
+    variant: Variant
+    solution: FacilityLocationSolution
+    open_facilities: frozenset[int]
+    assignment: dict[int, int]
+
+    @property
+    def cost(self) -> float:
+        """Total cost of the produced solution."""
+        return self.solution.cost
+
+
+def run_sequential(
+    instance: FacilityLocationInstance,
+    k: int,
+    variant: Variant | str = Variant.GREEDY,
+    seed: int = 0,
+    rounding: RoundingPolicy | None = None,
+    open_fraction: float = 0.5,
+) -> SequentialRunResult:
+    """Emulate one protocol run; see module docstring for semantics."""
+    variant = Variant(variant)
+    if variant is Variant.GREEDY:
+        params = TradeoffParameters.from_instance(instance, k)
+        open_set, assignment = _emulate_greedy(
+            instance, params, seed, open_fraction
+        )
+    else:
+        params = TradeoffParameters.linear(instance, k)
+        open_set, assignment = _emulate_dual(
+            instance, params, seed, rounding or RoundingPolicy()
+        )
+    solution = FacilityLocationSolution(
+        instance, open_set, assignment, validate=True
+    )
+    return SequentialRunResult(
+        instance=instance,
+        params=params,
+        variant=variant,
+        solution=solution,
+        open_facilities=frozenset(open_set),
+        assignment=assignment,
+    )
+
+
+# ----------------------------------------------------------------------
+# Flagship: scaled parallel greedy
+# ----------------------------------------------------------------------
+
+
+def _emulate_greedy(
+    instance: FacilityLocationInstance,
+    params: TradeoffParameters,
+    seed: int,
+    open_fraction: float = 0.5,
+) -> tuple[set[int], dict[int, int]]:
+    m = instance.num_facilities
+    n = instance.num_clients
+    rngs = spawn_node_rngs(seed, m + n)  # facility i uses stream i
+    opening = instance.opening_costs
+    # Per-facility adjacency as (client, cost) sorted by (cost, node id),
+    # matching GreedyFacilityNode._best_star ordering (node id = m + j).
+    adjacency = [
+        sorted(
+            ((j, instance.connection_cost(i, j)) for j in instance.clients_of_facility(i)),
+            key=lambda pair: (pair[1], m + pair[0]),
+        )
+        for i in range(m)
+    ]
+    client_neighbors = [instance.facilities_of_client(j) for j in range(n)]
+    is_open = [False] * m
+    connected: dict[int, int] = {}
+
+    for iteration in range(1, params.num_iterations + 1):
+        scale = params.scale_of_iteration(iteration)
+        active = [j for j in range(n) if j not in connected]
+        if not active:
+            # Facilities still observe no actives and draw no coins —
+            # identical to the message run, where no ACTIVE arrives.
+            continue
+        active_set = set(active)
+        proposals: dict[int, tuple[int, ...]] = {}
+        priorities: dict[int, float] = {}
+        for i in range(m):
+            star = _best_star(
+                adjacency[i], active_set, opening[i], is_open[i], params, scale
+            )
+            if star:
+                proposals[i] = star
+                priorities[i] = float(rngs[i].random())
+        accepts: dict[int, list[int]] = {i: [] for i in proposals}
+        for j in active:
+            offers = [i for i, star in proposals.items() if j in star]
+            if not offers:
+                continue
+            best = max(offers, key=lambda i: (priorities[i], -i))
+            accepts[best].append(j)
+        for i, star in proposals.items():
+            accepted = accepts[i]
+            if not accepted:
+                continue
+            if not is_open[i]:
+                needed = max(1, math.ceil(len(star) * open_fraction))
+                if len(accepted) < needed:
+                    continue
+                is_open[i] = True
+            for j in accepted:
+                connected[j] = i
+
+    # Force phase: leftover clients join the cheapest open neighbor, or
+    # force their cheapest neighbor open. Decisions are made against the
+    # open set as of the end of the iterations (matching the PROBE round),
+    # while forced openings land simultaneously afterwards.
+    leftovers = [j for j in range(n) if j not in connected]
+    open_before = [i for i in range(m) if is_open[i]]
+    open_before_set = set(open_before)
+    for j in leftovers:
+        open_neighbors = [i for i in client_neighbors[j] if i in open_before_set]
+        if open_neighbors:
+            target = min(
+                open_neighbors,
+                key=lambda i: (instance.connection_cost(i, j), i),
+            )
+        else:
+            target = min(
+                client_neighbors[j],
+                key=lambda i: (instance.connection_cost(i, j), i),
+            )
+            is_open[target] = True
+        connected[j] = target
+
+    open_set = {i for i in range(m) if is_open[i]}
+    return open_set, connected
+
+
+def _best_star(
+    adjacency: list[tuple[int, float]],
+    active_set: set[int],
+    opening_cost: float,
+    already_open: bool,
+    params: TradeoffParameters,
+    scale: int,
+) -> tuple[int, ...]:
+    """Largest qualifying prefix star (mirrors the facility node logic)."""
+    fee = 0.0 if already_open else float(opening_cost)
+    total = fee
+    best_size = 0
+    ordered = [j for j, _cost in adjacency if j in active_set]
+    costs = {j: cost for j, cost in adjacency}
+    for size, j in enumerate(ordered, start=1):
+        total += costs[j]
+        if params.qualifies(total / size, scale):
+            best_size = size
+    return tuple(ordered[:best_size])
+
+
+# ----------------------------------------------------------------------
+# Variant: dual ascent
+# ----------------------------------------------------------------------
+
+
+def _emulate_dual(
+    instance: FacilityLocationInstance,
+    params: TradeoffParameters,
+    seed: int,
+    policy: RoundingPolicy,
+) -> tuple[set[int], dict[int, int]]:
+    m = instance.num_facilities
+    n = instance.num_clients
+    rngs = spawn_node_rngs(seed, m + n)
+    gamma = [
+        min(instance.connection_cost(i, j) for i in instance.facilities_of_client(j))
+        for j in range(n)
+    ]
+    alphas = [0.0] * n
+    frozen = [False] * n
+    stored: list[dict[int, float]] = [dict() for _ in range(m)]
+    tight = [False] * m
+    witnesses: list[set[int]] = [set() for _ in range(n)]
+
+    for level in range(1, params.num_scales + 1):
+        threshold = params.threshold(level)
+        for j in range(n):
+            if not frozen[j]:
+                alphas[j] = max(gamma[j], threshold)
+                for i in instance.facilities_of_client(j):
+                    stored[i][j] = alphas[j]
+        for i in range(m):
+            if tight[i]:
+                continue
+            payment = sum(
+                max(0.0, a - instance.connection_cost(i, j))
+                for j, a in stored[i].items()
+            )
+            # Same ladder-scaled tolerance as DualFacilityNode (see its
+            # comment on float cancellation with tiny opening costs).
+            slack = 1e-12 * max(instance.opening_cost(i), params.eff_max)
+            if payment >= instance.opening_cost(i) - slack:
+                tight[i] = True
+        for j in range(n):
+            for i in instance.facilities_of_client(j):
+                if tight[i] and instance.connection_cost(i, j) <= alphas[j] * (
+                    1 + 1e-12
+                ):
+                    witnesses[j].add(i)
+                    frozen[j] = True
+
+    # Rounding phase.
+    selections: dict[int, list[int]] = {}
+    for j in range(n):
+        if not witnesses[j]:
+            raise AlgorithmError(
+                f"client {j} has no witness after the final level; "
+                "this contradicts the ladder's terminal property"
+            )
+        target = min(
+            witnesses[j], key=lambda i: (instance.connection_cost(i, j), i)
+        )
+        selections.setdefault(target, []).append(j)
+
+    is_open = [False] * m
+    for i in sorted(selections):
+        selectors = selections[i]
+        if policy.mode == "select_all":
+            opens = True
+        else:
+            mass = sum(
+                max(0.0, alphas[j] - instance.connection_cost(i, j))
+                for j in selectors
+            )
+            scale = math.log(max(params.num_nodes, 2))
+            probability = min(
+                1.0,
+                policy.c_round * scale * mass / max(instance.opening_cost(i), 1e-300),
+            )
+            opens = bool(rngs[i].random() < probability)
+        if opens:
+            is_open[i] = True
+
+    # Clients join the cheapest witness opened by the rounding coin flips;
+    # leftovers force their cheapest witness open (deterministic fallback).
+    # Join decisions see only the coin-opened set, matching the OPEN_AD
+    # round of the message protocol.
+    opened_by_coin = {i for i in range(m) if is_open[i]}
+    connected: dict[int, int] = {}
+    for j in range(n):
+        open_witnesses = witnesses[j] & opened_by_coin
+        if open_witnesses:
+            target = min(
+                open_witnesses, key=lambda i: (instance.connection_cost(i, j), i)
+            )
+        else:
+            target = min(
+                witnesses[j], key=lambda i: (instance.connection_cost(i, j), i)
+            )
+            is_open[target] = True
+        connected[j] = target
+
+    open_set = {i for i in range(m) if is_open[i]}
+    return open_set, connected

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still being able to distinguish the precise failure
+mode when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class InvalidInstanceError(ReproError):
+    """A facility-location instance violates a structural invariant.
+
+    Examples: negative opening cost, connection-cost matrix of the wrong
+    shape, a client with no reachable facility, or non-finite cost values.
+    """
+
+
+class InfeasibleSolutionError(ReproError):
+    """A solution fails feasibility validation.
+
+    Raised when a client is assigned to a closed facility, assigned to a
+    facility it has no edge to, or left unassigned.
+    """
+
+
+class SimulationError(ReproError):
+    """The distributed simulator reached an inconsistent state.
+
+    Examples: a node sending to a non-neighbor, a message exceeding the
+    configured bit budget when strict accounting is enabled, or the round
+    limit being exhausted before the protocol terminated.
+    """
+
+
+class MessageSizeError(SimulationError):
+    """A message exceeded the simulator's per-message bit budget."""
+
+
+class NotANeighborError(SimulationError):
+    """A node attempted to send a message to a node it has no link to."""
+
+
+class RoundLimitExceededError(SimulationError):
+    """The protocol did not terminate within the allowed number of rounds."""
+
+
+class AlgorithmError(ReproError):
+    """An algorithm received parameters outside its supported domain.
+
+    Examples: a non-positive trade-off parameter ``k``, or running a
+    metric-only baseline on a non-metric instance with checking enabled.
+    """
+
+
+class SolverError(ReproError):
+    """An underlying numerical solver (e.g. the LP solver) failed."""

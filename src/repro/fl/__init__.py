@@ -1,0 +1,22 @@
+"""Facility-location problem substrate.
+
+This subpackage defines the problem model shared by every algorithm in the
+repository:
+
+* :class:`~repro.fl.instance.FacilityLocationInstance` — an uncapacitated
+  facility-location instance over a bipartite facility/client graph,
+* :class:`~repro.fl.solution.FacilityLocationSolution` — a set of open
+  facilities plus a client assignment, with cost and feasibility checks,
+* :mod:`~repro.fl.generators` — reproducible instance generators (metric
+  and non-metric families),
+* :mod:`~repro.fl.io` — serialization to/from JSON and an ORLIB-style text
+  format.
+"""
+
+from repro.fl.instance import FacilityLocationInstance
+from repro.fl.solution import FacilityLocationSolution
+
+__all__ = [
+    "FacilityLocationInstance",
+    "FacilityLocationSolution",
+]

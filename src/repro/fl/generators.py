@@ -1,0 +1,355 @@
+"""Reproducible facility-location instance generators.
+
+Each generator takes explicit sizes and a ``seed`` and returns a
+:class:`~repro.fl.instance.FacilityLocationInstance`. Randomness always goes
+through ``numpy.random.default_rng(seed)`` so that every experiment in the
+repository is exactly reproducible from its recorded parameters.
+
+Families
+--------
+``uniform``
+    Complete bipartite, i.i.d. uniform connection and opening costs.
+    Non-metric in general; the bread-and-butter random family.
+``euclidean``
+    Facilities and clients are points in the unit square; connection cost is
+    the Euclidean distance. Metric by construction.
+``clustered``
+    Euclidean with clients grouped around cluster centers and facilities
+    near centers — the classic "warehouses near towns" shape where good
+    algorithms open roughly one facility per cluster.
+``grid``
+    Facilities on a regular grid, clients uniform, Manhattan distances.
+    Metric.
+``set_cover``
+    Encodes a random set-cover instance: element-clients, set-facilities,
+    zero connection cost inside a set, no edge otherwise. This is the
+    hardness core of non-metric facility location.
+``high_spread``
+    Uniform family rescaled so the cost spread ``rho`` hits a target value;
+    used by the rho-sensitivity experiment (E7).
+``greedy_trap``
+    The classical lower-bound instance for the greedy algorithm: one cheap
+    facility covering everyone vs. a harmonic cascade of tempting
+    facilities. Exercises worst-case behaviour of baselines.
+``decoy``
+    Hard instance for coarse threshold ladders: one good facility among
+    uniformly bad decoys. With ``k = 1`` the single threshold admits every
+    decoy and randomized acceptance hands them most clients; a finer
+    ladder isolates the good facility. Used by ablation E12.
+``sparse``
+    Random bipartite graph with bounded client degree; the communication
+    network is genuinely sparse, which matters for message accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.exceptions import InvalidInstanceError
+from repro.fl.instance import FacilityLocationInstance
+
+__all__ = [
+    "uniform_instance",
+    "euclidean_instance",
+    "clustered_instance",
+    "grid_instance",
+    "set_cover_instance",
+    "high_spread_instance",
+    "greedy_trap_instance",
+    "decoy_instance",
+    "sparse_instance",
+    "FAMILIES",
+    "make_instance",
+]
+
+
+def uniform_instance(
+    num_facilities: int,
+    num_clients: int,
+    seed: int,
+    opening_scale: float = 3.0,
+    connection_scale: float = 1.0,
+) -> FacilityLocationInstance:
+    """Complete bipartite instance with i.i.d. uniform costs.
+
+    Connection costs are ``U(0.1, 1) * connection_scale`` (bounded away from
+    zero so ``rho`` stays moderate); opening costs are
+    ``U(0.5, 1.5) * opening_scale``.
+    """
+    rng = np.random.default_rng(seed)
+    f = rng.uniform(0.5, 1.5, size=num_facilities) * opening_scale
+    c = rng.uniform(0.1, 1.0, size=(num_facilities, num_clients)) * connection_scale
+    return FacilityLocationInstance(
+        f, c, name=f"uniform(m={num_facilities},n={num_clients},seed={seed})"
+    )
+
+
+def euclidean_instance(
+    num_facilities: int,
+    num_clients: int,
+    seed: int,
+    opening_scale: float = 0.5,
+) -> FacilityLocationInstance:
+    """Metric instance: uniform points in the unit square, L2 distances.
+
+    Opening costs are ``U(0.5, 1.5) * opening_scale``, calibrated so a good
+    solution opens a handful of facilities rather than one or all.
+    """
+    rng = np.random.default_rng(seed)
+    fpos = rng.uniform(0.0, 1.0, size=(num_facilities, 2))
+    cpos = rng.uniform(0.0, 1.0, size=(num_clients, 2))
+    diff = fpos[:, None, :] - cpos[None, :, :]
+    c = np.sqrt((diff**2).sum(axis=2))
+    f = rng.uniform(0.5, 1.5, size=num_facilities) * opening_scale
+    return FacilityLocationInstance(
+        f, c, name=f"euclidean(m={num_facilities},n={num_clients},seed={seed})"
+    )
+
+
+def clustered_instance(
+    num_facilities: int,
+    num_clients: int,
+    seed: int,
+    num_clusters: int = 4,
+    cluster_std: float = 0.05,
+    opening_scale: float = 0.4,
+) -> FacilityLocationInstance:
+    """Metric instance with clients clustered around random centers.
+
+    A fraction of facilities is placed near centers (good candidates); the
+    rest is uniform (decoys). The natural optimum opens approximately one
+    facility per cluster, which makes approximation gaps visible.
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.15, 0.85, size=(num_clusters, 2))
+    labels = rng.integers(0, num_clusters, size=num_clients)
+    cpos = centers[labels] + rng.normal(0.0, cluster_std, size=(num_clients, 2))
+    near = max(1, num_facilities // 2)
+    flabels = rng.integers(0, num_clusters, size=near)
+    fpos_near = centers[flabels] + rng.normal(0.0, cluster_std, size=(near, 2))
+    fpos_far = rng.uniform(0.0, 1.0, size=(num_facilities - near, 2))
+    fpos = np.vstack([fpos_near, fpos_far])
+    diff = fpos[:, None, :] - cpos[None, :, :]
+    c = np.sqrt((diff**2).sum(axis=2))
+    f = rng.uniform(0.5, 1.5, size=num_facilities) * opening_scale
+    return FacilityLocationInstance(
+        f,
+        c,
+        name=(
+            f"clustered(m={num_facilities},n={num_clients},"
+            f"k={num_clusters},seed={seed})"
+        ),
+    )
+
+
+def grid_instance(
+    num_facilities: int,
+    num_clients: int,
+    seed: int,
+    opening_scale: float = 0.6,
+) -> FacilityLocationInstance:
+    """Metric instance: facilities on a grid, clients uniform, L1 distance."""
+    rng = np.random.default_rng(seed)
+    side = max(1, int(math.isqrt(num_facilities)))
+    xs = np.linspace(0.1, 0.9, side)
+    grid = np.array([(x, y) for x in xs for y in xs])
+    if grid.shape[0] < num_facilities:
+        extra = rng.uniform(0.0, 1.0, size=(num_facilities - grid.shape[0], 2))
+        grid = np.vstack([grid, extra])
+    fpos = grid[:num_facilities]
+    cpos = rng.uniform(0.0, 1.0, size=(num_clients, 2))
+    diff = np.abs(fpos[:, None, :] - cpos[None, :, :])
+    c = diff.sum(axis=2)
+    f = rng.uniform(0.5, 1.5, size=num_facilities) * opening_scale
+    return FacilityLocationInstance(
+        f, c, name=f"grid(m={num_facilities},n={num_clients},seed={seed})"
+    )
+
+
+def set_cover_instance(
+    num_facilities: int,
+    num_clients: int,
+    seed: int,
+    set_density: float = 0.3,
+    opening_scale: float = 1.0,
+) -> FacilityLocationInstance:
+    """Non-metric coverage instance encoding random set cover.
+
+    Facility ``i`` "contains" each client independently with probability
+    ``set_density``; contained clients connect at cost 0, others have no
+    edge. Opening costs are uniform. Every client is guaranteed at least one
+    containing facility (a random one is added when the coin flips miss).
+    Minimizing cost is then exactly weighted set cover — the regime where
+    the ``log(m+n)`` factor of the paper's bound is unavoidable.
+    """
+    rng = np.random.default_rng(seed)
+    member = rng.random((num_facilities, num_clients)) < set_density
+    for j in range(num_clients):
+        if not member[:, j].any():
+            member[rng.integers(0, num_facilities), j] = True
+    c = np.where(member, 0.0, np.inf)
+    f = rng.uniform(0.5, 1.5, size=num_facilities) * opening_scale
+    return FacilityLocationInstance(
+        f,
+        c,
+        name=(
+            f"set_cover(m={num_facilities},n={num_clients},"
+            f"p={set_density},seed={seed})"
+        ),
+    )
+
+
+def high_spread_instance(
+    num_facilities: int,
+    num_clients: int,
+    seed: int,
+    target_rho: float = 100.0,
+) -> FacilityLocationInstance:
+    """Uniform-style instance whose cost spread is forced to ``target_rho``.
+
+    Costs are drawn log-uniformly over ``[1, target_rho]`` so the spread
+    coefficient ``rho`` lands close to the target; used by experiment E7 to
+    probe how the ``(m rho)^(1/sqrt k)`` term behaves.
+    """
+    if target_rho < 1:
+        raise InvalidInstanceError(f"target_rho must be >= 1, got {target_rho}")
+    rng = np.random.default_rng(seed)
+    span = math.log(max(target_rho, 1.0 + 1e-12))
+    c = np.exp(rng.uniform(0.0, span, size=(num_facilities, num_clients)))
+    f = np.exp(rng.uniform(0.0, span, size=num_facilities))
+    # Pin the extremes so rho is exactly the target (up to float rounding).
+    c.flat[0] = 1.0
+    f[0] = float(target_rho)
+    return FacilityLocationInstance(
+        f,
+        c,
+        name=(
+            f"high_spread(m={num_facilities},n={num_clients},"
+            f"rho={target_rho:g},seed={seed})"
+        ),
+    )
+
+
+def greedy_trap_instance(
+    num_clients: int,
+    seed: int = 0,
+    epsilon: float = 0.01,
+) -> FacilityLocationInstance:
+    """The classical harmonic lower-bound instance for greedy set cover.
+
+    One "global" facility covers every client at cost 0 with opening cost
+    ``1 + epsilon``. Additionally, ``n`` singleton facilities cover client
+    ``j`` alone with opening cost ``1 / (n - j)``. Greedy is lured into
+    opening the singletons one by one (total ~ ``H_n``) while the optimum
+    costs ``1 + epsilon``. ``seed`` is accepted for interface uniformity but
+    unused: the instance is deterministic.
+    """
+    n = num_clients
+    m = n + 1
+    c = np.full((m, n), np.inf)
+    c[0, :] = 0.0  # the global facility
+    for j in range(n):
+        c[j + 1, j] = 0.0
+    f = np.empty(m)
+    f[0] = 1.0 + epsilon
+    for j in range(n):
+        f[j + 1] = 1.0 / (n - j)
+    return FacilityLocationInstance(
+        f, c, name=f"greedy_trap(n={num_clients},eps={epsilon:g})"
+    )
+
+
+def decoy_instance(
+    num_facilities: int,
+    num_clients: int,
+    seed: int,
+    gap: float = 100.0,
+) -> FacilityLocationInstance:
+    """Hard instance for coarse threshold ladders (ablation E12).
+
+    One *good* facility serves every client at cost ``1``; all other
+    facilities are *decoys* serving every client at cost ``gap``. All
+    opening costs are equal and small. With a fine efficiency ladder the
+    good facility qualifies strictly before the decoys and wins everything;
+    with a single scale (``k = 1``, threshold = ``eff_max``), decoys
+    qualify simultaneously and randomized symmetry breaking hands them most
+    clients — costing ``Theta(gap)`` times more. The measured ratio gap
+    between ``k = 1`` and moderate ``k`` is the point of the instance.
+
+    ``seed`` only perturbs costs by a tiny jitter (to avoid degenerate
+    ties); the structure is deterministic.
+    """
+    if gap <= 1:
+        raise InvalidInstanceError(f"gap must exceed 1, got {gap}")
+    rng = np.random.default_rng(seed)
+    c = np.full((num_facilities, num_clients), float(gap))
+    c[0, :] = 1.0
+    c += rng.uniform(0.0, 1e-6, size=c.shape)
+    f = np.full(num_facilities, 0.1)
+    return FacilityLocationInstance(
+        f,
+        c,
+        name=f"decoy(m={num_facilities},n={num_clients},gap={gap:g},seed={seed})",
+    )
+
+
+def sparse_instance(
+    num_facilities: int,
+    num_clients: int,
+    seed: int,
+    client_degree: int = 3,
+    opening_scale: float = 2.0,
+) -> FacilityLocationInstance:
+    """Sparse bipartite instance with bounded client degree.
+
+    Each client connects to ``client_degree`` distinct random facilities
+    with uniform costs. The resulting communication graph is sparse, which
+    makes the message-count accounting of the simulator meaningful.
+    """
+    degree = min(client_degree, num_facilities)
+    rng = np.random.default_rng(seed)
+    c = np.full((num_facilities, num_clients), np.inf)
+    for j in range(num_clients):
+        neighbors = rng.choice(num_facilities, size=degree, replace=False)
+        c[neighbors, j] = rng.uniform(0.1, 1.0, size=degree)
+    f = rng.uniform(0.5, 1.5, size=num_facilities) * opening_scale
+    return FacilityLocationInstance(
+        f,
+        c,
+        name=(
+            f"sparse(m={num_facilities},n={num_clients},"
+            f"d={degree},seed={seed})"
+        ),
+    )
+
+
+#: Registry used by the experiment harness: family name -> generator taking
+#: ``(num_facilities, num_clients, seed)``.
+FAMILIES: Mapping[str, Callable[[int, int, int], FacilityLocationInstance]] = {
+    "uniform": uniform_instance,
+    "euclidean": euclidean_instance,
+    "clustered": clustered_instance,
+    "grid": grid_instance,
+    "set_cover": set_cover_instance,
+    "sparse": sparse_instance,
+}
+
+
+def make_instance(
+    family: str, num_facilities: int, num_clients: int, seed: int
+) -> FacilityLocationInstance:
+    """Dispatch to a registered generator family by name.
+
+    Raises ``KeyError`` with the list of known families on a bad name, which
+    keeps experiment configuration errors loud and early.
+    """
+    try:
+        generator = FAMILIES[family]
+    except KeyError:
+        raise KeyError(
+            f"unknown family {family!r}; known families: {sorted(FAMILIES)}"
+        ) from None
+    return generator(num_facilities, num_clients, seed)

@@ -1,0 +1,177 @@
+"""Serialization of instances and solutions.
+
+Two formats are supported:
+
+* **JSON** — lossless round-trip of instances and solutions, used for
+  archiving experiment inputs alongside results;
+* **ORLIB-style text** — the simple whitespace format of the classical
+  OR-Library ``cap`` uncapacitated-facility-location files
+  (``m n`` header, then per-facility lines of ``capacity opening_cost``,
+  then per-client blocks of ``demand`` followed by ``m`` connection costs).
+  Capacities and demands are ignored on read and written as 0/1, since this
+  library models the uncapacitated problem.
+
+Missing edges (``inf`` connection costs) are encoded in JSON as the string
+``"inf"`` (JSON has no infinity literal) and are not representable in the
+ORLIB format, which is defined only for complete bipartite instances.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import InvalidInstanceError
+from repro.fl.instance import FacilityLocationInstance
+from repro.fl.solution import FacilityLocationSolution
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance_json",
+    "load_instance_json",
+    "solution_to_dict",
+    "solution_from_dict",
+    "instance_to_orlib",
+    "instance_from_orlib",
+]
+
+
+def _encode_cost(value: float) -> Any:
+    return "inf" if math.isinf(value) else value
+
+
+def _decode_cost(value: Any) -> float:
+    if value == "inf":
+        return math.inf
+    return float(value)
+
+
+def instance_to_dict(instance: FacilityLocationInstance) -> dict[str, Any]:
+    """JSON-safe dictionary representation of an instance."""
+    return {
+        "format": "repro.fl.instance/v1",
+        "name": instance.name,
+        "opening_costs": instance.opening_costs.tolist(),
+        "connection_costs": [
+            [_encode_cost(float(v)) for v in row]
+            for row in instance.connection_costs
+        ],
+    }
+
+
+def instance_from_dict(data: dict[str, Any]) -> FacilityLocationInstance:
+    """Inverse of :func:`instance_to_dict`."""
+    if data.get("format") != "repro.fl.instance/v1":
+        raise InvalidInstanceError(
+            f"unsupported instance format {data.get('format')!r}"
+        )
+    connection = np.array(
+        [[_decode_cost(v) for v in row] for row in data["connection_costs"]],
+        dtype=float,
+    )
+    return FacilityLocationInstance(
+        data["opening_costs"], connection, name=data.get("name", "unnamed")
+    )
+
+
+def save_instance_json(instance: FacilityLocationInstance, path: str | Path) -> None:
+    """Write an instance to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(instance_to_dict(instance)))
+
+
+def load_instance_json(path: str | Path) -> FacilityLocationInstance:
+    """Read an instance previously written by :func:`save_instance_json`."""
+    return instance_from_dict(json.loads(Path(path).read_text()))
+
+
+def solution_to_dict(solution: FacilityLocationSolution) -> dict[str, Any]:
+    """JSON-safe dictionary representation of a solution.
+
+    The instance itself is not embedded; pair the dictionary with the
+    instance's own serialization when archiving.
+    """
+    return {
+        "format": "repro.fl.solution/v1",
+        "open_facilities": sorted(solution.open_facilities),
+        "assignment": {str(j): i for j, i in sorted(solution.assignment.items())},
+        "cost": solution.cost,
+    }
+
+
+def solution_from_dict(
+    data: dict[str, Any], instance: FacilityLocationInstance
+) -> FacilityLocationSolution:
+    """Inverse of :func:`solution_to_dict` against a given instance."""
+    if data.get("format") != "repro.fl.solution/v1":
+        raise InvalidInstanceError(
+            f"unsupported solution format {data.get('format')!r}"
+        )
+    assignment = {int(j): int(i) for j, i in data["assignment"].items()}
+    return FacilityLocationSolution(
+        instance, data["open_facilities"], assignment, validate=True
+    )
+
+
+def instance_to_orlib(instance: FacilityLocationInstance) -> str:
+    """Render a complete-bipartite instance in OR-Library ``cap`` text form.
+
+    Raises :class:`InvalidInstanceError` for instances with missing edges,
+    which the format cannot express.
+    """
+    if not instance.is_complete_bipartite():
+        raise InvalidInstanceError(
+            "ORLIB format requires a complete bipartite instance"
+        )
+    m, n = instance.num_facilities, instance.num_clients
+    lines = [f"{m} {n}"]
+    for i in range(m):
+        lines.append(f"0 {instance.opening_cost(i):.10g}")
+    for j in range(n):
+        lines.append("1")
+        costs = " ".join(
+            f"{instance.connection_cost(i, j):.10g}" for i in range(m)
+        )
+        lines.append(costs)
+    return "\n".join(lines) + "\n"
+
+
+def instance_from_orlib(text: str, name: str = "orlib") -> FacilityLocationInstance:
+    """Parse OR-Library ``cap``-style text into an instance.
+
+    Tolerates arbitrary whitespace layout (the official files wrap lines at
+    varying widths), ignores capacities and demands.
+    """
+    tokens = text.split()
+    if len(tokens) < 2:
+        raise InvalidInstanceError("ORLIB text too short to contain a header")
+    pos = 0
+
+    def take() -> str:
+        nonlocal pos
+        if pos >= len(tokens):
+            raise InvalidInstanceError("unexpected end of ORLIB text")
+        token = tokens[pos]
+        pos += 1
+        return token
+
+    m = int(take())
+    n = int(take())
+    opening = np.empty(m)
+    for i in range(m):
+        take()  # capacity, ignored
+        opening[i] = float(take())
+    connection = np.empty((m, n))
+    for j in range(n):
+        take()  # demand, ignored
+        for i in range(m):
+            connection[i, j] = float(take())
+    if pos != len(tokens):
+        raise InvalidInstanceError(
+            f"trailing tokens in ORLIB text ({len(tokens) - pos} unread)"
+        )
+    return FacilityLocationInstance(opening, connection, name=name)

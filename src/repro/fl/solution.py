@@ -1,0 +1,237 @@
+"""Facility-location solutions: open sets, assignments, costs, feasibility.
+
+A solution pairs an instance with a set of open facilities and a mapping
+from every client to the open facility serving it. Solutions are immutable
+value objects; algorithms build them through
+:meth:`FacilityLocationSolution.from_assignment` or the convenience
+constructor :meth:`FacilityLocationSolution.from_open_set`, which assigns
+every client to its cheapest open neighbor (always optimal for a fixed open
+set in the uncapacitated problem).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.exceptions import InfeasibleSolutionError
+from repro.fl.instance import FacilityLocationInstance
+
+__all__ = ["FacilityLocationSolution"]
+
+
+class FacilityLocationSolution:
+    """An immutable feasible-or-checked solution to an instance.
+
+    Parameters
+    ----------
+    instance:
+        The instance the solution refers to.
+    open_facilities:
+        Iterable of facility indices that are open.
+    assignment:
+        Mapping ``client -> facility``. Must cover every client; each
+        assigned facility must be open and adjacent to the client.
+    validate:
+        When true (default), feasibility is verified on construction and
+        :class:`~repro.exceptions.InfeasibleSolutionError` is raised on any
+        violation. Algorithms that guarantee feasibility by construction may
+        pass ``validate=False`` for speed; tests always validate.
+    """
+
+    def __init__(
+        self,
+        instance: FacilityLocationInstance,
+        open_facilities,
+        assignment: Mapping[int, int],
+        validate: bool = True,
+    ) -> None:
+        self._instance = instance
+        self._open = frozenset(int(i) for i in open_facilities)
+        self._assignment = {int(j): int(i) for j, i in assignment.items()}
+        if validate:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_open_set(
+        cls,
+        instance: FacilityLocationInstance,
+        open_facilities,
+        validate: bool = True,
+    ) -> "FacilityLocationSolution":
+        """Build a solution from an open set by cheapest-neighbor assignment.
+
+        Every client is assigned to the cheapest *open* facility it has an
+        edge to. Raises :class:`InfeasibleSolutionError` when some client has
+        no open neighbor.
+        """
+        open_set = sorted({int(i) for i in open_facilities})
+        if not open_set:
+            raise InfeasibleSolutionError("cannot build a solution with no open facility")
+        costs = instance.connection_costs[open_set, :]
+        best_row = np.argmin(costs, axis=0)
+        assignment: dict[int, int] = {}
+        for j in range(instance.num_clients):
+            i = open_set[int(best_row[j])]
+            if not np.isfinite(costs[int(best_row[j]), j]):
+                raise InfeasibleSolutionError(
+                    f"client {j} has no edge to any open facility"
+                )
+            assignment[j] = i
+        return cls(instance, open_set, assignment, validate=validate)
+
+    @classmethod
+    def from_assignment(
+        cls,
+        instance: FacilityLocationInstance,
+        assignment: Mapping[int, int],
+        validate: bool = True,
+    ) -> "FacilityLocationSolution":
+        """Build a solution from an assignment, opening exactly the used set."""
+        used = set(assignment.values())
+        return cls(instance, used, assignment, validate=validate)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def instance(self) -> FacilityLocationInstance:
+        """The instance this solution belongs to."""
+        return self._instance
+
+    @property
+    def open_facilities(self) -> frozenset[int]:
+        """The set of open facility indices."""
+        return self._open
+
+    @property
+    def assignment(self) -> dict[int, int]:
+        """A copy of the ``client -> facility`` assignment map."""
+        return dict(self._assignment)
+
+    def facility_of(self, client: int) -> int:
+        """The facility serving ``client``."""
+        return self._assignment[client]
+
+    def clients_of(self, facility: int) -> tuple[int, ...]:
+        """Clients served by ``facility`` (possibly empty), sorted."""
+        return tuple(
+            sorted(j for j, i in self._assignment.items() if i == facility)
+        )
+
+    @property
+    def num_open(self) -> int:
+        """Number of open facilities."""
+        return len(self._open)
+
+    # ------------------------------------------------------------------
+    # Costs
+    # ------------------------------------------------------------------
+
+    @property
+    def opening_cost(self) -> float:
+        """Total opening cost of the open facilities."""
+        return float(sum(self._instance.opening_cost(i) for i in self._open))
+
+    @property
+    def connection_cost(self) -> float:
+        """Total connection cost of the assignment."""
+        return float(
+            sum(
+                self._instance.connection_cost(i, j)
+                for j, i in self._assignment.items()
+            )
+        )
+
+    @property
+    def cost(self) -> float:
+        """Total solution cost (opening + connection)."""
+        return self.opening_cost + self.connection_cost
+
+    # ------------------------------------------------------------------
+    # Feasibility
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`InfeasibleSolutionError` unless the solution is feasible.
+
+        Checks, in order: every open index is a real facility; every client
+        is assigned; every assignment targets an open facility along an
+        existing edge.
+        """
+        inst = self._instance
+        for i in self._open:
+            if not 0 <= i < inst.num_facilities:
+                raise InfeasibleSolutionError(f"open facility index {i} out of range")
+        missing = [
+            j for j in range(inst.num_clients) if j not in self._assignment
+        ]
+        if missing:
+            raise InfeasibleSolutionError(
+                f"clients {missing[:5]} are unassigned ({len(missing)} total)"
+            )
+        for j, i in self._assignment.items():
+            if not 0 <= j < inst.num_clients:
+                raise InfeasibleSolutionError(f"assigned client index {j} out of range")
+            if i not in self._open:
+                raise InfeasibleSolutionError(
+                    f"client {j} assigned to closed facility {i}"
+                )
+            if not inst.has_edge(i, j):
+                raise InfeasibleSolutionError(
+                    f"client {j} assigned to facility {i} with no connecting edge"
+                )
+
+    def is_feasible(self) -> bool:
+        """True when :meth:`validate` passes."""
+        try:
+            self.validate()
+        except InfeasibleSolutionError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Improvement helpers
+    # ------------------------------------------------------------------
+
+    def reassigned_to_cheapest(self) -> "FacilityLocationSolution":
+        """Same open set, with every client moved to its cheapest open neighbor.
+
+        Never increases cost; used as a cheap polish step by several
+        algorithms and benchmarks.
+        """
+        return FacilityLocationSolution.from_open_set(
+            self._instance, self._open, validate=False
+        )
+
+    def without_unused_facilities(self) -> "FacilityLocationSolution":
+        """Close facilities that serve no client (never increases cost)."""
+        used = set(self._assignment.values())
+        return FacilityLocationSolution(
+            self._instance, used, self._assignment, validate=False
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FacilityLocationSolution):
+            return NotImplemented
+        return (
+            self._instance == other._instance
+            and self._open == other._open
+            and self._assignment == other._assignment
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FacilityLocationSolution(open={len(self._open)}, "
+            f"cost={self.cost:.6g}, instance={self._instance.name!r})"
+        )

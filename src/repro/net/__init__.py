@@ -1,0 +1,32 @@
+"""Synchronous message-passing simulator (CONGEST-style).
+
+This subpackage is the distributed substrate of the reproduction. It models
+the PODC communication setting the paper is stated in:
+
+* time proceeds in synchronous *rounds*;
+* in each round every node may send one message to each neighbor;
+* messages are accounted in *bits* so the CONGEST ``O(log N)``-bits-per-
+  message claim can be measured (and optionally enforced);
+* nodes are deterministic given their seeds — every run is reproducible.
+
+The main entry points are :class:`~repro.net.simulator.Simulator`,
+:class:`~repro.net.node.Node` and
+:class:`~repro.net.topology.Topology`.
+"""
+
+from repro.net.message import Message
+from repro.net.metrics import NetworkMetrics
+from repro.net.node import Node, RoundContext
+from repro.net.simulator import Simulator
+from repro.net.topology import Topology
+from repro.net.faults import FaultPlan
+
+__all__ = [
+    "Message",
+    "NetworkMetrics",
+    "Node",
+    "RoundContext",
+    "Simulator",
+    "Topology",
+    "FaultPlan",
+]

@@ -1,0 +1,73 @@
+"""Fault injection for robustness experiments (extension E11).
+
+The PODC 2005 model assumes reliable synchronous links; fault injection is
+an *extension* this repository adds so the deterministic-fallback step of
+the algorithm can be exercised under adversity. Two fault classes are
+modeled:
+
+* **message drops** — each message is lost independently with probability
+  ``drop_probability``;
+* **node crashes** — a node listed in ``crash_rounds`` stops executing at
+  the beginning of the given round and never sends again.
+
+Fault decisions use their own random stream derived from the plan's seed,
+so enabling faults does not perturb any node's coin flips — a faulty run
+and a fault-free run of the same protocol are coin-for-coin comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.exceptions import SimulationError
+from repro.net.message import Message
+from repro.net.rng import derive_rng
+
+__all__ = ["FaultPlan"]
+
+
+@dataclass
+class FaultPlan:
+    """Configuration of injected faults for one simulation run.
+
+    Parameters
+    ----------
+    drop_probability:
+        Independent loss probability applied to every message.
+    crash_rounds:
+        Mapping ``node_id -> round`` after whose beginning the node is dead.
+    seed:
+        Seed of the fault injector's private random stream.
+    """
+
+    drop_probability: float = 0.0
+    crash_rounds: Mapping[int, int] = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise SimulationError(
+                f"drop_probability must lie in [0, 1], got {self.drop_probability}"
+            )
+        for node, rnd in self.crash_rounds.items():
+            if rnd < 1:
+                raise SimulationError(
+                    f"crash round for node {node} must be >= 1, got {rnd}"
+                )
+        self._rng = derive_rng(self.seed, 0xFA)
+
+    def should_drop(self, message: Message) -> bool:
+        """Decide (reproducibly) whether this message is lost."""
+        if self.drop_probability <= 0.0:
+            return False
+        return bool(self._rng.random() < self.drop_probability)
+
+    def crashes_at(self, node_id: int, round_number: int) -> bool:
+        """Whether ``node_id`` crashes at the start of ``round_number``."""
+        return self.crash_rounds.get(node_id) == round_number
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the plan injects nothing."""
+        return self.drop_probability <= 0.0 and not self.crash_rounds

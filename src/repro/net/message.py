@@ -1,0 +1,102 @@
+"""Messages and their bit-size accounting.
+
+The CONGEST model allows ``O(log N)`` bits per message. To make that claim
+*measurable*, every message computes the number of bits a straightforward
+binary encoding of its payload would take:
+
+* ``bool`` — 1 bit;
+* ``int`` — ``1 + ceil(log2(|v| + 1))`` bits (sign + magnitude), which is
+  ``O(log N)`` for values polynomial in the network size;
+* ``float`` — 64 bits (one machine word; the theory model assumes costs are
+  polynomially-bounded integers, for which a word is ``O(log N)`` bits —
+  see DESIGN.md, fidelity note on cost encoding);
+* ``str`` — 8 bits per character (used only for the message *kind* tag,
+  which is drawn from a constant-size protocol alphabet and therefore
+  contributes ``O(1)`` bits);
+* ``None`` — 1 bit.
+
+Payload values are restricted to these scalar types; containers are
+deliberately rejected so no protocol can smuggle unbounded data through a
+single message unnoticed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.exceptions import SimulationError
+
+__all__ = ["Message", "payload_bits", "scalar_bits"]
+
+_FLOAT_BITS = 64
+_CHAR_BITS = 8
+
+
+def scalar_bits(value: Any) -> int:
+    """Bit cost of one scalar payload value (see module docstring)."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 1 + max(1, math.ceil(math.log2(abs(value) + 1)) if value else 1)
+    if isinstance(value, float):
+        return _FLOAT_BITS
+    if isinstance(value, str):
+        return _CHAR_BITS * max(1, len(value))
+    raise SimulationError(
+        f"unsupported message payload type {type(value).__name__}; "
+        "only None/bool/int/float/str scalars may be sent"
+    )
+
+
+def payload_bits(payload: Mapping[str, Any]) -> int:
+    """Total bit cost of a payload mapping (keys cost nothing: they are the
+    fixed field names of the protocol's message format, not transmitted
+    data)."""
+    return sum(scalar_bits(v) for v in payload.values())
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message in flight.
+
+    Attributes
+    ----------
+    sender / receiver:
+        Node identifiers (integers assigned by the topology).
+    kind:
+        Protocol-level message type tag, e.g. ``"alpha"`` or ``"open"``.
+    payload:
+        Mapping of field name to scalar value.
+    round_sent:
+        The round in which the message was submitted; it is delivered at
+        ``round_sent + 1``.
+    """
+
+    sender: int
+    receiver: int
+    kind: str
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    round_sent: int = 0
+
+    @property
+    def bits(self) -> int:
+        """Encoded size: kind tag plus payload scalars."""
+        return scalar_bits(self.kind) + payload_bits(self.payload)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Convenience accessor into the payload."""
+        return self.payload.get(key, default)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.payload[key]
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={v!r}" for k, v in self.payload.items())
+        return (
+            f"Message({self.sender}->{self.receiver} @r{self.round_sent} "
+            f"{self.kind}[{fields}])"
+        )

@@ -1,0 +1,76 @@
+"""Network-cost accounting: rounds, messages, bits, congestion.
+
+The paper's complexity claims are about exactly two resources — the number
+of synchronous rounds and the number of bits per message. The simulator
+feeds every delivered message through :class:`NetworkMetrics`, so after a
+run the caller can read off:
+
+* ``rounds`` — rounds executed,
+* ``total_messages`` / ``total_bits`` — traffic volume,
+* ``max_message_bits`` — the largest single message (the CONGEST bound),
+* ``max_messages_per_round`` — peak per-round traffic,
+* per-kind message counts — useful for protocol-level regression tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.net.message import Message
+
+__all__ = ["NetworkMetrics"]
+
+
+@dataclass
+class NetworkMetrics:
+    """Mutable accumulator of network costs for one simulation run."""
+
+    rounds: int = 0
+    total_messages: int = 0
+    total_bits: int = 0
+    max_message_bits: int = 0
+    max_messages_per_round: int = 0
+    dropped_messages: int = 0
+    messages_by_kind: Counter = field(default_factory=Counter)
+    _current_round_messages: int = field(default=0, repr=False)
+
+    def start_round(self) -> None:
+        """Mark the beginning of a round."""
+        self.rounds += 1
+        self._current_round_messages = 0
+
+    def record_message(self, message: Message) -> None:
+        """Account one *sent* message (dropped ones are recorded separately)."""
+        bits = message.bits
+        self.total_messages += 1
+        self.total_bits += bits
+        self.max_message_bits = max(self.max_message_bits, bits)
+        self.messages_by_kind[message.kind] += 1
+        self._current_round_messages += 1
+        self.max_messages_per_round = max(
+            self.max_messages_per_round, self._current_round_messages
+        )
+
+    def record_drop(self) -> None:
+        """Account one message dropped by fault injection."""
+        self.dropped_messages += 1
+
+    @property
+    def mean_message_bits(self) -> float:
+        """Average bits per message (0 when no message was sent)."""
+        if self.total_messages == 0:
+            return 0.0
+        return self.total_bits / self.total_messages
+
+    def summary(self) -> dict[str, float]:
+        """Flat dictionary for tables and experiment records."""
+        return {
+            "rounds": self.rounds,
+            "total_messages": self.total_messages,
+            "total_bits": self.total_bits,
+            "max_message_bits": self.max_message_bits,
+            "mean_message_bits": self.mean_message_bits,
+            "max_messages_per_round": self.max_messages_per_round,
+            "dropped_messages": self.dropped_messages,
+        }

@@ -1,0 +1,152 @@
+"""The node protocol: what a distributed algorithm implements.
+
+A protocol is a set of :class:`Node` subclasses. The simulator drives them
+through exactly two hooks:
+
+* :meth:`Node.on_setup` — called once, before round 1. Messages sent here
+  are delivered in round 1.
+* :meth:`Node.on_round` — called every round with the messages delivered to
+  the node this round. Messages sent here are delivered next round.
+
+Nodes communicate *only* through :meth:`RoundContext.send`; the simulator
+rejects sends to non-neighbors, so information can never bypass the network
+topology. A node signals local termination by setting ``self.finished``;
+the simulation ends when every node has finished and no message is in
+flight.
+
+Within a round nodes are invoked in increasing node-id order, but since a
+message sent in round ``r`` is only visible in round ``r + 1``, the
+invocation order cannot leak information — the semantics are those of a
+fully synchronous network.
+"""
+
+from __future__ import annotations
+
+from typing import Any, TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import MessageSizeError, NotANeighborError, SimulationError
+from repro.net.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.net.simulator import Simulator
+
+__all__ = ["Node", "RoundContext"]
+
+
+class Node:
+    """Base class for protocol nodes.
+
+    Attributes populated by the simulator before :meth:`on_setup`:
+
+    ``node_id``
+        This node's identifier in the topology.
+    ``neighbors``
+        Frozenset of neighbor identifiers.
+    ``rng``
+        A private ``numpy.random.Generator``; all of the node's coin flips
+        must come from here so runs are reproducible.
+    ``finished``
+        Set to ``True`` by the node itself when its part of the protocol is
+        complete.
+    ``crashed``
+        Set by the simulator's fault injection; a crashed node is never
+        invoked again and its outgoing messages are discarded.
+    """
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = int(node_id)
+        self.neighbors: frozenset[int] = frozenset()
+        self.rng: np.random.Generator = np.random.default_rng(0)
+        self.finished = False
+        self.crashed = False
+
+    def on_setup(self, ctx: "RoundContext") -> None:
+        """One-time initialization hook (round 0). Override as needed."""
+
+    def on_round(self, ctx: "RoundContext", inbox: list[Message]) -> None:
+        """Per-round hook. Override in protocol implementations."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        state = "finished" if self.finished else "running"
+        return f"{type(self).__name__}(id={self.node_id}, {state})"
+
+
+class RoundContext:
+    """Per-node, per-round capability handle.
+
+    The context is the only channel through which a node can affect the
+    outside world, which is what lets the simulator enforce the model:
+    neighbor-only delivery, per-message bit budgets, and (optionally) the
+    strict CONGEST rule of at most one message per edge per round.
+    """
+
+    def __init__(self, simulator: "Simulator", node: Node, round_number: int) -> None:
+        self._simulator = simulator
+        self._node = node
+        self._round_number = round_number
+        self._sent_to: set[int] = set()
+
+    @property
+    def round_number(self) -> int:
+        """The current round (0 during setup)."""
+        return self._round_number
+
+    @property
+    def node_id(self) -> int:
+        """Identifier of the node this context belongs to."""
+        return self._node.node_id
+
+    def send(self, receiver: int, kind: str, **payload: Any) -> None:
+        """Queue a message for delivery to ``receiver`` next round.
+
+        Raises
+        ------
+        NotANeighborError
+            If ``receiver`` is not adjacent to this node.
+        MessageSizeError
+            If the simulator enforces a bit budget and the message exceeds
+            it.
+        SimulationError
+            If strict CONGEST mode is on and this node already sent to
+            ``receiver`` this round.
+        """
+        if receiver not in self._node.neighbors:
+            raise NotANeighborError(
+                f"node {self._node.node_id} attempted to send to non-neighbor "
+                f"{receiver}"
+            )
+        if self._simulator.enforce_single_message_per_edge:
+            if receiver in self._sent_to:
+                raise SimulationError(
+                    f"node {self._node.node_id} sent two messages to {receiver} "
+                    f"in round {self._round_number} (strict CONGEST mode)"
+                )
+            self._sent_to.add(receiver)
+        message = Message(
+            sender=self._node.node_id,
+            receiver=receiver,
+            kind=kind,
+            payload=payload,
+            round_sent=self._round_number,
+        )
+        budget = self._simulator.max_message_bits
+        if budget is not None and message.bits > budget:
+            raise MessageSizeError(
+                f"message {message!r} is {message.bits} bits, exceeding the "
+                f"{budget}-bit budget"
+            )
+        self._simulator._submit(message)
+
+    def broadcast(self, kind: str, **payload: Any) -> None:
+        """Send the same message to every neighbor."""
+        for receiver in sorted(self._node.neighbors):
+            self.send(receiver, kind, **payload)
+
+    def log(self, event: str, **data: Any) -> None:
+        """Record a structured trace event (no-op when tracing is off)."""
+        self._simulator.trace.record(
+            self._round_number, self._node.node_id, event, data
+        )

@@ -1,0 +1,249 @@
+"""Reusable distributed primitives over the simulator.
+
+Building blocks commonly needed when composing protocols on
+:class:`~repro.net.simulator.Simulator`:
+
+* :class:`BfsTreeNode` — builds a BFS spanning tree from a root (layered
+  flooding; each node learns its parent, children and depth),
+* :class:`ConvergecastNode` — BFS tree + aggregation of per-node values up
+  to the root (sum / min / max), then broadcast of the result back down, so
+  every node learns the global aggregate in `O(diameter)` rounds,
+* :class:`LeaderElectionNode` — minimum-identifier flooding: after
+  `diameter` rounds every node of a component knows the component's leader.
+
+These are textbook `O(diameter)`-round protocols with `O(log N)`-bit
+messages (IDs and one numeric value). The facility-location algorithm does
+not need them in its default known-coefficients mode, but
+:mod:`repro.core.aggregation` is exactly a specialization of the
+convergecast pattern, and users extending the library (e.g. computing a
+global `OPT` estimate, electing a coordinator) get them for free.
+
+All three node classes run for a caller-fixed number of rounds (any upper
+bound on the diameter), mirroring the model assumption that nodes know a
+polynomial bound on `N`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.exceptions import SimulationError
+from repro.net.message import Message
+from repro.net.node import Node, RoundContext
+from repro.net.simulator import Simulator
+from repro.net.topology import Topology
+
+__all__ = [
+    "BfsTreeNode",
+    "ConvergecastNode",
+    "LeaderElectionNode",
+    "build_bfs_tree",
+    "convergecast",
+    "elect_leaders",
+]
+
+_EXPLORE = "bfs"
+_VALUE_UP = "up"
+_RESULT_DOWN = "down"
+_LEADER = "ldr"
+
+
+class BfsTreeNode(Node):
+    """Layered BFS flooding from a designated root.
+
+    After round ``d`` every node at distance ``d`` from the root knows its
+    ``parent`` and ``depth``; parents learn their ``children`` one round
+    later (children confirm adoption). Runs for ``total_rounds`` rounds.
+    """
+
+    def __init__(self, node_id: int, is_root: bool, total_rounds: int) -> None:
+        super().__init__(node_id)
+        self.is_root = bool(is_root)
+        self.total_rounds = int(total_rounds)
+        self.parent: int | None = None
+        self.depth: int | None = 0 if is_root else None
+        self.children: set[int] = set()
+
+    def on_setup(self, ctx: RoundContext) -> None:
+        if self.is_root:
+            ctx.broadcast(_EXPLORE, depth=0)
+
+    def on_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        for msg in inbox:
+            if msg.kind == _EXPLORE and self.depth is None:
+                self.parent = msg.sender
+                self.depth = int(msg["depth"]) + 1
+                ctx.send(self.parent, _EXPLORE + "+")  # adoption confirm
+                ctx.broadcast(_EXPLORE, depth=self.depth)
+            elif msg.kind == _EXPLORE + "+":
+                self.children.add(msg.sender)
+        if ctx.round_number >= self.total_rounds:
+            self.finished = True
+
+
+class ConvergecastNode(BfsTreeNode):
+    """BFS tree + aggregate-up + broadcast-down.
+
+    Every node contributes ``value``; after the run every node in the
+    root's component holds the component aggregate in ``result``. The
+    aggregation operator must be associative and commutative
+    (``"sum" | "min" | "max"``).
+
+    The schedule is time-triggered: nodes aggregate upward once their
+    subtree is guaranteed complete (``total_rounds`` past), which costs
+    ``2 * total_rounds + O(1)`` rounds overall — the textbook convergecast
+    without termination detection, appropriate for the known-``N`` model.
+    """
+
+    _OPS: dict[str, Callable[[float, float], float]] = {
+        "sum": lambda a, b: a + b,
+        "min": min,
+        "max": max,
+    }
+
+    def __init__(
+        self,
+        node_id: int,
+        is_root: bool,
+        total_rounds: int,
+        value: float,
+        op: str = "sum",
+    ) -> None:
+        if op not in self._OPS:
+            raise SimulationError(f"unknown aggregation op {op!r}")
+        super().__init__(node_id, is_root, 3 * total_rounds + 3)
+        self.tree_rounds = int(total_rounds)
+        self.value = float(value)
+        self.op = op
+        self.accumulated = float(value)
+        self.result: float | None = None
+        self._sent_up = False
+
+    def on_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        merge = self._OPS[self.op]
+        for msg in inbox:
+            if msg.kind == _VALUE_UP:
+                self.accumulated = merge(self.accumulated, float(msg["value"]))
+            elif msg.kind == _RESULT_DOWN:
+                if self.result is None:
+                    self.result = float(msg["value"])
+                    for child in sorted(self.children):
+                        ctx.send(child, _RESULT_DOWN, value=self.result)
+        super().on_round(ctx, inbox)
+        # Upward phase: leaves (and inner nodes) report once the tree is
+        # final and all children have reported. Deepest nodes go first by
+        # scheduling on depth: node at depth d sends at round
+        # tree_rounds + (tree_rounds - d) + 1.
+        if (
+            not self._sent_up
+            and self.parent is not None
+            and self.depth is not None
+            and ctx.round_number == self.tree_rounds + (self.tree_rounds - self.depth) + 1
+        ):
+            ctx.send(self.parent, _VALUE_UP, value=self.accumulated)
+            self._sent_up = True
+        # Root publishes once everything must have arrived.
+        if (
+            self.is_root
+            and self.result is None
+            and ctx.round_number == 2 * self.tree_rounds + 2
+        ):
+            self.result = self.accumulated
+            for child in sorted(self.children):
+                ctx.send(child, _RESULT_DOWN, value=self.result)
+
+
+class LeaderElectionNode(Node):
+    """Minimum-identifier flooding leader election.
+
+    After ``total_rounds >= diameter`` rounds, ``leader`` holds the
+    smallest node id of the node's connected component; the unique node
+    with ``leader == node_id`` is the component's leader.
+    """
+
+    def __init__(self, node_id: int, total_rounds: int) -> None:
+        super().__init__(node_id)
+        self.total_rounds = int(total_rounds)
+        self.leader = int(node_id)
+
+    def on_setup(self, ctx: RoundContext) -> None:
+        ctx.broadcast(_LEADER, best=self.leader)
+
+    def on_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        improved = False
+        for msg in inbox:
+            if msg.kind == _LEADER and int(msg["best"]) < self.leader:
+                self.leader = int(msg["best"])
+                improved = True
+        if improved and ctx.round_number < self.total_rounds:
+            ctx.broadcast(_LEADER, best=self.leader)
+        if ctx.round_number >= self.total_rounds:
+            self.finished = True
+
+    @property
+    def is_leader(self) -> bool:
+        """Whether this node won its component's election."""
+        return self.leader == self.node_id
+
+
+# ----------------------------------------------------------------------
+# Convenience runners
+# ----------------------------------------------------------------------
+
+
+def build_bfs_tree(
+    topology: Topology, root: int, rounds: int | None = None, seed: int = 0
+) -> list[BfsTreeNode]:
+    """Run BFS-tree construction; returns the node objects for inspection."""
+    rounds = rounds if rounds is not None else topology.num_nodes
+    nodes = [
+        BfsTreeNode(i, is_root=(i == root), total_rounds=rounds)
+        for i in range(topology.num_nodes)
+    ]
+    Simulator(topology, nodes, seed=seed).run(max_rounds=rounds + 1)
+    return nodes
+
+
+def convergecast(
+    topology: Topology,
+    root: int,
+    values: list[float],
+    op: str = "sum",
+    rounds: int | None = None,
+    seed: int = 0,
+) -> tuple[float, list[ConvergecastNode]]:
+    """Aggregate ``values`` to ``root`` and broadcast the result back.
+
+    Returns ``(aggregate, nodes)``; every node in the root's component has
+    ``node.result == aggregate`` afterwards.
+    """
+    if len(values) != topology.num_nodes:
+        raise SimulationError(
+            f"need one value per node: {len(values)} != {topology.num_nodes}"
+        )
+    rounds = rounds if rounds is not None else topology.num_nodes
+    nodes = [
+        ConvergecastNode(
+            i, is_root=(i == root), total_rounds=rounds, value=values[i], op=op
+        )
+        for i in range(topology.num_nodes)
+    ]
+    Simulator(topology, nodes, seed=seed).run(max_rounds=3 * rounds + 4)
+    result = nodes[root].result
+    if result is None or not math.isfinite(result):
+        raise SimulationError("convergecast did not produce a finite result")
+    return result, nodes
+
+
+def elect_leaders(
+    topology: Topology, rounds: int | None = None, seed: int = 0
+) -> list[int]:
+    """Run leader election; returns each node's elected leader id."""
+    rounds = rounds if rounds is not None else topology.num_nodes
+    nodes = [
+        LeaderElectionNode(i, total_rounds=rounds)
+        for i in range(topology.num_nodes)
+    ]
+    Simulator(topology, nodes, seed=seed).run(max_rounds=rounds + 1)
+    return [node.leader for node in nodes]

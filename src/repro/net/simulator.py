@@ -1,0 +1,220 @@
+"""The synchronous round engine.
+
+:class:`Simulator` owns a topology, one :class:`~repro.net.node.Node` per
+topology node, the metrics accumulator, optional fault injection and
+optional tracing. Its contract:
+
+* **Synchrony.** A message submitted in round ``r`` is delivered at the
+  start of round ``r + 1``. During a round every (alive, unfinished-or-
+  receiving) node is invoked exactly once.
+* **Isolation.** Nodes interact only through messages; the engine validates
+  neighbor-only sends and, optionally, the strict CONGEST discipline of one
+  message per edge per round and a per-message bit budget.
+* **Determinism.** Given the same topology, nodes, seed and fault plan, two
+  runs produce identical traffic and identical final node states.
+* **Termination.** The run ends when every node has ``finished`` and no
+  message is in flight, or when ``max_rounds`` is reached — in which case
+  :class:`~repro.exceptions.RoundLimitExceededError` is raised unless the
+  caller opted into truncated runs with ``allow_truncation=True``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Mapping, Sequence
+
+from repro.exceptions import RoundLimitExceededError, SimulationError
+from repro.net.faults import FaultPlan
+from repro.net.message import Message
+from repro.net.metrics import NetworkMetrics
+from repro.net.node import Node, RoundContext
+from repro.net.rng import spawn_node_rngs
+from repro.net.topology import Topology
+from repro.net.trace import NullTrace, Trace
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Synchronous message-passing simulator.
+
+    Parameters
+    ----------
+    topology:
+        The communication graph.
+    nodes:
+        One node per topology identifier; either a sequence in id order or a
+        mapping ``id -> node``. Node ids must match topology ids exactly.
+    seed:
+        Experiment seed; per-node independent random streams are derived
+        from it.
+    fault_plan:
+        Optional fault injection (message drops / crashes).
+    max_message_bits:
+        When set, any message exceeding this many bits raises
+        :class:`~repro.exceptions.MessageSizeError` at send time. Leave
+        ``None`` to only *measure* sizes via metrics.
+    enforce_single_message_per_edge:
+        Strict CONGEST discipline: a node may send at most one message per
+        neighbor per round.
+    trace:
+        Pass a :class:`~repro.net.trace.Trace` to record protocol events.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        nodes: Sequence[Node] | Mapping[int, Node],
+        seed: int = 0,
+        fault_plan: FaultPlan | None = None,
+        max_message_bits: int | None = None,
+        enforce_single_message_per_edge: bool = False,
+        trace: Trace | None = None,
+    ) -> None:
+        self._topology = topology
+        self._nodes = _normalize_nodes(topology, nodes)
+        self._seed = int(seed)
+        self._fault_plan = fault_plan or FaultPlan()
+        self.max_message_bits = max_message_bits
+        self.enforce_single_message_per_edge = enforce_single_message_per_edge
+        self.trace: Trace = trace if trace is not None else NullTrace()
+        self.metrics = NetworkMetrics()
+        self._round = 0
+        self._pending: list[Message] = []  # sent this round, delivered next
+        self._started = False
+        for node, rng in zip(self._nodes, spawn_node_rngs(seed, len(self._nodes))):
+            node.neighbors = topology.neighbors(node.node_id)
+            node.rng = rng
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def topology(self) -> Topology:
+        """The communication graph."""
+        return self._topology
+
+    @property
+    def nodes(self) -> tuple[Node, ...]:
+        """All nodes, in id order."""
+        return tuple(self._nodes)
+
+    def node(self, node_id: int) -> Node:
+        """The node with the given id."""
+        return self._nodes[node_id]
+
+    @property
+    def current_round(self) -> int:
+        """The last executed round number (0 before the first round)."""
+        return self._round
+
+    @property
+    def all_finished(self) -> bool:
+        """Whether every alive node has declared itself finished."""
+        return all(n.finished or n.crashed for n in self._nodes)
+
+    # ------------------------------------------------------------------
+    # Engine
+    # ------------------------------------------------------------------
+
+    def _submit(self, message: Message) -> None:
+        """Accept a message from a node context (internal API)."""
+        self._pending.append(message)
+
+    def setup(self) -> None:
+        """Run every node's :meth:`~repro.net.node.Node.on_setup` hook.
+
+        Called automatically by :meth:`run`; exposed separately so tests
+        can single-step simulations with :meth:`step`.
+        """
+        if self._started:
+            raise SimulationError("setup() may only run once")
+        self._started = True
+        for node in self._nodes:
+            ctx = RoundContext(self, node, round_number=0)
+            node.on_setup(ctx)
+        for message in self._pending:
+            self.metrics.record_message(message)
+
+    def step(self) -> None:
+        """Execute exactly one synchronous round."""
+        if not self._started:
+            self.setup()
+        self._round += 1
+        self.metrics.start_round()
+        inboxes: dict[int, list[Message]] = defaultdict(list)
+        for message in self._pending:
+            if self._nodes[message.sender].crashed:
+                # A node that crashed before delivery never really sent.
+                self.metrics.record_drop()
+                continue
+            if self._fault_plan.should_drop(message):
+                self.metrics.record_drop()
+                continue
+            inboxes[message.receiver].append(message)
+        self._pending = []
+        for node in self._nodes:
+            if self._fault_plan.crashes_at(node.node_id, self._round):
+                node.crashed = True
+            if node.crashed:
+                continue
+            inbox = inboxes.get(node.node_id, [])
+            inbox.sort(key=lambda msg: (msg.sender, msg.kind))
+            ctx = RoundContext(self, node, round_number=self._round)
+            node.on_round(ctx, inbox)
+        for message in self._pending:
+            self.metrics.record_message(message)
+
+    def run(self, max_rounds: int, allow_truncation: bool = False) -> NetworkMetrics:
+        """Run until global termination or ``max_rounds``.
+
+        Returns the metrics accumulator. Raises
+        :class:`~repro.exceptions.RoundLimitExceededError` if the protocol
+        has not terminated after ``max_rounds`` rounds, unless
+        ``allow_truncation`` is set (used by experiments that deliberately
+        cut protocols short).
+        """
+        if max_rounds < 0:
+            raise SimulationError(f"max_rounds must be >= 0, got {max_rounds}")
+        if not self._started:
+            self.setup()
+        while not (self.all_finished and not self._pending):
+            if self._round >= max_rounds:
+                if allow_truncation:
+                    return self.metrics
+                unfinished = [
+                    n.node_id for n in self._nodes if not (n.finished or n.crashed)
+                ]
+                raise RoundLimitExceededError(
+                    f"protocol did not terminate within {max_rounds} rounds; "
+                    f"{len(unfinished)} nodes still running "
+                    f"(first few: {unfinished[:5]})"
+                )
+            self.step()
+        return self.metrics
+
+
+def _normalize_nodes(
+    topology: Topology, nodes: Sequence[Node] | Mapping[int, Node]
+) -> list[Node]:
+    """Validate and order the node collection against the topology."""
+    if isinstance(nodes, Mapping):
+        ordered = [nodes.get(i) for i in range(topology.num_nodes)]
+        missing = [i for i, n in enumerate(ordered) if n is None]
+        if missing:
+            raise SimulationError(f"missing nodes for ids {missing[:5]}")
+        result = [n for n in ordered if n is not None]
+    else:
+        result = list(nodes)
+    if len(result) != topology.num_nodes:
+        raise SimulationError(
+            f"got {len(result)} nodes for a topology of {topology.num_nodes}"
+        )
+    for expected, node in enumerate(result):
+        if node.node_id != expected:
+            raise SimulationError(
+                f"node at position {expected} has id {node.node_id}; "
+                "node ids must match topology ids"
+            )
+    return result

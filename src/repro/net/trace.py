@@ -1,0 +1,80 @@
+"""Structured event tracing for simulations.
+
+Tracing exists for two audiences: tests, which assert on the *sequence* of
+protocol events rather than only on end states, and humans debugging a
+protocol, who want a readable transcript. It is off by default and costs a
+single attribute check per event when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
+
+__all__ = ["TraceEvent", "Trace", "NullTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded protocol event."""
+
+    round_number: int
+    node_id: int
+    event: str
+    data: Mapping[str, Any]
+
+    def __str__(self) -> str:
+        fields = " ".join(f"{k}={v}" for k, v in self.data.items())
+        return f"[r{self.round_number:>4} n{self.node_id:>4}] {self.event} {fields}"
+
+
+class Trace:
+    """An in-memory, append-only event log."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+
+    @property
+    def enabled(self) -> bool:
+        """Whether events are being recorded."""
+        return True
+
+    def record(
+        self, round_number: int, node_id: int, event: str, data: Mapping[str, Any]
+    ) -> None:
+        """Append one event."""
+        self._events.append(TraceEvent(round_number, node_id, event, dict(data)))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(
+        self, event: str | None = None, node_id: int | None = None
+    ) -> list[TraceEvent]:
+        """Filtered view of the log."""
+        return [
+            e
+            for e in self._events
+            if (event is None or e.event == event)
+            and (node_id is None or e.node_id == node_id)
+        ]
+
+    def render(self) -> str:
+        """Human-readable transcript."""
+        return "\n".join(str(e) for e in self._events)
+
+
+class NullTrace(Trace):
+    """Disabled trace: drops every event. The simulator default."""
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def record(
+        self, round_number: int, node_id: int, event: str, data: Mapping[str, Any]
+    ) -> None:
+        """Discard the event."""

@@ -1,0 +1,77 @@
+"""Shared fixtures: small instances of every family, plus hand-built ones."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fl.generators import (
+    clustered_instance,
+    euclidean_instance,
+    grid_instance,
+    set_cover_instance,
+    sparse_instance,
+    uniform_instance,
+)
+from repro.fl.instance import FacilityLocationInstance
+
+
+@pytest.fixture
+def tiny_instance() -> FacilityLocationInstance:
+    """Hand-built 2-facility / 3-client instance with known optimum.
+
+    Facility 0: f=1, costs (1, 2, 3); facility 1: f=4, costs (2, 1, 1).
+    Optimal: open facility 0 only -> 1 + (1+2+3) = 7.
+    (Opening both: 5 + 1+1+1 = 8; facility 1 only: 4 + 2+1+1 = 8.)
+    """
+    return FacilityLocationInstance(
+        opening_costs=[1.0, 4.0],
+        connection_costs=[[1.0, 2.0, 3.0], [2.0, 1.0, 1.0]],
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def incomplete_instance() -> FacilityLocationInstance:
+    """3 facilities / 4 clients with missing edges (still feasible)."""
+    inf = np.inf
+    return FacilityLocationInstance(
+        opening_costs=[2.0, 1.0, 3.0],
+        connection_costs=[
+            [1.0, inf, 2.0, inf],
+            [inf, 1.0, 1.0, inf],
+            [inf, inf, inf, 0.5],
+        ],
+        name="incomplete",
+    )
+
+
+@pytest.fixture
+def uniform_small() -> FacilityLocationInstance:
+    return uniform_instance(8, 20, seed=7)
+
+
+@pytest.fixture
+def euclidean_small() -> FacilityLocationInstance:
+    return euclidean_instance(8, 20, seed=7)
+
+
+@pytest.fixture
+def set_cover_small() -> FacilityLocationInstance:
+    return set_cover_instance(8, 20, seed=7)
+
+
+@pytest.fixture(
+    params=["uniform", "euclidean", "clustered", "grid", "set_cover", "sparse"]
+)
+def any_family_instance(request) -> FacilityLocationInstance:
+    """One small instance per generator family (parameterized)."""
+    generators = {
+        "uniform": uniform_instance,
+        "euclidean": euclidean_instance,
+        "clustered": clustered_instance,
+        "grid": grid_instance,
+        "set_cover": set_cover_instance,
+        "sparse": sparse_instance,
+    }
+    return generators[request.param](6, 15, seed=11)

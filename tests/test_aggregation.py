@@ -1,0 +1,93 @@
+"""Tests for the distributed coefficient-aggregation preamble."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import (
+    AggregationResult,
+    local_efficiency_bounds,
+    run_efficiency_aggregation,
+)
+from repro.core.parameters import efficiency_range
+from repro.exceptions import AlgorithmError
+from repro.fl.instance import FacilityLocationInstance
+from repro.net.topology import Topology
+
+
+class TestLocalBounds:
+    def test_matches_global_extremes(self, uniform_small):
+        lows, highs = zip(
+            *(
+                local_efficiency_bounds(uniform_small, i)
+                for i in range(uniform_small.num_facilities)
+            )
+        )
+        eff_min, eff_max = efficiency_range(uniform_small)
+        assert min(lows) == pytest.approx(eff_min, rel=1e-9)
+        assert max(highs) == pytest.approx(eff_max, rel=1e-9)
+
+    def test_hand_computed(self, tiny_instance):
+        low, high = local_efficiency_bounds(tiny_instance, 0)
+        assert low == pytest.approx(2.0)
+        assert high == pytest.approx(4.0)  # f=1 + worst cost 3
+
+
+class TestAggregation:
+    def test_all_nodes_learn_global_extremes(self, uniform_small):
+        result = run_efficiency_aggregation(uniform_small)
+        eff_min, eff_max = efficiency_range(uniform_small)
+        for node_id in range(uniform_small.num_nodes):
+            low, high = result.bounds_of(node_id)
+            assert low == pytest.approx(eff_min, rel=1e-9)
+            assert high == pytest.approx(eff_max, rel=1e-9)
+
+    def test_rounds_bounded_by_diameter_plus_one(self, uniform_small):
+        result = run_efficiency_aggregation(uniform_small)
+        diameter = Topology.from_instance(uniform_small).diameter()
+        assert result.rounds <= diameter + 1
+
+    def test_component_local_values_on_disconnected_graph(self):
+        # Two independent markets: facilities {0} + clients {0,1} vs
+        # facility {1} + client {2}. Different efficiency ranges.
+        inf = np.inf
+        instance = FacilityLocationInstance(
+            opening_costs=[1.0, 10.0],
+            connection_costs=[[1.0, 1.0, inf], [inf, inf, 5.0]],
+        )
+        result = run_efficiency_aggregation(instance, rounds=6)
+        # Component A (facility 0): stars 2/1, 3/2 -> eff_min 1.5, max 2.
+        low_a, high_a = result.bounds_of(0)
+        assert low_a == pytest.approx(1.5)
+        assert high_a == pytest.approx(2.0)
+        # Component B (facility 1): single star 15 -> both extremes 15.
+        low_b, high_b = result.bounds_of(1)
+        assert low_b == pytest.approx(15.0)
+        assert high_b == pytest.approx(15.0)
+        # Clients hold their own component's values.
+        assert result.bounds_of(2) == result.bounds_of(0)  # client 0
+        assert result.bounds_of(4) == result.bounds_of(1)  # client 2
+
+    def test_explicit_round_budget_respected(self, euclidean_small):
+        result = run_efficiency_aggregation(euclidean_small, rounds=7)
+        assert result.rounds <= 8
+
+    def test_rejects_bad_round_budget(self, uniform_small):
+        with pytest.raises(AlgorithmError):
+            run_efficiency_aggregation(uniform_small, rounds=0)
+
+    def test_messages_are_small(self, uniform_small):
+        # Two floats + tag: the aggregation also fits CONGEST budgets.
+        from repro.net.simulator import Simulator  # noqa: F401 (doc import)
+
+        result = run_efficiency_aggregation(uniform_small)
+        assert isinstance(result, AggregationResult)
+        assert result.total_messages > 0
+
+    def test_deterministic(self, uniform_small):
+        a = run_efficiency_aggregation(uniform_small)
+        b = run_efficiency_aggregation(uniform_small)
+        assert a == b

@@ -1,0 +1,104 @@
+"""Unit tests for repro.analysis: ratios, aggregation, tables."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.aggregate import Aggregate, aggregate, linear_fit
+from repro.analysis.ratios import ratio_vs_exact, ratio_vs_lp
+from repro.analysis.tables import format_cell, render_table
+from repro.baselines.greedy import greedy_solve
+from repro.fl.solution import FacilityLocationSolution
+
+
+class TestRatios:
+    def test_ratio_vs_lp(self, tiny_instance):
+        solution = FacilityLocationSolution.from_open_set(tiny_instance, {0})
+        report = ratio_vs_lp(solution)
+        assert report.kind == "lp"
+        assert report.ratio >= 1.0 - 1e-9
+        assert report.cost == pytest.approx(7.0)
+
+    def test_ratio_vs_exact(self, tiny_instance):
+        solution = FacilityLocationSolution.from_open_set(tiny_instance, {0, 1})
+        report = ratio_vs_exact(solution)
+        assert report.lower_bound == pytest.approx(7.0)
+        assert report.ratio == pytest.approx(8.0 / 7.0)
+
+    def test_ratio_vs_exact_is_at_least_one(self, uniform_small):
+        report = ratio_vs_exact(greedy_solve(uniform_small))
+        assert report.ratio >= 1.0 - 1e-9
+
+    def test_degenerate_zero_costs(self):
+        from repro.analysis.ratios import RatioReport
+
+        assert RatioReport(cost=0.0, lower_bound=0.0, kind="lp").ratio == 1.0
+
+
+class TestAggregate:
+    def test_basic_statistics(self):
+        agg = aggregate([1.0, 2.0, 3.0])
+        assert agg.count == 3
+        assert agg.mean == pytest.approx(2.0)
+        assert agg.std == pytest.approx(1.0)
+        assert agg.minimum == 1.0
+        assert agg.maximum == 3.0
+
+    def test_single_value(self):
+        agg = aggregate([5.0])
+        assert agg.std == 0.0
+        assert agg.ci95_half_width == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+
+    def test_ci_shrinks_with_count(self):
+        narrow = aggregate([1.0, 2.0] * 50)
+        wide = aggregate([1.0, 2.0])
+        assert narrow.ci95_half_width < wide.ci95_half_width
+
+    def test_format(self):
+        text = aggregate([1.0, 2.0]).format(precision=2)
+        assert "1.50" in text and "±" in text
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        slope, intercept = linear_fit([1, 2, 3, 4], [3, 5, 7, 9])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [2])
+        with pytest.raises(ValueError):
+            linear_fit([1, 1], [2, 3])
+        with pytest.raises(ValueError):
+            linear_fit([1, 2], [1])
+
+
+class TestTables:
+    def test_format_cell(self):
+        assert format_cell(1.23456) == "1.235"
+        assert format_cell(True) == "yes"
+        assert format_cell("abc") == "abc"
+        assert format_cell(float("nan")) == "-"
+        assert "e" in format_cell(1.5e9)
+
+    def test_render_alignment(self):
+        table = render_table(
+            ["name", "value"], [["a", 1.0], ["bb", 20.0]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        # Numeric column right-aligned: the shorter number is padded left.
+        assert lines[3].endswith(" 1.000")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [[1]])

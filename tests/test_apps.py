@@ -1,0 +1,157 @@
+"""Tests for the application layer (set cover, dominating set)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.apps.dominating_set import (
+    dominating_set_to_set_cover,
+    is_dominating_set,
+    solve_dominating_set_distributed,
+    solve_dominating_set_greedy,
+)
+from repro.apps.set_cover import (
+    SetCoverInstance,
+    SetCoverSolution,
+    set_cover_lp_bound,
+    set_cover_to_facility_location,
+    solve_set_cover_distributed,
+    solve_set_cover_greedy,
+)
+from repro.exceptions import InvalidInstanceError
+from repro.net.topology import Topology
+
+
+@pytest.fixture
+def small_cover() -> SetCoverInstance:
+    """4 elements; optimal cover is sets {0, 2} with weight 2.5."""
+    return SetCoverInstance.build(
+        num_elements=4,
+        sets=[{0, 1}, {1, 2}, {2, 3}, {3}],
+        weights=[1.0, 2.0, 1.5, 1.0],
+    )
+
+
+class TestSetCoverInstance:
+    def test_validation_uncovered(self):
+        with pytest.raises(InvalidInstanceError, match="not covered"):
+            SetCoverInstance.build(3, [{0, 1}], [1.0])
+
+    def test_validation_out_of_range(self):
+        with pytest.raises(InvalidInstanceError, match="out-of-range"):
+            SetCoverInstance.build(2, [{0, 5}, {1}], [1.0, 1.0])
+
+    def test_validation_weight_count(self):
+        with pytest.raises(InvalidInstanceError, match="weights"):
+            SetCoverInstance.build(2, [{0}, {1}], [1.0])
+
+    def test_validation_bad_weight(self):
+        with pytest.raises(InvalidInstanceError, match="invalid weight"):
+            SetCoverInstance.build(1, [{0}], [-1.0])
+
+    def test_random_is_valid_and_deterministic(self):
+        a = SetCoverInstance.random(8, 20, seed=5)
+        b = SetCoverInstance.random(8, 20, seed=5)
+        assert a == b
+        assert a.num_sets == 8
+
+
+class TestSolutionValidation:
+    def test_rejects_partial_cover(self, small_cover):
+        with pytest.raises(InvalidInstanceError, match="uncovered"):
+            SetCoverSolution(small_cover, frozenset({0}))
+
+    def test_weight(self, small_cover):
+        solution = SetCoverSolution(small_cover, frozenset({0, 2}))
+        assert solution.weight == pytest.approx(2.5)
+
+
+class TestReduction:
+    def test_shapes_and_costs(self, small_cover):
+        fl = set_cover_to_facility_location(small_cover)
+        assert fl.num_facilities == 4
+        assert fl.num_clients == 4
+        assert fl.opening_cost(1) == 2.0
+        assert fl.connection_cost(0, 1) == 0.0
+        assert not fl.has_edge(0, 3)
+
+    def test_cost_preservation(self, small_cover):
+        # Any FL solution's cost equals its open-set weight (connections
+        # are free), so optima coincide.
+        fl = set_cover_to_facility_location(small_cover)
+        from repro.baselines.exact import exact_solve
+
+        optimum = exact_solve(fl)
+        assert optimum.cost == pytest.approx(2.5)
+
+
+class TestSolvers:
+    def test_greedy_on_small(self, small_cover):
+        solution = solve_set_cover_greedy(small_cover)
+        assert solution.weight <= 3.5  # within H_4 of the 2.5 optimum
+
+    def test_distributed_feasible_and_bounded(self):
+        instance = SetCoverInstance.random(10, 30, seed=7)
+        bound = set_cover_lp_bound(instance)
+        solution, metrics = solve_set_cover_distributed(instance, k=16, seed=0)
+        assert solution.weight >= bound - 1e-9
+        assert solution.weight <= bound * (math.log(30) + 2) * 3
+        assert metrics.rounds > 0
+        assert metrics.max_message_bits <= 96
+
+    def test_distributed_improves_with_k(self):
+        instance = SetCoverInstance.random(12, 40, seed=9)
+        coarse = min(
+            solve_set_cover_distributed(instance, k=1, seed=s)[0].weight
+            for s in range(3)
+        )
+        fine = min(
+            solve_set_cover_distributed(instance, k=25, seed=s)[0].weight
+            for s in range(3)
+        )
+        assert fine <= coarse * 1.5
+
+
+class TestDominatingSet:
+    def test_reduction_closed_neighborhoods(self):
+        graph = Topology.path(4)
+        instance = dominating_set_to_set_cover(graph)
+        assert instance.sets[0] == frozenset({0, 1})
+        assert instance.sets[1] == frozenset({0, 1, 2})
+
+    def test_weight_count_validated(self):
+        with pytest.raises(InvalidInstanceError, match="one weight"):
+            dominating_set_to_set_cover(Topology.path(3), weights=[1.0])
+
+    def test_is_dominating_set(self):
+        graph = Topology.path(5)
+        assert is_dominating_set(graph, frozenset({1, 3}))
+        assert not is_dominating_set(graph, frozenset({0}))
+
+    def test_greedy_on_star(self):
+        # The center dominates the whole star.
+        chosen = solve_dominating_set_greedy(Topology.star(8))
+        assert chosen == frozenset({0})
+
+    def test_distributed_on_ring(self):
+        graph = Topology.ring(12)
+        chosen, metrics = solve_dominating_set_distributed(graph, k=16, seed=0)
+        assert is_dominating_set(graph, chosen)
+        # Optimal size is 4; allow the distributed factor.
+        assert len(chosen) <= 8
+        assert metrics.rounds > 0
+
+    def test_distributed_weighted(self):
+        graph = Topology.star(6)
+        # Make the center expensive: leaves must cover themselves, and the
+        # center is still needed to dominate itself... unless a leaf does.
+        weights = [100.0] + [1.0] * 6
+        chosen, _metrics = solve_dominating_set_distributed(
+            graph, k=9, weights=weights, seed=0
+        )
+        assert is_dominating_set(graph, chosen)
+        total = sum(weights[v] for v in chosen)
+        # Picking all six leaves (weight 6) beats the center (100).
+        assert total <= 10.0

@@ -1,0 +1,74 @@
+"""Unit tests for the Hochbaum greedy baseline."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.greedy import best_star_for_facility, greedy_solve
+from repro.baselines.lp import solve_lp
+from repro.fl.generators import make_instance
+
+
+class TestBestStar:
+    def test_hand_computed(self, tiny_instance):
+        uncovered = np.ones(3, dtype=bool)
+        eff, clients = best_star_for_facility(tiny_instance, 0, uncovered, False)
+        # Facility 0: ratios 2.0 (size 1), 2.0 (size 2), 2.33 (size 3).
+        assert eff == pytest.approx(2.0)
+        assert clients == [0]  # argmin picks the first minimizing prefix
+
+    def test_open_facility_skips_fee(self, tiny_instance):
+        uncovered = np.ones(3, dtype=bool)
+        eff, clients = best_star_for_facility(tiny_instance, 1, uncovered, True)
+        # Without the fee, cheapest single client costs 1.0.
+        assert eff == pytest.approx(1.0)
+        assert clients == [1]
+
+    def test_respects_uncovered_mask(self, tiny_instance):
+        uncovered = np.array([False, False, True])
+        eff, clients = best_star_for_facility(tiny_instance, 0, uncovered, False)
+        assert clients == [2]
+        assert eff == pytest.approx(4.0)
+
+    def test_no_reachable_clients(self, incomplete_instance):
+        uncovered = np.array([False, True, False, False])
+        eff, clients = best_star_for_facility(incomplete_instance, 0, uncovered, False)
+        assert clients == []
+        assert math.isinf(eff)
+
+
+class TestGreedySolve:
+    def test_tiny_optimum(self, tiny_instance):
+        solution = greedy_solve(tiny_instance)
+        solution.validate()
+        # Greedy opens facility 0 (eff 2.0 beats facility 1's 2.67) and
+        # keeps extending it; final cost is the true optimum 7.
+        assert solution.cost == pytest.approx(7.0)
+
+    def test_feasible_on_every_family(self, any_family_instance):
+        greedy_solve(any_family_instance).validate()
+
+    def test_deterministic(self, uniform_small):
+        a = greedy_solve(uniform_small)
+        b = greedy_solve(uniform_small)
+        assert a.open_facilities == b.open_facilities
+        assert a.assignment == b.assignment
+
+    def test_incomplete_instance(self, incomplete_instance):
+        solution = greedy_solve(incomplete_instance)
+        solution.validate()
+        # Facility 2 must open: it is client 3's only neighbor.
+        assert 2 in solution.open_facilities
+
+    @pytest.mark.parametrize(
+        "family", ["uniform", "euclidean", "set_cover", "sparse"]
+    )
+    def test_logarithmic_guarantee_vs_lp(self, family):
+        instance = make_instance(family, 10, 30, seed=9)
+        lp = solve_lp(instance)
+        cost = greedy_solve(instance).cost
+        harmonic = math.log(instance.num_clients) + 1.0
+        assert cost <= harmonic * max(lp.value, 1e-12) + 1e-9

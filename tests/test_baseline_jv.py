@@ -1,0 +1,78 @@
+"""Unit tests for the Jain–Vazirani baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.jain_vazirani import jain_vazirani_solve, jv_dual_ascent
+from repro.baselines.lp import solve_lp
+from repro.fl.generators import euclidean_instance, make_instance
+
+
+class TestDualAscent:
+    def test_alphas_form_feasible_dual(self, euclidean_small):
+        """The JV duals must never exceed the LP optimum in total."""
+        state = jv_dual_ascent(euclidean_small)
+        lp = solve_lp(euclidean_small)
+        assert state.alphas.sum() <= lp.value * (1 + 1e-6) + 1e-9
+
+    def test_every_client_has_a_witness(self, euclidean_small):
+        state = jv_dual_ascent(euclidean_small)
+        assert set(state.witness) == set(range(euclidean_small.num_clients))
+
+    def test_witnesses_are_tight(self, euclidean_small):
+        state = jv_dual_ascent(euclidean_small)
+        for j, i in state.witness.items():
+            assert i in state.tight_facilities
+
+    def test_witness_affordable(self, euclidean_small):
+        state = jv_dual_ascent(euclidean_small)
+        for j, i in state.witness.items():
+            assert euclidean_small.connection_cost(i, j) <= state.alphas[j] + 1e-9
+
+    def test_tight_facilities_fully_paid(self, uniform_small):
+        state = jv_dual_ascent(uniform_small)
+        c = uniform_small.connection_costs
+        for i, _t in state.tight_facilities.items():
+            payment = sum(
+                max(0.0, state.alphas[j] - c[i, j])
+                for j in range(uniform_small.num_clients)
+            )
+            assert payment >= uniform_small.opening_cost(i) * (1 - 1e-6)
+
+    def test_alphas_at_least_cheapest_connection(self, euclidean_small):
+        state = jv_dual_ascent(euclidean_small)
+        cheapest = euclidean_small.min_connection_costs()
+        # A client cannot freeze before its budget covers some connection.
+        assert (state.alphas >= cheapest - 1e-9).all()
+
+
+class TestJVSolve:
+    def test_feasible_on_every_family(self, any_family_instance):
+        jain_vazirani_solve(any_family_instance).validate()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_three_approximation_on_metric(self, seed):
+        """The classical guarantee: JV <= 3 * LP on metric instances."""
+        instance = euclidean_instance(10, 30, seed=seed)
+        lp = solve_lp(instance)
+        cost = jain_vazirani_solve(instance).cost
+        assert cost <= 3.0 * lp.value * (1 + 1e-6) + 1e-9
+
+    def test_deterministic(self, euclidean_small):
+        a = jain_vazirani_solve(euclidean_small)
+        b = jain_vazirani_solve(euclidean_small)
+        assert a.open_facilities == b.open_facilities
+
+    def test_tiny_instance(self, tiny_instance):
+        solution = jain_vazirani_solve(tiny_instance)
+        solution.validate()
+        assert solution.cost <= 3.0 * 7.0  # 3x the known optimum
+
+    def test_set_cover_family(self, set_cover_small):
+        # Non-metric: no factor guarantee, but must stay feasible.
+        jain_vazirani_solve(set_cover_small).validate()
+
+    def test_incomplete_instance(self, incomplete_instance):
+        solution = jain_vazirani_solve(incomplete_instance)
+        solution.validate()

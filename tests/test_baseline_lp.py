@@ -1,0 +1,112 @@
+"""Unit tests for the LP relaxation, LP rounding and the exact solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import MAX_EXACT_FACILITIES, exact_solve
+from repro.baselines.greedy import greedy_solve
+from repro.baselines.lp import solve_lp
+from repro.baselines.lp_rounding import lp_rounding_solve
+from repro.exceptions import AlgorithmError
+from repro.fl.generators import euclidean_instance, make_instance
+from repro.fl.instance import FacilityLocationInstance
+
+
+class TestLP:
+    def test_tiny_value(self, tiny_instance):
+        lp = solve_lp(tiny_instance)
+        # The integral optimum is 7; the relaxation can only be lower.
+        assert lp.value <= 7.0 + 1e-9
+        assert lp.value > 0
+
+    def test_solution_is_feasible_fractional(self, uniform_small):
+        lp = solve_lp(uniform_small)
+        # Coverage: each client's x-mass >= 1.
+        assert (lp.x.sum(axis=0) >= 1 - 1e-6).all()
+        # Capacity: x <= y on every edge.
+        assert (lp.x <= lp.y[:, None] + 1e-6).all()
+        # Bounds.
+        assert (lp.y >= -1e-9).all() and (lp.y <= 1 + 1e-9).all()
+
+    def test_value_matches_objective(self, uniform_small):
+        lp = solve_lp(uniform_small)
+        c = np.where(
+            np.isfinite(uniform_small.connection_costs),
+            uniform_small.connection_costs,
+            0.0,
+        )
+        objective = float(
+            (uniform_small.opening_costs * lp.y).sum() + (c * lp.x).sum()
+        )
+        assert lp.value == pytest.approx(objective, rel=1e-6)
+
+    def test_lower_bounds_exact(self, any_family_instance):
+        lp = solve_lp(any_family_instance)
+        optimum = exact_solve(any_family_instance)
+        assert lp.value <= optimum.cost * (1 + 1e-9) + 1e-9
+
+    def test_respects_missing_edges(self, incomplete_instance):
+        lp = solve_lp(incomplete_instance)
+        missing = ~np.isfinite(incomplete_instance.connection_costs)
+        assert (lp.x[missing] == 0).all()
+
+    def test_fractional_connection_cost(self, tiny_instance):
+        lp = solve_lp(tiny_instance)
+        fractional = lp.fractional_connection_cost(tiny_instance)
+        assert fractional.shape == (3,)
+        assert (fractional >= -1e-9).all()
+
+
+class TestLPRounding:
+    def test_feasible(self, uniform_small):
+        lp_rounding_solve(uniform_small).validate()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_constant_factor_on_metric(self, seed):
+        instance = euclidean_instance(10, 30, seed=seed)
+        lp = solve_lp(instance)
+        cost = lp_rounding_solve(instance, lp=lp).cost
+        # The analysis gives <= 8x with these radii; assert the envelope.
+        assert cost <= 8.0 * lp.value * (1 + 1e-6) + 1e-9
+
+    def test_reuses_precomputed_lp(self, euclidean_small):
+        lp = solve_lp(euclidean_small)
+        a = lp_rounding_solve(euclidean_small, lp=lp)
+        b = lp_rounding_solve(euclidean_small)
+        assert a.open_facilities == b.open_facilities
+
+    def test_rejects_incomplete(self, incomplete_instance):
+        with pytest.raises(AlgorithmError, match="complete bipartite"):
+            lp_rounding_solve(incomplete_instance)
+
+    def test_rejects_bad_radius(self, uniform_small):
+        with pytest.raises(AlgorithmError, match="radius_factor"):
+            lp_rounding_solve(uniform_small, radius_factor=1.0)
+
+
+class TestExact:
+    def test_tiny_optimum(self, tiny_instance):
+        solution = exact_solve(tiny_instance)
+        assert solution.cost == pytest.approx(7.0)
+        assert solution.open_facilities == frozenset({0})
+
+    def test_never_worse_than_greedy(self, any_family_instance):
+        optimum = exact_solve(any_family_instance).cost
+        heuristic = greedy_solve(any_family_instance).cost
+        assert optimum <= heuristic + 1e-9
+
+    def test_cap(self):
+        instance = make_instance("uniform", MAX_EXACT_FACILITIES + 1, 5, seed=0)
+        with pytest.raises(AlgorithmError, match="exceeds the cap"):
+            exact_solve(instance)
+
+    def test_incomplete_instance(self, incomplete_instance):
+        solution = exact_solve(incomplete_instance)
+        solution.validate()
+        assert 2 in solution.open_facilities  # only neighbor of client 3
+
+    def test_single_facility(self):
+        instance = FacilityLocationInstance([2.0], [[1.0, 1.0]])
+        assert exact_solve(instance).cost == pytest.approx(4.0)

@@ -1,0 +1,109 @@
+"""Unit tests for the Mettu–Plaxton and local-search baselines."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.local_search import local_search_solve, open_set_cost
+from repro.baselines.lp import solve_lp
+from repro.baselines.mettu_plaxton import mettu_plaxton_solve, mp_radius
+from repro.exceptions import AlgorithmError
+from repro.fl.generators import euclidean_instance
+from repro.fl.instance import FacilityLocationInstance
+
+
+class TestMpRadius:
+    def test_hand_computed(self):
+        # f=3, costs (1, 2): payment(r) = (r-1) + (r-2) for r >= 2.
+        # Solve 2r - 3 = 3 -> r = 3.
+        instance = FacilityLocationInstance([3.0], [[1.0, 2.0]])
+        assert mp_radius(instance, 0) == pytest.approx(3.0)
+
+    def test_radius_in_first_segment(self):
+        # f=0.5, costs (1, 2): (r-1) = 0.5 -> r = 1.5 < 2.
+        instance = FacilityLocationInstance([0.5], [[1.0, 2.0]])
+        assert mp_radius(instance, 0) == pytest.approx(1.5)
+
+    def test_zero_opening_cost(self):
+        instance = FacilityLocationInstance([0.0], [[1.0, 2.0]])
+        assert mp_radius(instance, 0) == pytest.approx(1.0)
+
+    def test_payment_identity(self, uniform_small):
+        # sum(max(0, r - c)) over clients equals f at the radius.
+        for i in range(uniform_small.num_facilities):
+            r = mp_radius(uniform_small, i)
+            paid = sum(
+                max(0.0, r - uniform_small.connection_cost(i, j))
+                for j in range(uniform_small.num_clients)
+            )
+            assert paid == pytest.approx(uniform_small.opening_cost(i))
+
+
+class TestMettuPlaxton:
+    def test_feasible_on_every_family(self, any_family_instance):
+        mettu_plaxton_solve(any_family_instance).validate()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_three_approximation_on_metric(self, seed):
+        instance = euclidean_instance(10, 30, seed=seed)
+        lp = solve_lp(instance)
+        cost = mettu_plaxton_solve(instance).cost
+        assert cost <= 3.0 * lp.value * (1 + 1e-6) + 1e-9
+
+    def test_deterministic(self, euclidean_small):
+        a = mettu_plaxton_solve(euclidean_small)
+        b = mettu_plaxton_solve(euclidean_small)
+        assert a.open_facilities == b.open_facilities
+
+    def test_tiny_instance(self, tiny_instance):
+        solution = mettu_plaxton_solve(tiny_instance)
+        solution.validate()
+        assert solution.cost <= 3 * 7.0
+
+
+class TestOpenSetCost:
+    def test_matches_solution_cost(self, tiny_instance):
+        assert open_set_cost(tiny_instance, {0}) == pytest.approx(7.0)
+        assert open_set_cost(tiny_instance, {0, 1}) == pytest.approx(8.0)
+
+    def test_empty_set_infeasible(self, tiny_instance):
+        assert math.isinf(open_set_cost(tiny_instance, set()))
+
+    def test_uncovered_client_infeasible(self, incomplete_instance):
+        assert math.isinf(open_set_cost(incomplete_instance, {0}))
+
+
+class TestLocalSearch:
+    def test_feasible_on_every_family(self, any_family_instance):
+        local_search_solve(any_family_instance).validate()
+
+    def test_never_worse_than_greedy_start(self, uniform_small):
+        from repro.baselines.greedy import greedy_solve
+
+        greedy_cost = greedy_solve(uniform_small).cost
+        assert local_search_solve(uniform_small, initial="greedy").cost <= greedy_cost
+
+    def test_local_optimality(self, uniform_small):
+        solution = local_search_solve(uniform_small)
+        open_set = set(solution.open_facilities)
+        best = open_set_cost(uniform_small, open_set)
+        m = uniform_small.num_facilities
+        # No single add/drop improves the final set.
+        for i in range(m):
+            if i in open_set:
+                assert open_set_cost(uniform_small, open_set - {i}) >= best - 1e-9
+            else:
+                assert open_set_cost(uniform_small, open_set | {i}) >= best - 1e-9
+
+    def test_tiny_reaches_optimum(self, tiny_instance):
+        assert local_search_solve(tiny_instance).cost == pytest.approx(7.0)
+
+    def test_all_start(self, uniform_small):
+        solution = local_search_solve(uniform_small, initial="all")
+        solution.validate()
+
+    def test_unknown_start_rejected(self, uniform_small):
+        with pytest.raises(AlgorithmError, match="unknown initial"):
+            local_search_solve(uniform_small, initial="best")

@@ -1,0 +1,123 @@
+"""Tests for the soft-capacitated extension (repro.fl.capacitated)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.lp import solve_lp
+from repro.exceptions import InfeasibleSolutionError, InvalidInstanceError
+from repro.fl.capacitated import (
+    SoftCapacitatedInstance,
+    SoftCapacitatedSolution,
+    solve_capacitated_distributed,
+    solve_capacitated_greedy,
+)
+from repro.fl.generators import uniform_instance
+
+
+@pytest.fixture
+def capacitated(uniform_small) -> SoftCapacitatedInstance:
+    capacities = [2 + (i % 3) for i in range(uniform_small.num_facilities)]
+    return SoftCapacitatedInstance.build(uniform_small, capacities)
+
+
+class TestInstance:
+    def test_validation_count(self, uniform_small):
+        with pytest.raises(InvalidInstanceError, match="capacities"):
+            SoftCapacitatedInstance.build(uniform_small, [2])
+
+    def test_validation_positive(self, uniform_small):
+        caps = [1] * uniform_small.num_facilities
+        caps[0] = 0
+        with pytest.raises(InvalidInstanceError, match="capacity"):
+            SoftCapacitatedInstance.build(uniform_small, caps)
+
+    def test_reduction_costs(self, tiny_instance):
+        instance = SoftCapacitatedInstance.build(tiny_instance, [2, 3])
+        reduced = instance.to_uncapacitated()
+        # c'_00 = 1 + f0/u0 = 1 + 0.5; c'_11 = 1 + 4/3.
+        assert reduced.connection_cost(0, 0) == pytest.approx(1.5)
+        assert reduced.connection_cost(1, 1) == pytest.approx(1 + 4 / 3)
+        assert reduced.opening_cost(0) == tiny_instance.opening_cost(0)
+
+
+class TestSolution:
+    def test_capacity_violation_rejected(self, tiny_instance):
+        instance = SoftCapacitatedInstance.build(tiny_instance, [1, 1])
+        with pytest.raises(InfeasibleSolutionError, match="exceed"):
+            SoftCapacitatedSolution(
+                instance,
+                open_copies={0: 1},
+                assignment={0: 0, 1: 0, 2: 0},  # 3 clients on 1 copy of cap 1
+            )
+
+    def test_unassigned_rejected(self, tiny_instance):
+        instance = SoftCapacitatedInstance.build(tiny_instance, [3, 3])
+        with pytest.raises(InfeasibleSolutionError, match="unassigned"):
+            SoftCapacitatedSolution(
+                instance, open_copies={0: 1}, assignment={0: 0}
+            )
+
+    def test_cost_decomposition(self, tiny_instance):
+        instance = SoftCapacitatedInstance.build(tiny_instance, [2, 2])
+        solution = SoftCapacitatedSolution(
+            instance,
+            open_copies={0: 2},
+            assignment={0: 0, 1: 0, 2: 0},
+        )
+        assert solution.opening_cost == pytest.approx(2.0)  # two copies of f=1
+        assert solution.connection_cost == pytest.approx(6.0)
+        assert solution.cost == pytest.approx(8.0)
+
+    def test_from_uncapacitated_copy_count(self, tiny_instance):
+        from repro.fl.solution import FacilityLocationSolution
+
+        instance = SoftCapacitatedInstance.build(tiny_instance, [2, 2])
+        reduced_solution = FacilityLocationSolution.from_open_set(
+            instance.to_uncapacitated(), {0}
+        )
+        converted = SoftCapacitatedSolution.from_uncapacitated(
+            instance, reduced_solution
+        )
+        assert converted.open_copies == {0: 2}  # 3 clients / capacity 2
+
+
+class TestSolvers:
+    def test_greedy_feasible(self, capacitated):
+        solution = solve_capacitated_greedy(capacitated)
+        assert solution.cost > 0
+
+    def test_distributed_feasible(self, capacitated):
+        solution, metrics = solve_capacitated_distributed(capacitated, k=9, seed=0)
+        assert solution.cost > 0
+        assert metrics.rounds > 0
+        assert metrics.max_message_bits <= 96
+
+    def test_factor_two_transfer(self, capacitated):
+        """Converted cost <= 2x the reduced-instance solution cost."""
+        reduced = capacitated.to_uncapacitated()
+        from repro.baselines.greedy import greedy_solve
+
+        reduced_solution = greedy_solve(reduced)
+        converted = SoftCapacitatedSolution.from_uncapacitated(
+            capacitated, reduced_solution
+        )
+        assert converted.cost <= 2.0 * reduced_solution.cost + 1e-9
+
+    def test_bounded_vs_uncapacitated_lp(self, capacitated):
+        """The capacitated optimum is >= the base LP; solutions stay within
+        a sane multiple (reduction factor x algorithm factor)."""
+        lp = solve_lp(capacitated.base)
+        solution, _ = solve_capacitated_distributed(capacitated, k=16, seed=0)
+        n = capacitated.num_clients
+        assert solution.cost >= lp.value - 1e-6
+        assert solution.cost <= 2 * (math.log(n) + 2) * 10 * max(lp.value, 1e-9)
+
+    def test_tight_capacities_force_many_copies(self):
+        base = uniform_instance(4, 24, seed=5)
+        instance = SoftCapacitatedInstance.build(base, [1, 1, 1, 1])
+        solution, _ = solve_capacitated_distributed(instance, k=9, seed=0)
+        total_copies = sum(solution.open_copies.values())
+        assert total_copies == 24  # capacity 1: one copy per client

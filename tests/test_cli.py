@@ -1,0 +1,136 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.fl.io import load_instance_json
+
+
+class TestGenerate:
+    def test_writes_instance(self, tmp_path, capsys):
+        path = tmp_path / "inst.json"
+        code = main(
+            [
+                "generate",
+                "--family",
+                "uniform",
+                "-m",
+                "5",
+                "-n",
+                "12",
+                "--seed",
+                "3",
+                "-o",
+                str(path),
+            ]
+        )
+        assert code == 0
+        instance = load_instance_json(path)
+        assert instance.num_facilities == 5
+        assert instance.num_clients == 12
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestSolve:
+    def test_solve_from_family(self, capsys):
+        code = main(
+            ["solve", "--family", "uniform", "-m", "6", "-n", "15", "-k", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "distributed solve" in out
+        assert "ratio_vs_lp" in out
+
+    def test_solve_from_file(self, tmp_path, capsys):
+        path = tmp_path / "inst.json"
+        main(
+            ["generate", "--family", "euclidean", "-m", "5", "-n", "10", "-o", str(path)]
+        )
+        capsys.readouterr()
+        code = main(["solve", str(path), "-k", "4", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rounds"] > 0
+        assert payload["cost"] > 0
+        assert payload["ratio_vs_lp"] >= 0.99
+
+    def test_solve_dual_variant(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--family",
+                "uniform",
+                "-m",
+                "5",
+                "-n",
+                "10",
+                "-k",
+                "3",
+                "--variant",
+                "dual_ascent",
+                "--rounding",
+                "randomized",
+                "--c-round",
+                "0.5",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["variant"] == "dual_ascent"
+
+    def test_solve_without_source_errors(self, capsys):
+        code = main(["solve", "-k", "4"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBaselines:
+    def test_table(self, capsys):
+        code = main(["baselines", "--family", "uniform", "-m", "6", "-n", "12"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("greedy", "jain_vazirani", "local_search", "lp_lower_bound", "exact"):
+            assert name in out
+
+    def test_incomplete_family_skips_lp_rounding(self, capsys):
+        code = main(["baselines", "--family", "sparse", "-m", "6", "-n", "12"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lp_rounding" not in out
+
+
+class TestExperiment:
+    def test_runs_quick_experiment(self, capsys):
+        code = main(["experiment", "E3", "--quick"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "E3" in out and "rounds" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "E99"])
+
+
+class TestReport:
+    def test_quick_report(self, tmp_path, capsys):
+        path = tmp_path / "EXP.md"
+        code = main(["report", str(path), "--quick"])
+        assert code == 0
+        text = path.read_text()
+        assert "E1" in text and "E11" in text
+        assert "quick configuration" in text
+
+
+class TestParser:
+    def test_parser_builds(self):
+        parser = build_parser()
+        assert parser.prog == "repro"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,123 @@
+"""Unit tests for the dual-ascent variant's node logic and schedule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm import DistributedFacilityLocation, Variant
+from repro.core.dual_ascent_nodes import (
+    RoundingPolicy,
+    dual_phase_of_round,
+    dual_schedule_length,
+)
+from repro.core.parameters import TradeoffParameters
+from repro.exceptions import AlgorithmError
+from repro.net.trace import Trace
+
+
+@pytest.fixture
+def params(tiny_instance):
+    return TradeoffParameters.linear(tiny_instance, k=3)
+
+
+class TestRoundingPolicy:
+    def test_defaults(self):
+        policy = RoundingPolicy()
+        assert policy.mode == "select_all"
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(AlgorithmError, match="unknown rounding mode"):
+            RoundingPolicy(mode="magic")
+
+    def test_rejects_non_positive_constant(self):
+        with pytest.raises(AlgorithmError, match="c_round"):
+            RoundingPolicy(mode="randomized", c_round=0.0)
+
+
+class TestPhaseMapping:
+    def test_levels(self, params):
+        assert dual_phase_of_round(params, 1) == ("alpha", 1)
+        assert dual_phase_of_round(params, 2) == ("tight", 1)
+        assert dual_phase_of_round(params, 3) == ("freeze", 1)
+        assert dual_phase_of_round(params, 4) == ("alpha", 2)
+        assert dual_phase_of_round(params, 9) == ("freeze", 3)
+
+    def test_rounding_phases(self, params):
+        assert dual_phase_of_round(params, 10) == ("round1", 0)
+        assert dual_phase_of_round(params, 14) == ("round5", 0)
+        assert dual_phase_of_round(params, 15) == ("done", 0)
+
+    def test_schedule_length(self, params):
+        assert dual_schedule_length(params) == 3 * 3 + 5
+
+
+class TestDualProtocol:
+    def test_every_client_gets_a_witness(self, tiny_instance):
+        runner = DistributedFacilityLocation(
+            tiny_instance, k=3, variant=Variant.DUAL_ASCENT, seed=0
+        )
+        simulator = runner.build_simulator()
+        simulator.run(max_rounds=runner.schedule_rounds() + 2)
+        m = tiny_instance.num_facilities
+        for node in simulator.nodes[m:]:
+            assert node.witnesses, f"client node {node.node_id} has no witness"
+            assert node.frozen
+
+    def test_tight_facilities_really_paid(self, uniform_small):
+        runner = DistributedFacilityLocation(
+            uniform_small, k=5, variant=Variant.DUAL_ASCENT, seed=1
+        )
+        simulator = runner.build_simulator()
+        simulator.run(max_rounds=runner.schedule_rounds() + 2)
+        m = uniform_small.num_facilities
+        for node in simulator.nodes[:m]:
+            if node.is_tight:
+                assert node.payment >= node.opening_cost * (1 - 1e-9)
+
+    def test_alpha_monotone_in_levels(self, tiny_instance):
+        # Budgets never decrease, and frozen clients stop growing.
+        runner = DistributedFacilityLocation(
+            tiny_instance, k=6, variant=Variant.DUAL_ASCENT, seed=0
+        )
+        simulator = runner.build_simulator()
+        m = tiny_instance.num_facilities
+        previous = [0.0] * tiny_instance.num_clients
+        simulator.setup()
+        for _ in range(runner.schedule_rounds()):
+            simulator.step()
+            current = [simulator.node(m + j).alpha for j in range(3)]
+            for before, after in zip(previous, current):
+                assert after >= before - 1e-15
+            previous = current
+            if simulator.all_finished:
+                break
+
+    def test_select_all_never_forces(self, uniform_small):
+        trace = Trace()
+        result = DistributedFacilityLocation(
+            uniform_small,
+            k=4,
+            variant=Variant.DUAL_ASCENT,
+            seed=2,
+            rounding=RoundingPolicy(mode="select_all"),
+            trace=trace,
+        ).run()
+        assert result.feasible
+        assert result.diagnostics["num_forced_clients"] == 0
+
+    def test_randomized_low_constant_forces_but_stays_feasible(self, uniform_small):
+        result = DistributedFacilityLocation(
+            uniform_small,
+            k=4,
+            variant=Variant.DUAL_ASCENT,
+            seed=2,
+            rounding=RoundingPolicy(mode="randomized", c_round=0.01),
+        ).run()
+        assert result.feasible  # the deterministic fallback guarantees it
+
+    def test_diagnostics_include_tightness(self, uniform_small):
+        result = DistributedFacilityLocation(
+            uniform_small, k=4, variant=Variant.DUAL_ASCENT, seed=0
+        ).run()
+        assert result.diagnostics["num_tight"] >= 1
+        assert result.diagnostics["mean_witnesses"] >= 1.0

@@ -1,0 +1,159 @@
+"""Tests for the experiment harness (quick configurations).
+
+Each experiment must run end to end, produce structurally sound results,
+and — where the experiment *is* the reproduced claim — satisfy the claim
+itself (rounds linear in k, message bits under the envelope, ratios under
+the approximation envelope, ...).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import experiments as exp
+
+
+class TestTradeoffExperiments:
+    def test_e1_envelope_holds(self):
+        result = exp.run_e1_tradeoff_table(quick=True)
+        assert result.experiment_id == "E1"
+        assert len(result.rows) > 0
+        for row in result.rows:
+            ratio_max, envelope = row[4], row[5]
+            assert ratio_max <= envelope, f"envelope violated in row {row}"
+        assert result.notes["max_implied_C"] <= 1.0
+
+    def test_e2_series_structure(self):
+        result = exp.run_e2_ratio_vs_k(quick=True)
+        ks = result.column("k")
+        assert ks == sorted(ks)
+        for ratio in result.column("ratio_mean"):
+            assert ratio >= 0.99
+
+    def test_e3_rounds_linear(self):
+        result = exp.run_e3_rounds_vs_k(quick=True)
+        for row in result.rows:
+            k, rounds, budget = row
+            assert rounds <= budget
+        assert 0 < result.notes["fit_slope"] <= 5.0
+
+    def test_e4_bits_under_envelope(self):
+        result = exp.run_e4_message_bits(quick=True)
+        for row in result.rows:
+            _n, max_bits, mean_bits, envelope = row
+            assert max_bits <= envelope * 1.2  # small-N constant slack
+            assert mean_bits <= max_bits
+
+
+class TestComparisonExperiments:
+    def test_e5_structure(self):
+        result = exp.run_e5_baselines_table(quick=True)
+        assert len(result.rows) >= 2
+        for row in result.rows:
+            # Greedy and exact ratios are >= 1 wherever defined.
+            for value in row[1:]:
+                if isinstance(value, float) and not math.isnan(value):
+                    assert value >= 0.99
+
+    def test_e5_exact_is_best(self):
+        result = exp.run_e5_baselines_table(quick=True)
+        headers = result.headers
+        exact_idx = headers.index("exact")
+        for row in result.rows:
+            exact = row[exact_idx]
+            if isinstance(exact, float) and not math.isnan(exact):
+                for idx in range(1, len(row)):
+                    value = row[idx]
+                    if isinstance(value, float) and not math.isnan(value):
+                        assert exact <= value + 1e-9
+
+    def test_e6_ablation(self):
+        result = exp.run_e6_rounding_ablation(quick=True)
+        assert result.rows[0][0] == "select_all"
+        # select_all never needs the fallback.
+        assert result.rows[0][3] == 0.0
+
+    def test_e10_variants(self):
+        result = exp.run_e10_variants_table(quick=True)
+        variants = set(result.column("variant"))
+        assert variants == {"greedy", "dual_ascent"}
+
+
+class TestRobustnessExperiments:
+    def test_e7_rho(self):
+        result = exp.run_e7_rho_sensitivity(quick=True)
+        for row in result.rows:
+            _t, rho_actual, ratio_mean, ratio_max, envelope = row
+            assert ratio_max <= envelope
+
+    def test_e8_families(self):
+        result = exp.run_e8_families_table(quick=True)
+        families = result.column("family")
+        assert "uniform" in families
+
+    def test_e9_scalability(self):
+        result = exp.run_e9_scalability(quick=True)
+        for row in result.rows:
+            _n, sim_s, seq_s, speedup, messages = row
+            assert sim_s > 0 and seq_s > 0
+            assert messages > 0
+
+    def test_e11_faults(self):
+        result = exp.run_e11_faults(quick=True)
+        # Fault-free row must be fully complete.
+        assert result.rows[0][0] == 0.0
+        assert result.rows[0][1] == 1.0
+        assert result.rows[0][2] == 0.0
+
+
+class TestResultInterface:
+    def test_table_renders(self):
+        result = exp.run_e3_rounds_vs_k(quick=True)
+        table = result.table
+        assert "E3" in table
+        assert "rounds" in table
+
+    def test_column_lookup(self):
+        result = exp.run_e3_rounds_vs_k(quick=True)
+        assert len(result.column("k")) == len(result.rows)
+        with pytest.raises(ValueError):
+            result.column("nope")
+
+
+class TestAblationExperiments:
+    def test_e12_ladder_necessity(self):
+        result = exp.run_e12_ladder_necessity(quick=True)
+        by_k = {row[0]: row[1] for row in result.rows}
+        assert by_k[1] >= result.notes["gap"] * 0.5
+        assert by_k[4] <= 1.5
+
+    def test_e13_settle_ablation(self):
+        result = exp.run_e13_settle_ablation(quick=True)
+        ratios = result.column("ratio_mean")
+        # The settle effect is a trend: R >= 2 should not be meaningfully
+        # worse than R = 1 (small slack absorbs seed noise).
+        assert ratios[1] <= ratios[0] + 0.05
+        rounds = result.column("rounds")
+        assert rounds == sorted(rounds)
+
+    def test_e14_anytime(self):
+        result = exp.run_e14_anytime(quick=True)
+        served = result.column("served_frac")
+        assert served == sorted(served)
+        assert served[-1] == 1.0
+        assert result.rows[-1][4] == 1.0  # full run always repairable
+
+    def test_e15_concentration(self):
+        result = exp.run_e15_concentration(quick=True)
+        for row in result.rows:
+            _k, p50, p95, worst, spread, envelope = row
+            assert p50 <= p95 <= worst + 1e-12
+            assert worst <= envelope
+
+    def test_e16_opening_rule(self):
+        result = exp.run_e16_opening_rule(quick=True)
+        by_fraction = {row[0]: row[1] for row in result.rows}
+        assert by_fraction[0.5] <= by_fraction[0.0] + 1e-9
+        assert by_fraction[0.5] <= by_fraction[1.0] + 1e-9

@@ -1,0 +1,138 @@
+"""Tests for the networkx bridge (repro.fl.from_graph)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.algorithm import solve_distributed
+from repro.exceptions import InvalidInstanceError
+from repro.fl.from_graph import instance_from_graph
+
+
+@pytest.fixture
+def weighted_path() -> nx.Graph:
+    """a --2-- b --3-- c --1-- d"""
+    graph = nx.Graph()
+    graph.add_edge("a", "b", weight=2.0)
+    graph.add_edge("b", "c", weight=3.0)
+    graph.add_edge("c", "d", weight=1.0)
+    return graph
+
+
+class TestConstruction:
+    def test_shortest_path_costs(self, weighted_path):
+        bundle = instance_from_graph(weighted_path, facility_nodes=["a", "c"])
+        instance = bundle.instance
+        a, c = 0, 1
+        j = {node: idx for idx, node in enumerate(bundle.client_nodes)}
+        assert instance.connection_cost(a, j["a"]) == 0.0
+        assert instance.connection_cost(a, j["b"]) == 2.0
+        assert instance.connection_cost(a, j["d"]) == 6.0
+        assert instance.connection_cost(c, j["a"]) == 5.0
+        assert instance.connection_cost(c, j["d"]) == 1.0
+
+    def test_metric_by_construction(self, weighted_path):
+        bundle = instance_from_graph(weighted_path, facility_nodes=["a", "c"])
+        assert bundle.instance.is_metric()
+
+    def test_default_clients_are_all_nodes(self, weighted_path):
+        bundle = instance_from_graph(weighted_path, facility_nodes=["b"])
+        assert set(bundle.client_nodes) == {"a", "b", "c", "d"}
+
+    def test_explicit_clients(self, weighted_path):
+        bundle = instance_from_graph(
+            weighted_path, facility_nodes=["a"], client_nodes=["c", "d"]
+        )
+        assert bundle.instance.num_clients == 2
+
+    def test_unweighted_edges_default_to_one(self):
+        graph = nx.path_graph(4)  # nodes 0..3, no weights
+        bundle = instance_from_graph(graph, facility_nodes=[0])
+        assert bundle.instance.connection_cost(0, 3) == 3.0
+
+    def test_disconnected_pairs_become_missing_edges(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        bundle = instance_from_graph(
+            graph, facility_nodes=[0, 2], client_nodes=[1, 3]
+        )
+        assert not bundle.instance.has_edge(0, 1)  # facility 0 vs client 3
+        assert bundle.instance.has_edge(0, 0)
+
+
+class TestOpeningCosts:
+    def test_scalar(self, weighted_path):
+        bundle = instance_from_graph(
+            weighted_path, facility_nodes=["a"], opening_costs=5.0
+        )
+        assert bundle.instance.opening_cost(0) == 5.0
+
+    def test_mapping(self, weighted_path):
+        bundle = instance_from_graph(
+            weighted_path,
+            facility_nodes=["a", "b"],
+            opening_costs={"a": 1.0, "b": 7.0},
+        )
+        assert bundle.instance.opening_cost(1) == 7.0
+
+    def test_mapping_missing_entry(self, weighted_path):
+        with pytest.raises(InvalidInstanceError, match="misses"):
+            instance_from_graph(
+                weighted_path, facility_nodes=["a", "b"], opening_costs={"a": 1.0}
+            )
+
+    def test_attribute(self, weighted_path):
+        weighted_path.nodes["a"]["site_cost"] = 3.5
+        bundle = instance_from_graph(
+            weighted_path, facility_nodes=["a"], opening_costs="site_cost"
+        )
+        assert bundle.instance.opening_cost(0) == 3.5
+
+    def test_attribute_missing(self, weighted_path):
+        with pytest.raises(InvalidInstanceError, match="no attribute"):
+            instance_from_graph(
+                weighted_path, facility_nodes=["a"], opening_costs="site_cost"
+            )
+
+
+class TestValidation:
+    def test_unknown_facility(self, weighted_path):
+        with pytest.raises(InvalidInstanceError, match="not nodes"):
+            instance_from_graph(weighted_path, facility_nodes=["zzz"])
+
+    def test_duplicate_facility(self, weighted_path):
+        with pytest.raises(InvalidInstanceError, match="duplicates"):
+            instance_from_graph(weighted_path, facility_nodes=["a", "a"])
+
+    def test_empty_facilities(self, weighted_path):
+        with pytest.raises(InvalidInstanceError, match="at least one"):
+            instance_from_graph(weighted_path, facility_nodes=[])
+
+    def test_unknown_client(self, weighted_path):
+        with pytest.raises(InvalidInstanceError, match="not nodes"):
+            instance_from_graph(
+                weighted_path, facility_nodes=["a"], client_nodes=["zzz"]
+            )
+
+
+class TestEndToEnd:
+    def test_solve_and_map_back(self):
+        graph = nx.random_geometric_graph(30, radius=0.4, seed=4)
+        for u, v in graph.edges():
+            pu, pv = graph.nodes[u]["pos"], graph.nodes[v]["pos"]
+            graph.edges[u, v]["weight"] = (
+                (pu[0] - pv[0]) ** 2 + (pu[1] - pv[1]) ** 2
+            ) ** 0.5
+        sites = list(range(0, 30, 5))
+        bundle = instance_from_graph(
+            graph, facility_nodes=sites, opening_costs=0.5
+        )
+        result = solve_distributed(bundle.instance, k=9, seed=0)
+        assert result.feasible
+        open_nodes = bundle.open_nodes(result.solution)
+        assert open_nodes <= set(sites)
+        assignment = bundle.assignment_nodes(result.solution)
+        assert set(assignment) == set(bundle.client_nodes)
+        assert set(assignment.values()) <= open_nodes

@@ -1,0 +1,154 @@
+"""Unit tests for repro.fl.generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.greedy import greedy_solve
+from repro.exceptions import InvalidInstanceError
+from repro.fl.generators import (
+    FAMILIES,
+    clustered_instance,
+    euclidean_instance,
+    greedy_trap_instance,
+    grid_instance,
+    high_spread_instance,
+    make_instance,
+    set_cover_instance,
+    sparse_instance,
+    uniform_instance,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_same_seed_same_instance(self, family):
+        a = make_instance(family, 7, 15, seed=42)
+        b = make_instance(family, 7, 15, seed=42)
+        assert a == b
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_different_seeds_differ(self, family):
+        a = make_instance(family, 7, 15, seed=1)
+        b = make_instance(family, 7, 15, seed=2)
+        assert a != b
+
+    def test_make_instance_unknown_family(self):
+        with pytest.raises(KeyError, match="unknown family"):
+            make_instance("nope", 3, 3, seed=0)
+
+
+class TestShapes:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_dimensions(self, family):
+        instance = make_instance(family, 9, 23, seed=5)
+        assert instance.num_facilities == 9
+        assert instance.num_clients == 23
+
+
+class TestFamilyStructure:
+    def test_uniform_is_complete(self):
+        assert uniform_instance(5, 10, seed=0).is_complete_bipartite()
+
+    def test_euclidean_is_metric(self):
+        assert euclidean_instance(6, 12, seed=0).is_metric()
+
+    def test_grid_is_metric(self):
+        assert grid_instance(9, 12, seed=0).is_metric()
+
+    def test_clustered_is_metric(self):
+        assert clustered_instance(6, 18, seed=0).is_metric()
+
+    def test_set_cover_costs_are_zero_or_absent(self):
+        instance = set_cover_instance(6, 15, seed=0)
+        c = instance.connection_costs
+        finite = c[np.isfinite(c)]
+        assert (finite == 0.0).all()
+        assert not instance.is_complete_bipartite() or instance.num_edges == 90
+
+    def test_sparse_client_degree(self):
+        instance = sparse_instance(10, 25, seed=0, client_degree=3)
+        for j in range(instance.num_clients):
+            assert len(instance.facilities_of_client(j)) == 3
+
+    def test_sparse_degree_capped_by_m(self):
+        instance = sparse_instance(2, 5, seed=0, client_degree=9)
+        for j in range(instance.num_clients):
+            assert len(instance.facilities_of_client(j)) == 2
+
+
+class TestHighSpread:
+    def test_rho_hits_target(self):
+        instance = high_spread_instance(8, 20, seed=1, target_rho=500.0)
+        assert instance.rho == pytest.approx(500.0, rel=1e-6)
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(InvalidInstanceError):
+            high_spread_instance(4, 6, seed=0, target_rho=0.5)
+
+
+class TestGreedyTrap:
+    def test_structure(self):
+        instance = greedy_trap_instance(10, epsilon=0.01)
+        assert instance.num_facilities == 11
+        assert instance.num_clients == 10
+        # Facility 0 covers everyone at cost 0.
+        assert instance.clients_of_facility(0) == tuple(range(10))
+        # Singleton facility j+1 covers only client j.
+        assert instance.clients_of_facility(3) == (2,)
+
+    def test_optimum_is_global_facility(self):
+        instance = greedy_trap_instance(10, epsilon=0.01)
+        # Opening facility 0 costs 1.01; the singletons sum to H_10 ~ 2.93.
+        assert instance.opening_cost(0) == pytest.approx(1.01)
+
+    def test_greedy_pays_the_harmonic_price(self):
+        n = 16
+        instance = greedy_trap_instance(n, epsilon=0.01)
+        greedy_cost = greedy_solve(instance).cost
+        optimum = 1.01  # open the global facility
+        harmonic = sum(1.0 / i for i in range(1, n + 1))
+        # Greedy opens the singleton cascade: cost close to H_n.
+        assert greedy_cost > 2.0
+        assert greedy_cost <= harmonic + 1e-9
+        assert greedy_cost / optimum > 2.0
+
+
+class TestDecoy:
+    def test_structure(self):
+        from repro.fl.generators import decoy_instance
+
+        instance = decoy_instance(10, 20, seed=0, gap=50.0)
+        assert instance.num_facilities == 10
+        # The good facility's costs are ~1; every decoy's are ~gap.
+        assert instance.connection_cost(0, 0) == pytest.approx(1.0, abs=1e-5)
+        assert instance.connection_cost(3, 0) == pytest.approx(50.0, abs=1e-5)
+
+    def test_rejects_bad_gap(self):
+        from repro.fl.generators import decoy_instance
+        from repro.exceptions import InvalidInstanceError
+
+        with pytest.raises(InvalidInstanceError):
+            decoy_instance(4, 4, seed=0, gap=1.0)
+
+    def test_single_scale_is_lured(self):
+        """The designed hardness: k=1 pays ~gap *in expectation*, k=9 ~1.
+
+        At k=1 all clients accept the globally max-priority facility, so a
+        single run dodges the trap with probability 1/m; averaging over
+        seeds exposes the expected gap.
+        """
+        from statistics import mean
+
+        from repro.fl.generators import decoy_instance
+        from repro.core.algorithm import solve_distributed
+
+        instance = decoy_instance(12, 30, seed=0, gap=40.0)
+        coarse = mean(
+            solve_distributed(instance, k=1, seed=s).cost for s in range(6)
+        )
+        fine = mean(
+            solve_distributed(instance, k=9, seed=s).cost for s in range(6)
+        )
+        assert coarse > 5 * fine

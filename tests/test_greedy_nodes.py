@@ -1,0 +1,101 @@
+"""Unit tests for the flagship protocol's node logic and schedule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.greedy_nodes import (
+    GreedyFacilityNode,
+    phase_of_round,
+    schedule_length,
+)
+from repro.core.parameters import TradeoffParameters
+from repro.core.algorithm import DistributedFacilityLocation
+from repro.net.trace import Trace
+
+
+@pytest.fixture
+def params(tiny_instance):
+    return TradeoffParameters.from_instance(tiny_instance, k=4)
+
+
+class TestPhaseMapping:
+    def test_iteration_phases(self, params):
+        # k=4 -> 2 scales x 2 settle = 4 iterations of 4 rounds.
+        assert phase_of_round(params, 1) == ("active", 1)
+        assert phase_of_round(params, 2) == ("propose", 1)
+        assert phase_of_round(params, 3) == ("accept", 1)
+        assert phase_of_round(params, 4) == ("decide", 1)
+        assert phase_of_round(params, 5) == ("active", 2)
+        assert phase_of_round(params, 16) == ("decide", 4)
+
+    def test_force_phases(self, params):
+        assert phase_of_round(params, 17) == ("force1", 0)
+        assert phase_of_round(params, 21) == ("force5", 0)
+        assert phase_of_round(params, 22) == ("done", 0)
+
+    def test_schedule_length(self, params):
+        assert schedule_length(params) == 4 * 4 + 5
+
+
+class TestBestStar:
+    def _facility(self, tiny_instance, params, facility=0):
+        m = tiny_instance.num_facilities
+        costs = {
+            m + j: tiny_instance.connection_cost(facility, j)
+            for j in range(tiny_instance.num_clients)
+        }
+        return GreedyFacilityNode(
+            facility, tiny_instance.opening_cost(facility), costs, params
+        )
+
+    def test_largest_qualifying_prefix(self, tiny_instance, params):
+        node = self._facility(tiny_instance, params)
+        m = tiny_instance.num_facilities
+        # Facility 0 (f=1, costs 1,2,3). At the terminal threshold (= 6)
+        # all prefixes qualify, so the largest star is every active client.
+        star = node._best_star([m + 0, m + 1, m + 2], params.num_scales)
+        assert star == (m + 0, m + 1, m + 2)
+
+    def test_tight_threshold_shrinks_star(self, tiny_instance, params):
+        node = self._facility(tiny_instance, params)
+        m = tiny_instance.num_facilities
+        # Scale 1 threshold = eff_min * base = 2 * sqrt(3) ~ 3.46:
+        # prefix ratios are 2.0, 2.0, 2.33 -> all qualify.
+        star = node._best_star([m + 0, m + 1, m + 2], 1)
+        assert star == (m + 0, m + 1, m + 2)
+
+    def test_open_facility_ignores_fee(self, tiny_instance, params):
+        node = self._facility(tiny_instance, params, facility=1)
+        node.is_open = True
+        m = tiny_instance.num_facilities
+        # With the fee sunk, single-client marginal ratios are just c_ij.
+        star = node._best_star([m + 0], 1)
+        assert star == (m + 0,)
+
+    def test_empty_when_nothing_qualifies(self, tiny_instance):
+        # Build parameters whose first threshold only the best star meets,
+        # then ask a deliberately expensive facility.
+        params = TradeoffParameters.from_instance(tiny_instance, k=100)
+        node = self._facility(tiny_instance, params, facility=1)
+        m = tiny_instance.num_facilities
+        # Facility 1 (f=4): best single ratio is 4+1=5 > threshold(1) ~ 2.02.
+        assert node._best_star([m + 0, m + 1, m + 2], 1) == ()
+
+
+class TestProtocolTrace:
+    def test_opens_are_logged_and_clients_connect(self, tiny_instance):
+        trace = Trace()
+        runner = DistributedFacilityLocation(tiny_instance, k=4, seed=0, trace=trace)
+        result = runner.run()
+        assert result.feasible
+        opens = trace.events(event="open") + trace.events(event="forced_open")
+        assert len(opens) >= 1
+        connects = trace.events(event="connected")
+        assert len(connects) == tiny_instance.num_clients
+
+    def test_no_client_uses_force_when_iterations_suffice(self, tiny_instance):
+        # With a generous k the terminal scale admits every star, so all
+        # clients connect during the iterations on this easy instance.
+        result = DistributedFacilityLocation(tiny_instance, k=25, seed=0).run()
+        assert result.diagnostics["num_forced_clients"] == 0

@@ -1,0 +1,234 @@
+"""Unit tests for repro.fl.instance."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidInstanceError
+from repro.fl.instance import FacilityLocationInstance
+
+
+class TestConstruction:
+    def test_basic_properties(self, tiny_instance):
+        assert tiny_instance.num_facilities == 2
+        assert tiny_instance.num_clients == 3
+        assert tiny_instance.num_nodes == 5
+        assert tiny_instance.num_edges == 6
+        assert tiny_instance.name == "tiny"
+
+    def test_costs_are_read_only(self, tiny_instance):
+        with pytest.raises(ValueError):
+            tiny_instance.opening_costs[0] = 99.0
+        with pytest.raises(ValueError):
+            tiny_instance.connection_costs[0, 0] = 99.0
+
+    def test_costs_are_copied(self):
+        opening = np.array([1.0])
+        connection = np.array([[1.0, 2.0]])
+        instance = FacilityLocationInstance(opening, connection)
+        opening[0] = 50.0
+        connection[0, 0] = 50.0
+        assert instance.opening_cost(0) == 1.0
+        assert instance.connection_cost(0, 0) == 1.0
+
+    def test_from_edges(self):
+        instance = FacilityLocationInstance.from_edges(
+            opening_costs=[1.0, 2.0],
+            edges=[(0, 0, 3.0), (1, 0, 1.0), (1, 1, 2.0), (1, 1, 1.5)],
+            num_clients=2,
+        )
+        assert instance.connection_cost(0, 0) == 3.0
+        # Repeated edge keeps the cheaper cost.
+        assert instance.connection_cost(1, 1) == 1.5
+        assert not instance.has_edge(0, 1)
+
+    def test_from_edges_rejects_out_of_range(self):
+        with pytest.raises(InvalidInstanceError, match="facility index"):
+            FacilityLocationInstance.from_edges([1.0], [(5, 0, 1.0)], 1)
+        with pytest.raises(InvalidInstanceError, match="client index"):
+            FacilityLocationInstance.from_edges([1.0], [(0, 5, 1.0)], 1)
+
+
+class TestValidation:
+    def test_rejects_negative_opening_cost(self):
+        with pytest.raises(InvalidInstanceError, match="non-negative"):
+            FacilityLocationInstance([-1.0], [[1.0]])
+
+    def test_rejects_infinite_opening_cost(self):
+        with pytest.raises(InvalidInstanceError, match="finite"):
+            FacilityLocationInstance([np.inf], [[1.0]])
+
+    def test_rejects_negative_connection_cost(self):
+        with pytest.raises(InvalidInstanceError, match="non-negative"):
+            FacilityLocationInstance([1.0], [[-0.5]])
+
+    def test_rejects_nan_connection_cost(self):
+        with pytest.raises(InvalidInstanceError, match="NaN"):
+            FacilityLocationInstance([1.0], [[np.nan]])
+
+    def test_rejects_uncovered_client(self):
+        with pytest.raises(InvalidInstanceError, match="no reachable facility"):
+            FacilityLocationInstance([1.0], [[1.0, np.inf]])
+
+    def test_rejects_no_facilities(self):
+        with pytest.raises(InvalidInstanceError):
+            FacilityLocationInstance([], np.empty((0, 3)))
+
+    def test_rejects_no_clients(self):
+        with pytest.raises(InvalidInstanceError):
+            FacilityLocationInstance([1.0], np.empty((1, 0)))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(InvalidInstanceError, match="row count"):
+            FacilityLocationInstance([1.0, 2.0], [[1.0]])
+
+    def test_rejects_wrong_dimensionality(self):
+        with pytest.raises(InvalidInstanceError, match="1-D"):
+            FacilityLocationInstance([[1.0]], [[1.0]])
+
+
+class TestAdjacency:
+    def test_neighbors(self, incomplete_instance):
+        assert incomplete_instance.facilities_of_client(0) == (0,)
+        assert incomplete_instance.facilities_of_client(2) == (0, 1)
+        assert incomplete_instance.clients_of_facility(0) == (0, 2)
+        assert incomplete_instance.clients_of_facility(2) == (3,)
+
+    def test_iter_edges(self, incomplete_instance):
+        edges = sorted(incomplete_instance.iter_edges())
+        assert edges == [
+            (0, 0, 1.0),
+            (0, 2, 2.0),
+            (1, 1, 1.0),
+            (1, 2, 1.0),
+            (2, 3, 0.5),
+        ]
+
+    def test_complete_bipartite_flag(self, tiny_instance, incomplete_instance):
+        assert tiny_instance.is_complete_bipartite()
+        assert not incomplete_instance.is_complete_bipartite()
+
+
+class TestCostStructure:
+    def test_cheapest_connection(self, tiny_instance):
+        assert tiny_instance.cheapest_connection(0) == (0, 1.0)
+        assert tiny_instance.cheapest_connection(1) == (1, 1.0)
+        assert tiny_instance.cheapest_connection(2) == (1, 1.0)
+
+    def test_min_connection_costs(self, tiny_instance):
+        assert tiny_instance.min_connection_costs().tolist() == [1.0, 1.0, 1.0]
+
+    def test_extreme_costs(self, tiny_instance):
+        assert tiny_instance.max_finite_cost == 4.0
+        assert tiny_instance.min_positive_cost == 1.0
+
+    def test_rho(self, tiny_instance):
+        assert tiny_instance.rho == pytest.approx(4.0)
+
+    def test_rho_all_zero_costs(self):
+        instance = FacilityLocationInstance([0.0], [[0.0, 0.0]])
+        assert instance.rho == 1.0
+        assert instance.min_positive_cost == 1.0
+
+    def test_gamma_is_m_times_rho(self, tiny_instance):
+        assert tiny_instance.gamma == pytest.approx(2 * 4.0)
+
+    def test_trivial_upper_bound(self, tiny_instance):
+        # Open both facilities: 1 + 4 + cheapest connections 1 + 1 + 1 = 8.
+        assert tiny_instance.trivial_upper_bound() == pytest.approx(8.0)
+
+
+class TestMetric:
+    def test_euclidean_is_metric(self, euclidean_small):
+        assert euclidean_small.is_metric()
+
+    def test_constructed_non_metric(self):
+        # c[0,0]=10 but the detour 0->1->1->0 costs 1+1+1 = 3 < 10.
+        instance = FacilityLocationInstance(
+            [1.0, 1.0], [[10.0, 1.0], [1.0, 1.0]]
+        )
+        assert not instance.is_metric()
+
+    def test_uniform_costs_are_metric(self):
+        instance = FacilityLocationInstance([1.0, 1.0], [[1.0, 1.0], [1.0, 1.0]])
+        assert instance.is_metric()
+
+
+class TestDerivedInstances:
+    def test_restrict_to_clients(self, tiny_instance):
+        sub = tiny_instance.restrict_to_clients([0, 2])
+        assert sub.num_clients == 2
+        assert sub.connection_cost(0, 1) == 3.0
+
+    def test_with_opening_costs(self, tiny_instance):
+        modified = tiny_instance.with_opening_costs([5.0, 6.0])
+        assert modified.opening_cost(0) == 5.0
+        assert tiny_instance.opening_cost(0) == 1.0
+
+    def test_scaled(self, tiny_instance):
+        doubled = tiny_instance.scaled(2.0)
+        assert doubled.opening_cost(1) == 8.0
+        assert doubled.connection_cost(0, 2) == 6.0
+        assert doubled.rho == pytest.approx(tiny_instance.rho)
+
+    def test_scaled_rejects_bad_factor(self, tiny_instance):
+        with pytest.raises(InvalidInstanceError):
+            tiny_instance.scaled(0.0)
+        with pytest.raises(InvalidInstanceError):
+            tiny_instance.scaled(math.inf)
+
+
+class TestEquality:
+    def test_equal_instances(self, tiny_instance):
+        clone = FacilityLocationInstance(
+            tiny_instance.opening_costs,
+            tiny_instance.connection_costs,
+            name="other-name",
+        )
+        assert clone == tiny_instance  # names don't affect equality
+
+    def test_unequal_instances(self, tiny_instance):
+        other = tiny_instance.scaled(2.0)
+        assert other != tiny_instance
+
+    def test_repr_mentions_shape(self, tiny_instance):
+        assert "m=2" in repr(tiny_instance)
+        assert "n=3" in repr(tiny_instance)
+
+
+class TestDemands:
+    def test_fold_scales_columns(self, tiny_instance):
+        weighted = tiny_instance.with_demands([1.0, 2.0, 3.0])
+        assert weighted.connection_cost(0, 0) == 1.0
+        assert weighted.connection_cost(0, 1) == 4.0  # 2 * 2
+        assert weighted.connection_cost(1, 2) == 3.0  # 1 * 3
+        assert weighted.opening_cost(0) == tiny_instance.opening_cost(0)
+
+    def test_unit_demands_are_identity(self, tiny_instance):
+        assert tiny_instance.with_demands([1.0, 1.0, 1.0]) == tiny_instance
+
+    def test_missing_edges_preserved(self, incomplete_instance):
+        weighted = incomplete_instance.with_demands([2.0] * 4)
+        assert not weighted.has_edge(0, 1)
+
+    def test_validation(self, tiny_instance):
+        with pytest.raises(InvalidInstanceError, match="one demand"):
+            tiny_instance.with_demands([1.0])
+        with pytest.raises(InvalidInstanceError, match="positive"):
+            tiny_instance.with_demands([1.0, 0.0, 1.0])
+        with pytest.raises(InvalidInstanceError, match="positive"):
+            tiny_instance.with_demands([1.0, np.inf, 1.0])
+
+    def test_end_to_end_with_algorithms(self, uniform_small):
+        from repro.core.algorithm import solve_distributed
+        from repro.baselines.lp import solve_lp
+
+        rng_demands = [1.0 + (j % 4) for j in range(uniform_small.num_clients)]
+        weighted = uniform_small.with_demands(rng_demands)
+        result = solve_distributed(weighted, k=9, seed=0)
+        lp = solve_lp(weighted)
+        assert result.feasible
+        assert result.cost >= lp.value - 1e-6

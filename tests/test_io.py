@@ -1,0 +1,91 @@
+"""Unit tests for repro.fl.io."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidInstanceError
+from repro.fl.io import (
+    instance_from_dict,
+    instance_from_orlib,
+    instance_to_dict,
+    instance_to_orlib,
+    load_instance_json,
+    save_instance_json,
+    solution_from_dict,
+    solution_to_dict,
+)
+from repro.fl.solution import FacilityLocationSolution
+
+
+class TestJsonInstance:
+    def test_round_trip(self, tiny_instance):
+        data = instance_to_dict(tiny_instance)
+        restored = instance_from_dict(data)
+        assert restored == tiny_instance
+        assert restored.name == "tiny"
+
+    def test_round_trip_with_missing_edges(self, incomplete_instance):
+        restored = instance_from_dict(instance_to_dict(incomplete_instance))
+        assert restored == incomplete_instance
+        assert not restored.has_edge(0, 1)
+        assert math.isinf(restored.connection_cost(0, 1))
+
+    def test_inf_encoded_as_string(self, incomplete_instance):
+        data = instance_to_dict(incomplete_instance)
+        assert "inf" in data["connection_costs"][0]
+
+    def test_rejects_unknown_format(self):
+        with pytest.raises(InvalidInstanceError, match="unsupported"):
+            instance_from_dict({"format": "bogus"})
+
+    def test_file_round_trip(self, tmp_path, uniform_small):
+        path = tmp_path / "instance.json"
+        save_instance_json(uniform_small, path)
+        assert load_instance_json(path) == uniform_small
+
+
+class TestJsonSolution:
+    def test_round_trip(self, tiny_instance):
+        solution = FacilityLocationSolution.from_open_set(tiny_instance, {0, 1})
+        data = solution_to_dict(solution)
+        restored = solution_from_dict(data, tiny_instance)
+        assert restored == solution
+        assert data["cost"] == pytest.approx(solution.cost)
+
+    def test_rejects_unknown_format(self, tiny_instance):
+        with pytest.raises(InvalidInstanceError, match="unsupported"):
+            solution_from_dict({"format": "bogus"}, tiny_instance)
+
+
+class TestOrlib:
+    def test_round_trip(self, tiny_instance):
+        text = instance_to_orlib(tiny_instance)
+        restored = instance_from_orlib(text, name="tiny")
+        assert restored == tiny_instance
+
+    def test_rejects_incomplete_instances(self, incomplete_instance):
+        with pytest.raises(InvalidInstanceError, match="complete bipartite"):
+            instance_to_orlib(incomplete_instance)
+
+    def test_parses_wrapped_whitespace(self):
+        text = "2 2\n0 1.5\n0\n2.5\n1\n1 2\n1 3\n4\n"
+        instance = instance_from_orlib(text)
+        assert instance.num_facilities == 2
+        assert instance.opening_cost(1) == 2.5
+        assert instance.connection_cost(1, 1) == 4.0
+
+    def test_rejects_truncated_text(self):
+        with pytest.raises(InvalidInstanceError, match="unexpected end"):
+            instance_from_orlib("2 2\n0 1.5\n")
+
+    def test_rejects_trailing_tokens(self, tiny_instance):
+        text = instance_to_orlib(tiny_instance) + " 42"
+        with pytest.raises(InvalidInstanceError, match="trailing"):
+            instance_from_orlib(text)
+
+    def test_rejects_header_only(self):
+        with pytest.raises(InvalidInstanceError):
+            instance_from_orlib("3")

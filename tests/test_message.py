@@ -1,0 +1,67 @@
+"""Unit tests for repro.net.message (bit accounting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.net.message import Message, payload_bits, scalar_bits
+
+
+class TestScalarBits:
+    def test_none_and_bool(self):
+        assert scalar_bits(None) == 1
+        assert scalar_bits(True) == 1
+        assert scalar_bits(False) == 1
+
+    def test_small_ints(self):
+        assert scalar_bits(0) == 2
+        assert scalar_bits(1) == 2
+        assert scalar_bits(-1) == 2
+
+    def test_int_growth_is_logarithmic(self):
+        assert scalar_bits(255) == 9
+        assert scalar_bits(1 << 20) < scalar_bits(1 << 40)
+        # Doubling a value adds one bit.
+        assert scalar_bits(2048) == scalar_bits(1024) + 1
+
+    def test_float_is_one_word(self):
+        assert scalar_bits(3.14) == 64
+        assert scalar_bits(0.0) == 64
+
+    def test_string_bits(self):
+        assert scalar_bits("abc") == 24
+        assert scalar_bits("") == 8  # at least one character slot
+
+    def test_rejects_containers(self):
+        with pytest.raises(SimulationError, match="unsupported"):
+            scalar_bits([1, 2])
+        with pytest.raises(SimulationError, match="unsupported"):
+            scalar_bits({"a": 1})
+
+
+class TestPayloadBits:
+    def test_sum_of_values_only(self):
+        assert payload_bits({"x": True, "y": 1.0}) == 1 + 64
+
+    def test_empty_payload(self):
+        assert payload_bits({}) == 0
+
+
+class TestMessage:
+    def test_bits_includes_kind_tag(self):
+        message = Message(sender=0, receiver=1, kind="abc", payload={"v": True})
+        assert message.bits == 24 + 1
+
+    def test_accessors(self):
+        message = Message(0, 1, "k", {"value": 7})
+        assert message["value"] == 7
+        assert message.get("value") == 7
+        assert message.get("missing", "d") == "d"
+
+    def test_repr_is_informative(self):
+        message = Message(3, 5, "ping", {"n": 2}, round_sent=4)
+        text = repr(message)
+        assert "3->5" in text
+        assert "ping" in text
+        assert "r4" in text

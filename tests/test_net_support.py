@@ -1,0 +1,130 @@
+"""Unit tests for repro.net support modules: rng, metrics, trace, faults."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.net.faults import FaultPlan
+from repro.net.message import Message
+from repro.net.metrics import NetworkMetrics
+from repro.net.rng import derive_rng, spawn_node_rngs
+from repro.net.trace import NullTrace, Trace
+
+
+class TestRng:
+    def test_reproducible(self):
+        a = [rng.random() for rng in spawn_node_rngs(7, 5)]
+        b = [rng.random() for rng in spawn_node_rngs(7, 5)]
+        assert a == b
+
+    def test_streams_are_distinct(self):
+        values = [rng.random() for rng in spawn_node_rngs(7, 10)]
+        assert len(set(values)) == 10
+
+    def test_different_seeds_differ(self):
+        a = [rng.random() for rng in spawn_node_rngs(1, 3)]
+        b = [rng.random() for rng in spawn_node_rngs(2, 3)]
+        assert a != b
+
+    def test_derive_rng_keyed(self):
+        assert derive_rng(1, 2).random() == derive_rng(1, 2).random()
+        assert derive_rng(1, 2).random() != derive_rng(1, 3).random()
+
+
+class TestNetworkMetrics:
+    def test_message_accounting(self):
+        metrics = NetworkMetrics()
+        metrics.start_round()
+        metrics.record_message(Message(0, 1, "a", {"x": 1.0}))
+        metrics.record_message(Message(1, 0, "b"))
+        assert metrics.rounds == 1
+        assert metrics.total_messages == 2
+        assert metrics.max_message_bits == 8 + 64
+        assert metrics.messages_by_kind == {"a": 1, "b": 1}
+        assert metrics.max_messages_per_round == 2
+
+    def test_per_round_peak(self):
+        metrics = NetworkMetrics()
+        metrics.start_round()
+        for _ in range(3):
+            metrics.record_message(Message(0, 1, "a"))
+        metrics.start_round()
+        metrics.record_message(Message(0, 1, "a"))
+        assert metrics.max_messages_per_round == 3
+        assert metrics.rounds == 2
+
+    def test_mean_bits_empty(self):
+        assert NetworkMetrics().mean_message_bits == 0.0
+
+    def test_summary_keys(self):
+        summary = NetworkMetrics().summary()
+        assert {"rounds", "total_messages", "max_message_bits"} <= set(summary)
+
+    def test_drop_accounting(self):
+        metrics = NetworkMetrics()
+        metrics.record_drop()
+        assert metrics.dropped_messages == 1
+
+
+class TestTrace:
+    def test_record_and_filter(self):
+        trace = Trace()
+        trace.record(1, 0, "open", {"x": 1})
+        trace.record(2, 1, "close", {})
+        trace.record(2, 0, "open", {})
+        assert len(trace) == 3
+        assert len(trace.events(event="open")) == 2
+        assert len(trace.events(node_id=1)) == 1
+        assert len(trace.events(event="open", node_id=0)) == 2
+
+    def test_render(self):
+        trace = Trace()
+        trace.record(3, 7, "tick", {"v": 5})
+        text = trace.render()
+        assert "tick" in text
+        assert "v=5" in text
+
+    def test_null_trace_drops_events(self):
+        trace = NullTrace()
+        trace.record(1, 0, "x", {})
+        assert len(trace) == 0
+        assert not trace.enabled
+        assert Trace().enabled
+
+
+class TestFaultPlan:
+    def test_trivial_plan(self):
+        plan = FaultPlan()
+        assert plan.is_trivial
+        assert not plan.should_drop(Message(0, 1, "a"))
+
+    def test_drop_probability_validation(self):
+        with pytest.raises(SimulationError):
+            FaultPlan(drop_probability=1.5)
+        with pytest.raises(SimulationError):
+            FaultPlan(drop_probability=-0.1)
+
+    def test_crash_round_validation(self):
+        with pytest.raises(SimulationError):
+            FaultPlan(crash_rounds={0: 0})
+
+    def test_always_drop(self):
+        plan = FaultPlan(drop_probability=1.0)
+        assert plan.should_drop(Message(0, 1, "a"))
+        assert not plan.is_trivial
+
+    def test_drop_is_reproducible(self):
+        outcomes_a = [
+            FaultPlan(drop_probability=0.5, seed=3).should_drop(Message(0, 1, "a"))
+            for _ in range(1)
+        ]
+        plan_b = FaultPlan(drop_probability=0.5, seed=3)
+        outcomes_b = [plan_b.should_drop(Message(0, 1, "a"))]
+        assert outcomes_a == outcomes_b
+
+    def test_crashes_at(self):
+        plan = FaultPlan(crash_rounds={4: 2})
+        assert plan.crashes_at(4, 2)
+        assert not plan.crashes_at(4, 3)
+        assert not plan.crashes_at(5, 2)

@@ -1,0 +1,125 @@
+"""Unit tests for repro.core.parameters."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.parameters import TradeoffParameters, efficiency_range
+from repro.exceptions import AlgorithmError
+from repro.fl.instance import FacilityLocationInstance
+
+
+class TestEfficiencyRange:
+    def test_hand_computed(self, tiny_instance):
+        eff_min, eff_max = efficiency_range(tiny_instance)
+        # Facility 0: stars (1+1)/1=2, (1+1+2)/2=2, (1+1+2+3)/3=2.33 -> min 2.
+        # Facility 1: (4+1)/1=5, (4+1+1)/2=3, (4+1+1+2)/3=2.67 -> min 2.67.
+        assert eff_min == pytest.approx(2.0)
+        # Worst single-client star: facility 1 with client 0: 4+2=6.
+        assert eff_max == pytest.approx(6.0)
+
+    def test_min_never_exceeds_max(self, any_family_instance):
+        eff_min, eff_max = efficiency_range(any_family_instance)
+        assert 0 < eff_min <= eff_max
+
+    def test_zero_cost_star_clamped(self):
+        instance = FacilityLocationInstance([0.0, 5.0], [[0.0, 0.0], [1.0, 1.0]])
+        eff_min, eff_max = efficiency_range(instance)
+        assert eff_min > 0
+
+
+class TestSchedule:
+    def test_sqrt_split(self, tiny_instance):
+        params = TradeoffParameters.from_instance(tiny_instance, k=9)
+        assert params.num_scales == 3
+        assert params.num_settle == 3
+        assert params.num_iterations == 9
+
+    def test_non_square_k(self, tiny_instance):
+        params = TradeoffParameters.from_instance(tiny_instance, k=10)
+        assert params.num_scales == 4  # ceil(sqrt(10))
+        assert params.num_settle == 3  # ceil(10/4)
+        assert params.num_iterations >= 10
+
+    def test_k_one(self, tiny_instance):
+        params = TradeoffParameters.from_instance(tiny_instance, k=1)
+        assert params.num_scales == 1
+        assert params.num_settle == 1
+
+    def test_rejects_bad_k(self, tiny_instance):
+        with pytest.raises(AlgorithmError):
+            TradeoffParameters.from_instance(tiny_instance, k=0)
+        with pytest.raises(AlgorithmError):
+            TradeoffParameters.linear(tiny_instance, k=-3)
+
+    def test_thresholds_geometric_and_terminal(self, tiny_instance):
+        params = TradeoffParameters.from_instance(tiny_instance, k=9)
+        thresholds = [params.threshold(s) for s in range(1, params.num_scales + 1)]
+        assert thresholds == sorted(thresholds)
+        assert thresholds[-1] == pytest.approx(params.eff_max)
+        # Geometric: consecutive ratios equal the base.
+        assert thresholds[1] / thresholds[0] == pytest.approx(params.base)
+
+    def test_base_matches_spread(self, tiny_instance):
+        params = TradeoffParameters.from_instance(tiny_instance, k=4)
+        expected = (params.eff_max / params.eff_min) ** (1 / params.num_scales)
+        assert params.base == pytest.approx(expected)
+
+    def test_threshold_range_checked(self, tiny_instance):
+        params = TradeoffParameters.from_instance(tiny_instance, k=4)
+        with pytest.raises(AlgorithmError):
+            params.threshold(0)
+        with pytest.raises(AlgorithmError):
+            params.threshold(params.num_scales + 1)
+
+    def test_scale_of_iteration(self, tiny_instance):
+        params = TradeoffParameters.from_instance(tiny_instance, k=9)
+        scales = [params.scale_of_iteration(t) for t in range(1, 10)]
+        assert scales == [1, 1, 1, 2, 2, 2, 3, 3, 3]
+        with pytest.raises(AlgorithmError):
+            params.scale_of_iteration(0)
+        with pytest.raises(AlgorithmError):
+            params.scale_of_iteration(10)
+
+    def test_qualifies_tolerance(self, tiny_instance):
+        params = TradeoffParameters.from_instance(tiny_instance, k=4)
+        threshold = params.threshold(1)
+        assert params.qualifies(threshold, 1)
+        assert params.qualifies(threshold * (1 + 1e-12), 1)
+        assert not params.qualifies(threshold * 1.001, 1)
+
+    def test_linear_variant(self, tiny_instance):
+        params = TradeoffParameters.linear(tiny_instance, k=7)
+        assert params.num_scales == 7
+        assert params.num_settle == 1
+        ratio = params.eff_max / params.eff_min
+        assert params.base == pytest.approx(ratio ** (1 / 7))
+
+    def test_describe(self, tiny_instance):
+        params = TradeoffParameters.from_instance(tiny_instance, k=9)
+        text = params.describe()
+        assert "k=9" in text
+        assert "3 scales" in text
+
+    def test_larger_k_means_finer_base(self, uniform_small):
+        coarse = TradeoffParameters.from_instance(uniform_small, k=1)
+        fine = TradeoffParameters.from_instance(uniform_small, k=100)
+        assert fine.base < coarse.base
+        assert fine.base >= 1.0
+
+
+class TestCustomSchedule:
+    def test_custom_split(self, tiny_instance):
+        params = TradeoffParameters.custom(tiny_instance, num_scales=3, num_settle=5)
+        assert params.num_scales == 3
+        assert params.num_settle == 5
+        assert params.k == 15
+        assert params.threshold(3) == pytest.approx(params.eff_max)
+
+    def test_custom_validation(self, tiny_instance):
+        with pytest.raises(AlgorithmError):
+            TradeoffParameters.custom(tiny_instance, num_scales=0, num_settle=1)
+        with pytest.raises(AlgorithmError):
+            TradeoffParameters.custom(tiny_instance, num_scales=1, num_settle=0)

@@ -1,0 +1,108 @@
+"""Tests for the reusable distributed primitives (repro.net.protocols)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.net.protocols import (
+    build_bfs_tree,
+    convergecast,
+    elect_leaders,
+)
+from repro.net.topology import Topology
+
+
+class TestBfsTree:
+    def test_depths_on_path(self):
+        nodes = build_bfs_tree(Topology.path(5), root=0)
+        assert [n.depth for n in nodes] == [0, 1, 2, 3, 4]
+        assert [n.parent for n in nodes] == [None, 0, 1, 2, 3]
+
+    def test_children_sets(self):
+        nodes = build_bfs_tree(Topology.star(4), root=0)
+        assert nodes[0].children == {1, 2, 3, 4}
+        assert all(nodes[i].children == set() for i in range(1, 5))
+
+    def test_ring_splits_both_ways(self):
+        nodes = build_bfs_tree(Topology.ring(6), root=0)
+        assert [n.depth for n in nodes] == [0, 1, 2, 3, 2, 1]
+
+    def test_tree_edges_are_graph_edges(self):
+        topology = Topology.complete(6)
+        nodes = build_bfs_tree(topology, root=2)
+        for node in nodes:
+            if node.parent is not None:
+                assert topology.has_edge(node.node_id, node.parent)
+
+    def test_disconnected_component_unreached(self):
+        topology = Topology(4, [(0, 1), (2, 3)])
+        nodes = build_bfs_tree(topology, root=0)
+        assert nodes[2].depth is None
+        assert nodes[3].parent is None
+
+
+class TestConvergecast:
+    def test_sum_on_path(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        total, nodes = convergecast(Topology.path(4), root=0, values=values)
+        assert total == pytest.approx(10.0)
+        # Every node learned the global result.
+        assert all(n.result == pytest.approx(10.0) for n in nodes)
+
+    def test_min_and_max(self):
+        topology = Topology.ring(5)
+        values = [5.0, 1.0, 9.0, 3.0, 7.0]
+        low, _ = convergecast(topology, root=2, values=values, op="min")
+        high, _ = convergecast(topology, root=2, values=values, op="max")
+        assert low == 1.0
+        assert high == 9.0
+
+    def test_sum_on_star_root_center(self):
+        total, _ = convergecast(
+            Topology.star(6), root=0, values=[10.0] + [1.0] * 6
+        )
+        assert total == pytest.approx(16.0)
+
+    def test_sum_on_star_root_leaf(self):
+        total, _ = convergecast(
+            Topology.star(6), root=3, values=[10.0] + [1.0] * 6
+        )
+        assert total == pytest.approx(16.0)
+
+    def test_wrong_value_count_rejected(self):
+        with pytest.raises(SimulationError, match="one value per node"):
+            convergecast(Topology.path(3), root=0, values=[1.0])
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(SimulationError, match="unknown aggregation"):
+            convergecast(Topology.path(3), root=0, values=[1.0] * 3, op="median")
+
+    def test_component_local_aggregate(self):
+        topology = Topology(5, [(0, 1), (1, 2), (3, 4)])
+        total, nodes = convergecast(
+            topology, root=0, values=[1.0, 2.0, 4.0, 100.0, 200.0]
+        )
+        # Only the root's component contributes.
+        assert total == pytest.approx(7.0)
+        assert nodes[3].result is None
+
+
+class TestLeaderElection:
+    def test_single_component(self):
+        leaders = elect_leaders(Topology.ring(7))
+        assert leaders == [0] * 7
+
+    def test_per_component_minimum(self):
+        topology = Topology(6, [(1, 2), (2, 5), (3, 4)])
+        leaders = elect_leaders(topology)
+        assert leaders == [0, 1, 1, 3, 3, 1]
+
+    def test_is_leader_flag(self):
+        from repro.net.protocols import LeaderElectionNode
+        from repro.net.simulator import Simulator
+
+        topology = Topology.path(4)
+        nodes = [LeaderElectionNode(i, total_rounds=4) for i in range(4)]
+        Simulator(topology, nodes).run(max_rounds=5)
+        assert [n.is_leader for n in nodes] == [True, False, False, False]

@@ -1,0 +1,82 @@
+"""Cross-validation: the sequential emulation must match the message run.
+
+These are the strongest correctness tests in the repository: two
+independently written implementations of each protocol (message-passing
+nodes vs. sequential emulation) must produce the *identical* open set and
+assignment for every instance family, seed and trade-off parameter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm import Variant, solve_distributed
+from repro.core.dual_ascent_nodes import RoundingPolicy
+from repro.core.sequential_sim import run_sequential
+from repro.fl.generators import make_instance
+
+
+def _assert_equivalent(instance, k, variant, seed, rounding=None):
+    kwargs = {"rounding": rounding} if rounding else {}
+    distributed = solve_distributed(
+        instance, k=k, variant=variant, seed=seed, **kwargs
+    )
+    sequential = run_sequential(
+        instance, k=k, variant=variant, seed=seed, rounding=rounding
+    )
+    assert distributed.feasible
+    assert sequential.open_facilities == distributed.open_facilities
+    assert sequential.assignment == distributed.solution.assignment
+    assert sequential.cost == pytest.approx(distributed.cost)
+
+
+@pytest.mark.parametrize(
+    "family", ["uniform", "euclidean", "clustered", "set_cover", "sparse"]
+)
+@pytest.mark.parametrize("k", [1, 4, 9])
+def test_greedy_equivalence_across_families(family, k):
+    instance = make_instance(family, 8, 22, seed=13)
+    _assert_equivalent(instance, k, Variant.GREEDY, seed=3)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_greedy_equivalence_across_seeds(seed):
+    instance = make_instance("uniform", 10, 25, seed=4)
+    _assert_equivalent(instance, 9, Variant.GREEDY, seed=seed)
+
+
+@pytest.mark.parametrize(
+    "family", ["uniform", "euclidean", "set_cover", "sparse"]
+)
+@pytest.mark.parametrize("k", [1, 3, 8])
+def test_dual_equivalence_across_families(family, k):
+    instance = make_instance(family, 8, 22, seed=13)
+    _assert_equivalent(instance, k, Variant.DUAL_ASCENT, seed=3)
+
+
+@pytest.mark.parametrize("c_round", [0.05, 0.5, 2.0])
+@pytest.mark.parametrize("seed", [0, 4])
+def test_dual_equivalence_with_randomized_rounding(c_round, seed):
+    instance = make_instance("uniform", 10, 25, seed=4)
+    policy = RoundingPolicy(mode="randomized", c_round=c_round)
+    _assert_equivalent(instance, 6, Variant.DUAL_ASCENT, seed=seed, rounding=policy)
+
+
+def test_equivalence_on_larger_instance():
+    instance = make_instance("clustered", 16, 64, seed=21)
+    _assert_equivalent(instance, 16, Variant.GREEDY, seed=7)
+    _assert_equivalent(instance, 16, Variant.DUAL_ASCENT, seed=7)
+
+
+@pytest.mark.parametrize("open_fraction", [0.0, 0.25, 0.75, 1.0])
+def test_greedy_equivalence_with_opening_rule(open_fraction):
+    instance = make_instance("set_cover", 10, 25, seed=4)
+    distributed = solve_distributed(
+        instance, k=9, seed=3, open_fraction=open_fraction
+    )
+    sequential = run_sequential(
+        instance, k=9, seed=3, open_fraction=open_fraction
+    )
+    assert distributed.feasible
+    assert sequential.open_facilities == distributed.open_facilities
+    assert sequential.assignment == distributed.solution.assignment

@@ -1,0 +1,238 @@
+"""Unit tests for repro.net.simulator using tiny hand-written protocols."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    MessageSizeError,
+    NotANeighborError,
+    RoundLimitExceededError,
+    SimulationError,
+)
+from repro.net.faults import FaultPlan
+from repro.net.node import Node
+from repro.net.simulator import Simulator
+from repro.net.topology import Topology
+from repro.net.trace import Trace
+
+
+class PingPong(Node):
+    """Node 0 pings; node 1 pongs back; both finish after the exchange."""
+
+    def on_setup(self, ctx):
+        if self.node_id == 0:
+            ctx.send(1, "ping")
+
+    def on_round(self, ctx, inbox):
+        for msg in inbox:
+            if msg.kind == "ping":
+                ctx.send(msg.sender, "pong")
+                self.finished = True
+            elif msg.kind == "pong":
+                self.finished = True
+
+
+class Flooder(Node):
+    """Classic BFS flooding: learn a token, forward it once."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.heard_at: int | None = None
+
+    def on_setup(self, ctx):
+        if self.node_id == 0:
+            self.heard_at = 0
+            ctx.broadcast("token")
+            self.finished = True
+
+    def on_round(self, ctx, inbox):
+        if self.heard_at is None and any(m.kind == "token" for m in inbox):
+            self.heard_at = ctx.round_number
+            ctx.broadcast("token")
+        if self.heard_at is not None:
+            self.finished = True
+
+
+class ChattyNode(Node):
+    """Sends a configurable message each round (for policy tests)."""
+
+    payload: dict = {}
+    duplicate = False
+    target_non_neighbor = False
+
+    def on_round(self, ctx, inbox):
+        if self.node_id == 0 and ctx.round_number == 1:
+            if self.target_non_neighbor:
+                ctx.send(2, "x")
+            else:
+                ctx.send(1, "x", **self.payload)
+                if self.duplicate:
+                    ctx.send(1, "x")
+        self.finished = True
+
+
+class IdleNode(Node):
+    """Never finishes; used for round-limit tests."""
+
+    def on_round(self, ctx, inbox):
+        pass
+
+
+def test_ping_pong_completes_in_two_rounds():
+    simulator = Simulator(Topology.path(2), [PingPong(0), PingPong(1)])
+    metrics = simulator.run(max_rounds=10)
+    assert metrics.rounds == 2
+    assert metrics.total_messages == 2
+    assert simulator.all_finished
+
+
+def test_flooding_reaches_distance_in_matching_rounds():
+    topology = Topology.path(5)
+    nodes = [Flooder(i) for i in range(5)]
+    simulator = Simulator(topology, nodes)
+    simulator.run(max_rounds=10)
+    assert [n.heard_at for n in nodes] == [0, 1, 2, 3, 4]
+
+
+def test_flooding_on_ring_uses_both_directions():
+    nodes = [Flooder(i) for i in range(6)]
+    Simulator(Topology.ring(6), nodes).run(max_rounds=10)
+    assert [n.heard_at for n in nodes] == [0, 1, 2, 3, 2, 1]
+
+
+def test_send_to_non_neighbor_rejected():
+    node = ChattyNode(0)
+    node.target_non_neighbor = True
+    simulator = Simulator(Topology.path(3), [node, ChattyNode(1), ChattyNode(2)])
+    with pytest.raises(NotANeighborError):
+        simulator.run(max_rounds=5)
+
+
+def test_message_bit_budget_enforced():
+    node = ChattyNode(0)
+    node.payload = {"big": "x" * 100}  # 800+ bits
+    simulator = Simulator(
+        Topology.path(2), [node, ChattyNode(1)], max_message_bits=64
+    )
+    with pytest.raises(MessageSizeError):
+        simulator.run(max_rounds=5)
+
+
+def test_strict_congest_one_message_per_edge():
+    node = ChattyNode(0)
+    node.duplicate = True
+    simulator = Simulator(
+        Topology.path(2),
+        [node, ChattyNode(1)],
+        enforce_single_message_per_edge=True,
+    )
+    with pytest.raises(SimulationError, match="two messages"):
+        simulator.run(max_rounds=5)
+
+
+def test_round_limit_raises_with_unfinished_nodes():
+    simulator = Simulator(Topology.path(2), [IdleNode(0), IdleNode(1)])
+    with pytest.raises(RoundLimitExceededError, match="2 nodes still running"):
+        simulator.run(max_rounds=3)
+
+
+def test_round_limit_truncation_allowed():
+    simulator = Simulator(Topology.path(2), [IdleNode(0), IdleNode(1)])
+    metrics = simulator.run(max_rounds=3, allow_truncation=True)
+    assert metrics.rounds == 3
+
+
+def test_negative_max_rounds_rejected():
+    simulator = Simulator(Topology.path(2), [IdleNode(0), IdleNode(1)])
+    with pytest.raises(SimulationError):
+        simulator.run(max_rounds=-1)
+
+
+def test_node_id_mismatch_rejected():
+    with pytest.raises(SimulationError, match="ids must match"):
+        Simulator(Topology.path(2), [PingPong(1), PingPong(0)])
+
+
+def test_wrong_node_count_rejected():
+    with pytest.raises(SimulationError):
+        Simulator(Topology.path(3), [PingPong(0), PingPong(1)])
+
+
+def test_nodes_as_mapping():
+    simulator = Simulator(Topology.path(2), {1: PingPong(1), 0: PingPong(0)})
+    simulator.run(max_rounds=5)
+    assert simulator.all_finished
+
+
+def test_mapping_with_missing_node_rejected():
+    with pytest.raises(SimulationError, match="missing nodes"):
+        Simulator(Topology.path(2), {0: PingPong(0)})
+
+
+def test_setup_twice_rejected():
+    simulator = Simulator(Topology.path(2), [PingPong(0), PingPong(1)])
+    simulator.setup()
+    with pytest.raises(SimulationError):
+        simulator.setup()
+
+
+def test_full_drop_plan_blocks_delivery():
+    nodes = [Flooder(i) for i in range(3)]
+    plan = FaultPlan(drop_probability=1.0)
+    simulator = Simulator(Topology.path(3), nodes, fault_plan=plan)
+    simulator.run(max_rounds=4, allow_truncation=True)
+    assert nodes[1].heard_at is None
+    assert simulator.metrics.dropped_messages > 0
+
+
+def test_crashed_node_stops_participating():
+    nodes = [Flooder(i) for i in range(4)]
+    plan = FaultPlan(crash_rounds={1: 1})  # node 1 dies before round 1 runs
+    simulator = Simulator(Topology.path(4), nodes, fault_plan=plan)
+    simulator.run(max_rounds=10, allow_truncation=True)
+    assert nodes[1].crashed
+    # The token cannot get past the crashed node on a path.
+    assert nodes[2].heard_at is None
+    assert nodes[3].heard_at is None
+
+
+def test_determinism_across_runs():
+    def run_once():
+        nodes = [Flooder(i) for i in range(5)]
+        simulator = Simulator(Topology.ring(5), nodes, seed=9)
+        simulator.run(max_rounds=10)
+        return simulator.metrics.summary()
+
+    assert run_once() == run_once()
+
+
+def test_trace_records_via_context():
+    class Tracer(Node):
+        def on_round(self, ctx, inbox):
+            ctx.log("tick", value=self.node_id)
+            self.finished = True
+
+    trace = Trace()
+    simulator = Simulator(Topology.path(2), [Tracer(0), Tracer(1)], trace=trace)
+    simulator.run(max_rounds=3)
+    assert len(trace.events(event="tick")) == 2
+
+
+def test_inbox_sorted_by_sender():
+    received: list[list[int]] = []
+
+    class Collector(Node):
+        def on_setup(self, ctx):
+            if self.node_id != 0:
+                ctx.send(0, "m")
+                self.finished = True
+
+        def on_round(self, ctx, inbox):
+            if self.node_id == 0 and inbox:
+                received.append([m.sender for m in inbox])
+            self.finished = True
+
+    simulator = Simulator(Topology.star(4), [Collector(i) for i in range(5)])
+    simulator.run(max_rounds=3)
+    assert received == [[1, 2, 3, 4]]

@@ -1,0 +1,126 @@
+"""Unit tests for repro.fl.solution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InfeasibleSolutionError
+from repro.fl.solution import FacilityLocationSolution
+
+
+class TestConstruction:
+    def test_from_open_set_assigns_cheapest(self, tiny_instance):
+        solution = FacilityLocationSolution.from_open_set(tiny_instance, {0, 1})
+        assert solution.assignment == {0: 0, 1: 1, 2: 1}
+        assert solution.cost == pytest.approx(1 + 4 + 1 + 1 + 1)
+
+    def test_from_open_set_single(self, tiny_instance):
+        solution = FacilityLocationSolution.from_open_set(tiny_instance, {0})
+        assert solution.cost == pytest.approx(7.0)
+
+    def test_from_open_set_empty_raises(self, tiny_instance):
+        with pytest.raises(InfeasibleSolutionError, match="no open facility"):
+            FacilityLocationSolution.from_open_set(tiny_instance, set())
+
+    def test_from_open_set_unreachable_client(self, incomplete_instance):
+        # Facility 0 reaches clients {0, 2} only.
+        with pytest.raises(InfeasibleSolutionError, match="no edge"):
+            FacilityLocationSolution.from_open_set(incomplete_instance, {0})
+
+    def test_from_assignment_opens_used_set(self, tiny_instance):
+        solution = FacilityLocationSolution.from_assignment(
+            tiny_instance, {0: 0, 1: 0, 2: 0}
+        )
+        assert solution.open_facilities == frozenset({0})
+        assert solution.cost == pytest.approx(7.0)
+
+
+class TestValidation:
+    def test_unassigned_client(self, tiny_instance):
+        with pytest.raises(InfeasibleSolutionError, match="unassigned"):
+            FacilityLocationSolution(tiny_instance, {0}, {0: 0, 1: 0})
+
+    def test_assigned_to_closed_facility(self, tiny_instance):
+        with pytest.raises(InfeasibleSolutionError, match="closed facility"):
+            FacilityLocationSolution(tiny_instance, {0}, {0: 0, 1: 1, 2: 0})
+
+    def test_open_index_out_of_range(self, tiny_instance):
+        with pytest.raises(InfeasibleSolutionError, match="out of range"):
+            FacilityLocationSolution(tiny_instance, {7}, {0: 0, 1: 0, 2: 0})
+
+    def test_assignment_without_edge(self, incomplete_instance):
+        with pytest.raises(InfeasibleSolutionError, match="no connecting edge"):
+            FacilityLocationSolution(
+                incomplete_instance,
+                {0, 1, 2},
+                {0: 0, 1: 0, 2: 1, 3: 2},  # client 1 has no edge to facility 0
+            )
+
+    def test_validate_false_skips_checks(self, tiny_instance):
+        # Construction succeeds, is_feasible still reports the truth.
+        solution = FacilityLocationSolution(
+            tiny_instance, {0}, {0: 0, 1: 1, 2: 0}, validate=False
+        )
+        assert not solution.is_feasible()
+
+    def test_is_feasible_true(self, tiny_instance):
+        solution = FacilityLocationSolution.from_open_set(tiny_instance, {0})
+        assert solution.is_feasible()
+
+
+class TestCosts:
+    def test_cost_decomposition(self, tiny_instance):
+        solution = FacilityLocationSolution.from_open_set(tiny_instance, {0, 1})
+        assert solution.opening_cost == pytest.approx(5.0)
+        assert solution.connection_cost == pytest.approx(3.0)
+        assert solution.cost == solution.opening_cost + solution.connection_cost
+
+    def test_num_open(self, tiny_instance):
+        solution = FacilityLocationSolution.from_open_set(tiny_instance, {0, 1})
+        assert solution.num_open == 2
+
+
+class TestAccessors:
+    def test_facility_of_and_clients_of(self, tiny_instance):
+        solution = FacilityLocationSolution.from_open_set(tiny_instance, {0, 1})
+        assert solution.facility_of(0) == 0
+        assert solution.clients_of(1) == (1, 2)
+        assert solution.clients_of(0) == (0,)
+
+    def test_assignment_returns_copy(self, tiny_instance):
+        solution = FacilityLocationSolution.from_open_set(tiny_instance, {0})
+        mapping = solution.assignment
+        mapping[0] = 99
+        assert solution.facility_of(0) == 0
+
+
+class TestImprovement:
+    def test_reassigned_to_cheapest_never_worse(self, tiny_instance):
+        # Deliberately bad assignment: everyone to facility 0 despite 1 open.
+        bad = FacilityLocationSolution(
+            tiny_instance, {0, 1}, {0: 0, 1: 0, 2: 0}
+        )
+        improved = bad.reassigned_to_cheapest()
+        assert improved.cost <= bad.cost
+        assert improved.assignment == {0: 0, 1: 1, 2: 1}
+
+    def test_without_unused_facilities(self, tiny_instance):
+        wasteful = FacilityLocationSolution(
+            tiny_instance, {0, 1}, {0: 0, 1: 0, 2: 0}
+        )
+        trimmed = wasteful.without_unused_facilities()
+        assert trimmed.open_facilities == frozenset({0})
+        assert trimmed.cost < wasteful.cost
+
+
+class TestEquality:
+    def test_equality(self, tiny_instance):
+        a = FacilityLocationSolution.from_open_set(tiny_instance, {0})
+        b = FacilityLocationSolution.from_open_set(tiny_instance, {0})
+        c = FacilityLocationSolution.from_open_set(tiny_instance, {0, 1})
+        assert a == b
+        assert a != c
+
+    def test_repr(self, tiny_instance):
+        solution = FacilityLocationSolution.from_open_set(tiny_instance, {0})
+        assert "open=1" in repr(solution)

@@ -1,0 +1,123 @@
+"""Tests for the vertex-cover app and the k-median baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.vertex_cover import (
+    is_vertex_cover,
+    matching_lower_bound,
+    solve_vertex_cover_distributed,
+    solve_vertex_cover_greedy,
+    vertex_cover_to_set_cover,
+)
+from repro.baselines.k_median import exact_k_median, solve_k_median
+from repro.exceptions import AlgorithmError, InvalidInstanceError
+from repro.fl.generators import euclidean_instance, sparse_instance
+from repro.net.topology import Topology
+
+
+class TestVertexCoverReduction:
+    def test_sets_are_incident_edges(self):
+        graph = Topology.path(3)  # edges (0,1), (1,2)
+        instance, edges = vertex_cover_to_set_cover(graph)
+        assert edges == [(0, 1), (1, 2)]
+        assert instance.sets[0] == frozenset({0})
+        assert instance.sets[1] == frozenset({0, 1})
+        assert instance.sets[2] == frozenset({1})
+
+    def test_weight_validation(self):
+        with pytest.raises(InvalidInstanceError, match="one weight"):
+            vertex_cover_to_set_cover(Topology.path(3), weights=[1.0])
+
+    def test_edgeless_graph_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="at least one edge"):
+            vertex_cover_to_set_cover(Topology(3, []))
+
+
+class TestVertexCoverSolvers:
+    def test_is_vertex_cover(self):
+        graph = Topology.path(4)
+        assert is_vertex_cover(graph, frozenset({1, 2}))
+        assert not is_vertex_cover(graph, frozenset({0, 3}))
+
+    def test_matching_lower_bound_on_path(self):
+        # Path on 5 nodes: maximal matching greedily takes (0,1), (2,3).
+        assert matching_lower_bound(Topology.path(5)) == 2
+
+    def test_greedy_on_star(self):
+        # The center covers every edge.
+        chosen = solve_vertex_cover_greedy(Topology.star(7))
+        assert chosen == frozenset({0})
+
+    def test_distributed_on_ring(self):
+        graph = Topology.ring(14)
+        chosen, metrics = solve_vertex_cover_distributed(graph, k=16, seed=0)
+        assert is_vertex_cover(graph, chosen)
+        # Optimum is 7; the matching bound sandwiches the quality.
+        assert matching_lower_bound(graph) <= len(chosen) <= 14
+        assert metrics.rounds > 0
+
+    def test_distributed_weighted(self):
+        graph = Topology.star(5)
+        weights = [100.0] + [1.0] * 5  # expensive center
+        chosen, _ = solve_vertex_cover_distributed(
+            graph, k=9, weights=weights, seed=0
+        )
+        assert is_vertex_cover(graph, chosen)
+        assert sum(weights[v] for v in chosen) <= 6.0  # leaves beat center
+
+
+class TestKMedian:
+    def test_exact_on_tiny(self, tiny_instance):
+        # p = 1: best single facility by connection cost only:
+        # facility 0: 1+2+3 = 6; facility 1: 2+1+1 = 4 -> open {1}.
+        solution = exact_k_median(tiny_instance, p=1)
+        assert solution.open_facilities == frozenset({1})
+        assert solution.cost == pytest.approx(4.0)
+
+    def test_exact_p_two(self, tiny_instance):
+        solution = exact_k_median(tiny_instance, p=2)
+        assert solution.cost == pytest.approx(1 + 1 + 1)
+
+    def test_bisection_close_to_exact(self):
+        instance = euclidean_instance(8, 24, seed=11)
+        for p in (1, 2, 4):
+            approx = solve_k_median(instance, p=p)
+            exact = exact_k_median(instance, p=p)
+            assert approx.num_open <= p
+            assert approx.cost >= exact.cost - 1e-9
+            assert approx.cost <= 3.0 * exact.cost + 1e-9
+
+    def test_respects_cardinality(self):
+        instance = euclidean_instance(10, 30, seed=5)
+        for p in (1, 3, 7):
+            assert solve_k_median(instance, p=p).num_open <= p
+
+    def test_more_medians_never_hurt(self):
+        instance = euclidean_instance(9, 27, seed=13)
+        costs = [solve_k_median(instance, p=p).cost for p in (1, 3, 6, 9)]
+        for a, b in zip(costs, costs[1:]):
+            assert b <= a + 1e-9
+
+    def test_p_validation(self, tiny_instance):
+        with pytest.raises(AlgorithmError):
+            solve_k_median(tiny_instance, p=0)
+        with pytest.raises(AlgorithmError):
+            solve_k_median(tiny_instance, p=5)
+        with pytest.raises(AlgorithmError):
+            exact_k_median(tiny_instance, p=0)
+
+    def test_sparse_infeasible_subset_detected(self):
+        # Each client reaches 2 facilities out of 8; p=1 cannot cover all.
+        instance = sparse_instance(8, 20, seed=3, client_degree=2)
+        with pytest.raises(AlgorithmError, match="covers every client"):
+            exact_k_median(instance, p=1)
+
+    def test_opening_costs_ignored(self, tiny_instance):
+        # Scaling opening costs must not change the k-median solution.
+        inflated = tiny_instance.with_opening_costs([100.0, 200.0])
+        a = solve_k_median(tiny_instance, p=1)
+        b = solve_k_median(inflated, p=1)
+        assert a.open_facilities == b.open_facilities
+        assert a.cost == pytest.approx(b.cost)
