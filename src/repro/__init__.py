@@ -50,6 +50,16 @@ from repro.fl.solution import FacilityLocationSolution
 from repro.net.faults import FaultPlan
 from repro.net.simulator import Simulator
 from repro.net.topology import Topology
+from repro.net.trace import NullTrace, Trace
+from repro.obs import (
+    JsonlTraceSink,
+    MultiTrace,
+    RingBufferTrace,
+    RoundTimeline,
+    RoundTimelineEntry,
+    RunRecord,
+    inspect_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -82,6 +92,16 @@ __all__ = [
     "Simulator",
     "Topology",
     "FaultPlan",
+    "Trace",
+    "NullTrace",
+    # observability
+    "JsonlTraceSink",
+    "RingBufferTrace",
+    "MultiTrace",
+    "RoundTimeline",
+    "RoundTimelineEntry",
+    "RunRecord",
+    "inspect_trace",
     # errors
     "ReproError",
     "InvalidInstanceError",

@@ -14,9 +14,10 @@ benchmark-friendly size without changing its structure.
 
 from __future__ import annotations
 
+import functools
 import time
-from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.analysis.aggregate import aggregate, linear_fit
 from repro.analysis.tables import render_table
@@ -91,6 +92,32 @@ class ExperimentResult:
         idx = self.headers.index(header)
         return [row[idx] for row in self.rows]
 
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock the experiment took (0.0 for hand-built results)."""
+        return float(self.notes.get("wall_seconds", 0.0))
+
+
+def _timed(
+    func: Callable[..., ExperimentResult]
+) -> Callable[..., ExperimentResult]:
+    """Attach the experiment's wall-clock to its record.
+
+    Benchmark artifacts and EXPERIMENTS.md snapshots carry the timing in
+    ``notes["wall_seconds"]``, so cross-version trajectories (BENCH_*.json)
+    can track cost *and* speed from the same record.
+    """
+
+    @functools.wraps(func)
+    def wrapper(*args: Any, **kwargs: Any) -> ExperimentResult:
+        start = time.perf_counter()
+        result = func(*args, **kwargs)
+        notes = dict(result.notes)
+        notes["wall_seconds"] = time.perf_counter() - start
+        return replace(result, notes=notes)
+
+    return wrapper
+
 
 def _ratio_sweep(
     family: str,
@@ -117,6 +144,7 @@ def _ratio_sweep(
 # ----------------------------------------------------------------------
 
 
+@_timed
 def run_e1_tradeoff_table(
     m: int = 20,
     n: int = 60,
@@ -174,6 +202,7 @@ def run_e1_tradeoff_table(
 # ----------------------------------------------------------------------
 
 
+@_timed
 def run_e2_ratio_vs_k(
     m: int = 20,
     n: int = 60,
@@ -216,6 +245,7 @@ def run_e2_ratio_vs_k(
 # ----------------------------------------------------------------------
 
 
+@_timed
 def run_e3_rounds_vs_k(
     m: int = 20,
     n: int = 60,
@@ -252,6 +282,7 @@ def run_e3_rounds_vs_k(
 # ----------------------------------------------------------------------
 
 
+@_timed
 def run_e4_message_bits(
     sizes: Sequence[tuple[int, int]] | None = None,
     k: int = 9,
@@ -299,6 +330,7 @@ def run_e4_message_bits(
 # ----------------------------------------------------------------------
 
 
+@_timed
 def run_e5_baselines_table(
     m: int = 15,
     n: int = 45,
@@ -371,6 +403,7 @@ def run_e5_baselines_table(
 # ----------------------------------------------------------------------
 
 
+@_timed
 def run_e6_rounding_ablation(
     m: int = 20,
     n: int = 60,
@@ -428,6 +461,7 @@ def run_e6_rounding_ablation(
 # ----------------------------------------------------------------------
 
 
+@_timed
 def run_e7_rho_sensitivity(
     m: int = 20,
     n: int = 60,
@@ -468,6 +502,7 @@ def run_e7_rho_sensitivity(
 # ----------------------------------------------------------------------
 
 
+@_timed
 def run_e8_families_table(
     m: int = 20,
     n: int = 60,
@@ -524,6 +559,7 @@ def run_e8_families_table(
 # ----------------------------------------------------------------------
 
 
+@_timed
 def run_e9_scalability(
     sizes: Sequence[tuple[int, int]] | None = None,
     k: int = 9,
@@ -578,6 +614,7 @@ def run_e9_scalability(
 # ----------------------------------------------------------------------
 
 
+@_timed
 def run_e10_variants_table(
     m: int = 20,
     n: int = 60,
@@ -623,6 +660,7 @@ def run_e10_variants_table(
 # ----------------------------------------------------------------------
 
 
+@_timed
 def run_e11_faults(
     m: int = 20,
     n: int = 60,
@@ -684,6 +722,7 @@ def run_e11_faults(
 # ----------------------------------------------------------------------
 
 
+@_timed
 def run_e12_ladder_necessity(
     m: int = 20,
     n: int = 60,
@@ -730,6 +769,7 @@ def run_e12_ladder_necessity(
 # ----------------------------------------------------------------------
 
 
+@_timed
 def run_e13_settle_ablation(
     m: int = 20,
     n: int = 60,
@@ -795,6 +835,7 @@ def run_e13_settle_ablation(
 # ----------------------------------------------------------------------
 
 
+@_timed
 def run_e14_anytime(
     m: int = 20,
     n: int = 60,
@@ -872,6 +913,7 @@ def run_e14_anytime(
 # ----------------------------------------------------------------------
 
 
+@_timed
 def run_e15_concentration(
     m: int = 20,
     n: int = 60,
@@ -931,6 +973,7 @@ def run_e15_concentration(
 # ----------------------------------------------------------------------
 
 
+@_timed
 def run_e16_opening_rule(
     m: int = 20,
     n: int = 60,

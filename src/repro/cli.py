@@ -5,6 +5,8 @@ Everything the library does is reachable from the shell::
     repro generate --family euclidean -m 20 -n 60 --seed 3 -o inst.json
     repro solve inst.json -k 16 --variant greedy
     repro solve --family uniform -m 20 -n 60 --seed 3 -k 16
+    repro solve inst.json -k 16 --trace run.jsonl --timeline --no-lp
+    repro inspect run.jsonl
     repro baselines inst.json
     repro experiment E3 --quick
     repro report EXPERIMENTS.md --quick
@@ -37,6 +39,9 @@ from repro.exceptions import ReproError
 from repro.fl.generators import FAMILIES, make_instance
 from repro.fl.instance import FacilityLocationInstance
 from repro.fl.io import load_instance_json, save_instance_json
+from repro.obs.inspect import inspect_trace
+from repro.obs.manifest import RunRecord, manifest_path_for
+from repro.obs.sinks import JsonlTraceSink
 
 __all__ = ["main", "build_parser"]
 
@@ -90,6 +95,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve.add_argument("--c-round", type=float, default=1.0)
     solve.add_argument("--json", action="store_true", help="machine-readable output")
+    solve.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="stream a JSONL trace (events + per-round telemetry + manifest) "
+        "to PATH; a sidecar .manifest.json is written next to it",
+    )
+    solve.add_argument(
+        "--timeline",
+        action="store_true",
+        help="print the per-round timeline table after solving",
+    )
+    solve.add_argument(
+        "--no-lp",
+        action="store_true",
+        help="skip the LP lower bound (omits ratio_vs_lp; use on large instances)",
+    )
+
+    inspect = sub.add_parser(
+        "inspect", help="summarize a JSONL trace written by solve --trace"
+    )
+    inspect.add_argument("trace", help="JSONL trace path")
+    inspect.add_argument(
+        "--slowest", type=int, default=5, help="how many slowest rounds to show"
+    )
 
     base = sub.add_parser("baselines", help="run every sequential baseline")
     base.add_argument("instance", nargs="?", help="instance JSON path")
@@ -144,30 +173,63 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_solve(args: argparse.Namespace) -> int:
     instance = _load_instance(args)
     policy = RoundingPolicy(mode=args.rounding, c_round=args.c_round)
-    result = solve_distributed(
-        instance,
-        k=args.k,
-        variant=args.variant,
-        seed=args.algo_seed,
-        rounding=policy,
-    )
-    lp = solve_lp(instance)
+    sink = JsonlTraceSink(args.trace) if args.trace else None
+    try:
+        result = solve_distributed(
+            instance,
+            k=args.k,
+            variant=args.variant,
+            seed=args.algo_seed,
+            rounding=policy,
+            trace=sink,
+        )
+    except ReproError:
+        if sink is not None:
+            sink.close()
+        raise
     payload = {
         "instance": instance.name,
         "k": args.k,
         "variant": args.variant,
         "cost": result.cost,
-        "ratio_vs_lp": result.cost / max(lp.value, 1e-12),
         "open_facilities": sorted(result.open_facilities),
         "rounds": result.metrics.rounds,
         "total_messages": result.metrics.total_messages,
         "max_message_bits": result.metrics.max_message_bits,
+        "wall_seconds": result.wall_seconds,
     }
+    if not args.no_lp:
+        lp = solve_lp(instance)
+        payload["ratio_vs_lp"] = result.cost / max(lp.value, 1e-12)
+    if sink is not None:
+        manifest = RunRecord.from_run(
+            result,
+            seed=args.algo_seed,
+            parameters={
+                "k": args.k,
+                "variant": args.variant,
+                "rounding": args.rounding,
+                "c_round": args.c_round,
+            },
+            wall_seconds=result.wall_seconds,
+        )
+        sink.write_json(manifest.to_dict())
+        sink.close()
+        manifest_file = manifest.write_json(manifest_path_for(args.trace))
+        payload["trace"] = args.trace
+        payload["manifest"] = str(manifest_file)
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
         rows = [(key, value) for key, value in payload.items()]
         print(render_table(("field", "value"), rows, title="distributed solve"))
+    if args.timeline:
+        print(result.timeline.render())
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    print(inspect_trace(args.trace, slowest=args.slowest))
     return 0
 
 
@@ -216,6 +278,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 _HANDLERS = {
     "generate": _cmd_generate,
     "solve": _cmd_solve,
+    "inspect": _cmd_inspect,
     "baselines": _cmd_baselines,
     "experiment": _cmd_experiment,
     "report": _cmd_report,
@@ -231,6 +294,9 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        return 0
 
 
 if __name__ == "__main__":

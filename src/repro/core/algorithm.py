@@ -18,6 +18,7 @@ Two protocol variants are provided (experiment E10 compares them):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Mapping
@@ -42,6 +43,7 @@ from repro.net.metrics import NetworkMetrics
 from repro.net.simulator import Simulator
 from repro.net.topology import Topology
 from repro.net.trace import Trace
+from repro.obs.timeline import RoundTimeline
 
 __all__ = [
     "Variant",
@@ -65,6 +67,11 @@ class DistributedRunResult:
     ``solution`` is ``None`` only when fault injection left some client
     unserved (``unserved_clients`` lists them); fault-free runs always
     yield a validated feasible solution.
+
+    ``timeline`` is the simulator's per-round telemetry (wall-clock,
+    traffic, drops, node counts) and ``wall_seconds`` the total wall-clock
+    of the run, so experiment records and manifests can report where time
+    went without re-running.
     """
 
     instance: FacilityLocationInstance
@@ -74,6 +81,8 @@ class DistributedRunResult:
     open_facilities: frozenset[int]
     unserved_clients: tuple[int, ...]
     metrics: NetworkMetrics
+    timeline: RoundTimeline = field(default_factory=RoundTimeline)
+    wall_seconds: float = 0.0
     diagnostics: Mapping[str, Any] = field(default_factory=dict)
 
     @property
@@ -224,8 +233,10 @@ class DistributedFacilityLocation:
     def run(self) -> DistributedRunResult:
         """Execute the protocol and extract the solution and metrics."""
         simulator = self.build_simulator()
+        start = time.perf_counter()
         metrics = simulator.run(max_rounds=self.schedule_rounds() + 2)
-        return self._extract(simulator, metrics)
+        wall_seconds = time.perf_counter() - start
+        return self._extract(simulator, metrics, wall_seconds)
 
     def run_truncated(self, max_rounds: int) -> DistributedRunResult:
         """Execute at most ``max_rounds`` rounds and extract the partial state.
@@ -241,13 +252,15 @@ class DistributedFacilityLocation:
         """
         simulator = self.build_simulator()
         budget = min(max_rounds, self.schedule_rounds() + 2)
+        start = time.perf_counter()
         metrics = simulator.run(max_rounds=budget, allow_truncation=True)
-        return self._extract(simulator, metrics)
+        wall_seconds = time.perf_counter() - start
+        return self._extract(simulator, metrics, wall_seconds)
 
     # ------------------------------------------------------------------
 
     def _extract(
-        self, simulator: Simulator, metrics: NetworkMetrics
+        self, simulator: Simulator, metrics: NetworkMetrics, wall_seconds: float = 0.0
     ) -> DistributedRunResult:
         m = self.instance.num_facilities
         facilities = simulator.nodes[:m]
@@ -280,6 +293,8 @@ class DistributedFacilityLocation:
             open_facilities=open_set,
             unserved_clients=tuple(unserved),
             metrics=metrics,
+            timeline=simulator.timeline,
+            wall_seconds=wall_seconds,
             diagnostics=diagnostics,
         )
 

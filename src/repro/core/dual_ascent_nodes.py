@@ -215,6 +215,7 @@ class DualFacilityNode(Node):
         if not opens:
             return
         self.is_open = True
+        ctx.log("open", selectors=len(selectors), payment=self.payment)
         ctx.broadcast(OPEN_AD)
 
     def _handle_force(self, ctx: RoundContext, inbox: list[Message]) -> None:
@@ -263,6 +264,7 @@ class DualClientNode(Node):
         if phase == "alpha":
             if not self.frozen:
                 self.alpha = max(self.gamma, self.params.threshold(level))
+                ctx.log("alpha_raise", level=level, alpha=self.alpha)
                 ctx.broadcast(ALPHA, alpha=self.alpha)
         elif phase == "round1":
             self._select(ctx)
@@ -283,7 +285,7 @@ class DualClientNode(Node):
                     if not self.frozen:
                         self.frozen = True
                         self.frozen_at_level = level
-                        ctx.log("frozen", level=level, witness=msg.sender)
+                        ctx.log("settle", level=level, witness=msg.sender)
             elif msg.kind == SERVE and not self.connected:
                 self.connected_to = msg.sender
                 ctx.log("connected", facility=msg.sender)
@@ -299,6 +301,7 @@ class DualClientNode(Node):
     def _select(self, ctx: RoundContext) -> None:
         """ROUNDING: point at the cheapest witness."""
         target = self._cheapest_witness()
+        ctx.log("select", facility=target, alpha=self.alpha)
         ctx.send(target, SELECT, alpha=self.alpha)
 
     def _join_or_force(self, ctx: RoundContext, inbox: list[Message]) -> None:

@@ -315,6 +315,7 @@ class GreedyClientNode(Node):
             return
         best = max(proposals, key=lambda msg: (msg["priority"], -msg.sender))
         self._accepted = best.sender
+        ctx.log("accept", facility=best.sender, offers=len(proposals))
         ctx.send(best.sender, ACCEPT)
 
     def _join_or_force(self, ctx: RoundContext, inbox: list[Message]) -> None:

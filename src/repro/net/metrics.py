@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.net.message import Message
 
@@ -63,8 +64,13 @@ class NetworkMetrics:
             return 0.0
         return self.total_bits / self.total_messages
 
-    def summary(self) -> dict[str, float]:
-        """Flat dictionary for tables and experiment records."""
+    def summary(self) -> dict[str, Any]:
+        """Dictionary for tables and experiment records.
+
+        Counts are ints, ``mean_message_bits`` is a float, and
+        ``messages_by_kind`` is a plain ``dict[str, int]`` so per-kind
+        counts survive JSON round-trips into experiment records.
+        """
         return {
             "rounds": self.rounds,
             "total_messages": self.total_messages,
@@ -73,4 +79,5 @@ class NetworkMetrics:
             "mean_message_bits": self.mean_message_bits,
             "max_messages_per_round": self.max_messages_per_round,
             "dropped_messages": self.dropped_messages,
+            "messages_by_kind": dict(self.messages_by_kind),
         }

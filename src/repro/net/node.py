@@ -146,7 +146,12 @@ class RoundContext:
             self.send(receiver, kind, **payload)
 
     def log(self, event: str, **data: Any) -> None:
-        """Record a structured trace event (no-op when tracing is off)."""
-        self._simulator.trace.record(
-            self._round_number, self._node.node_id, event, data
-        )
+        """Record a structured trace event (no-op when tracing is off).
+
+        The ``enabled`` guard makes the disabled path a single attribute
+        check: with the default :class:`~repro.net.trace.NullTrace`,
+        ``record`` is never even called.
+        """
+        trace = self._simulator.trace
+        if trace.enabled:
+            trace.record(self._round_number, self._node.node_id, event, data)

@@ -20,6 +20,7 @@ optional tracing. Its contract:
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from typing import Mapping, Sequence
 
@@ -31,6 +32,7 @@ from repro.net.node import Node, RoundContext
 from repro.net.rng import spawn_node_rngs
 from repro.net.topology import Topology
 from repro.net.trace import NullTrace, Trace
+from repro.obs.timeline import RoundTimeline, RoundTimelineEntry
 
 __all__ = ["Simulator"]
 
@@ -79,6 +81,7 @@ class Simulator:
         self.enforce_single_message_per_edge = enforce_single_message_per_edge
         self.trace: Trace = trace if trace is not None else NullTrace()
         self.metrics = NetworkMetrics()
+        self.timeline = RoundTimeline()
         self._round = 0
         self._pending: list[Message] = []  # sent this round, delivered next
         self._started = False
@@ -131,16 +134,30 @@ class Simulator:
         if self._started:
             raise SimulationError("setup() may only run once")
         self._started = True
+        start = time.perf_counter()
         for node in self._nodes:
             ctx = RoundContext(self, node, round_number=0)
             node.on_setup(ctx)
         for message in self._pending:
             self.metrics.record_message(message)
+        # Round 0: setup traffic would otherwise be invisible in per-round
+        # accounting (it predates the first metrics.start_round()).
+        self._record_timeline_entry(
+            round_number=0,
+            wall_ms=(time.perf_counter() - start) * 1e3,
+            messages=self.metrics.total_messages,
+            bits=self.metrics.total_bits,
+            drops=0,
+        )
 
     def step(self) -> None:
         """Execute exactly one synchronous round."""
         if not self._started:
             self.setup()
+        start = time.perf_counter()
+        messages_before = self.metrics.total_messages
+        bits_before = self.metrics.total_bits
+        drops_before = self.metrics.dropped_messages
         self._round += 1
         self.metrics.start_round()
         inboxes: dict[int, list[Message]] = defaultdict(list)
@@ -165,6 +182,31 @@ class Simulator:
             node.on_round(ctx, inbox)
         for message in self._pending:
             self.metrics.record_message(message)
+        self._record_timeline_entry(
+            round_number=self._round,
+            wall_ms=(time.perf_counter() - start) * 1e3,
+            messages=self.metrics.total_messages - messages_before,
+            bits=self.metrics.total_bits - bits_before,
+            drops=self.metrics.dropped_messages - drops_before,
+        )
+
+    def _record_timeline_entry(
+        self, round_number: int, wall_ms: float, messages: int, bits: int, drops: int
+    ) -> None:
+        """Append one round's telemetry and notify the trace sink."""
+        alive = sum(1 for n in self._nodes if not n.crashed)
+        finished = sum(1 for n in self._nodes if n.finished)
+        entry = RoundTimelineEntry(
+            round_number=round_number,
+            wall_ms=wall_ms,
+            messages=messages,
+            bits=bits,
+            drops=drops,
+            alive=alive,
+            finished=finished,
+        )
+        self.timeline.append(entry)
+        self.trace.on_round_end(entry)
 
     def run(self, max_rounds: int, allow_truncation: bool = False) -> NetworkMetrics:
         """Run until global termination or ``max_rounds``.

@@ -9,7 +9,10 @@ single attribute check per event when disabled.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterator, Mapping
+from typing import Any, Iterator, Mapping, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.obs.timeline import RoundTimelineEntry
 
 __all__ = ["TraceEvent", "Trace", "NullTrace"]
 
@@ -65,6 +68,19 @@ class Trace:
     def render(self) -> str:
         """Human-readable transcript."""
         return "\n".join(str(e) for e in self._events)
+
+    # -- simulator lifecycle hooks -------------------------------------
+    #
+    # The simulator calls these at round boundaries and at end of run so
+    # that *streaming* trace implementations (see repro.obs.sinks) can
+    # flush per round and finalize their output. The in-memory default
+    # needs neither, so both are no-ops here.
+
+    def on_round_end(self, entry: "RoundTimelineEntry") -> None:
+        """Round boundary: receives the round's telemetry entry."""
+
+    def close(self) -> None:
+        """End of run: release any underlying resources."""
 
 
 class NullTrace(Trace):

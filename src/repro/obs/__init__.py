@@ -1,0 +1,38 @@
+"""Observability: trace sinks, per-round timelines, run manifests.
+
+The paper's claims are *resource* claims — ``O(k)`` rounds and
+``O(log N)``-bit messages — so a run's evidence must be more than a final
+cost number. This subpackage turns a simulation into auditable artifacts:
+
+* :mod:`repro.obs.sinks` — trace implementations beyond the in-memory
+  default: a streaming JSONL sink (flushes at round boundaries), a bounded
+  ring buffer for long runs, and a multiplexer that fans events out to
+  several traces at once. All satisfy the :class:`repro.net.trace.Trace`
+  interface, so the simulator needs no API change.
+* :mod:`repro.obs.timeline` — per-round telemetry (wall-clock, messages,
+  bits, drops, alive/finished node counts) recorded by the simulator.
+* :mod:`repro.obs.manifest` — the :class:`RunRecord` manifest capturing
+  what was run (instance, seed, parameters, version) and what it cost
+  (timings, final metrics), written next to trace output.
+* :mod:`repro.obs.inspect` — reads a JSONL trace back and renders
+  per-round tables, per-kind message counts and the slowest rounds
+  (surfaced as ``repro inspect``).
+"""
+
+from repro.obs.inspect import TraceReport, inspect_trace, load_trace_file
+from repro.obs.manifest import RunRecord, manifest_path_for
+from repro.obs.sinks import JsonlTraceSink, MultiTrace, RingBufferTrace
+from repro.obs.timeline import RoundTimeline, RoundTimelineEntry
+
+__all__ = [
+    "JsonlTraceSink",
+    "MultiTrace",
+    "RingBufferTrace",
+    "RoundTimeline",
+    "RoundTimelineEntry",
+    "RunRecord",
+    "manifest_path_for",
+    "TraceReport",
+    "inspect_trace",
+    "load_trace_file",
+]

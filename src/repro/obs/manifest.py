@@ -1,0 +1,140 @@
+"""Run manifests: what was run, with what inputs, at what cost.
+
+A :class:`RunRecord` is the self-describing header of a run artifact. It
+pins the instance (name + content hash), the seeds and parameters, the
+package version, the wall-clock spent, and the final network metrics —
+everything a benchmark trajectory or a CI diff needs to decide whether two
+runs are comparable. It is appended to the JSONL trace as a
+``{"type": "manifest", ...}`` line and also written as a standalone
+``<trace>.manifest.json`` next to the trace output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.fl.instance import FacilityLocationInstance
+
+__all__ = ["RunRecord", "instance_digest", "manifest_path_for"]
+
+
+def instance_digest(instance: FacilityLocationInstance) -> str:
+    """Short content hash of an instance (costs + shape, not the name).
+
+    Two instances with the same digest describe the same optimization
+    problem, regardless of how they were generated or what they are
+    called; trace diffs across code versions key on this.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(
+        f"{instance.num_facilities}x{instance.num_clients}".encode("ascii")
+    )
+    hasher.update(instance.opening_costs.tobytes())
+    hasher.update(instance.connection_costs.tobytes())
+    return hasher.hexdigest()[:16]
+
+
+def manifest_path_for(trace_path: str | Path) -> Path:
+    """Sidecar manifest path next to a trace file (``x.jsonl`` -> ``x.manifest.json``)."""
+    path = Path(trace_path)
+    return path.with_name(path.stem + ".manifest.json")
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Manifest of one algorithm run.
+
+    ``parameters`` holds the algorithm knobs (k, variant, rounding, ...);
+    ``metrics`` is the flat :meth:`repro.net.metrics.NetworkMetrics.summary`
+    dict; ``timeline_summary`` condenses the per-round timeline (full
+    per-round entries live in the trace itself as ``round`` lines).
+    """
+
+    instance_name: str
+    instance_hash: str
+    num_facilities: int
+    num_clients: int
+    seed: int
+    parameters: Mapping[str, Any] = field(default_factory=dict)
+    version: str = ""
+    wall_seconds: float = 0.0
+    metrics: Mapping[str, Any] = field(default_factory=dict)
+    timeline_summary: Mapping[str, Any] = field(default_factory=dict)
+    outcome: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON representation, tagged for the JSONL trace format."""
+        record = asdict(self)
+        record["type"] = "manifest"
+        return record
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunRecord":
+        """Inverse of :meth:`to_dict`; ignores the tag and unknown keys."""
+        return cls(
+            instance_name=str(data.get("instance_name", "")),
+            instance_hash=str(data.get("instance_hash", "")),
+            num_facilities=int(data.get("num_facilities", 0)),
+            num_clients=int(data.get("num_clients", 0)),
+            seed=int(data.get("seed", 0)),
+            parameters=dict(data.get("parameters", {})),
+            version=str(data.get("version", "")),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+            metrics=dict(data.get("metrics", {})),
+            timeline_summary=dict(data.get("timeline_summary", {})),
+            outcome=dict(data.get("outcome", {})),
+        )
+
+    def write_json(self, path: str | Path) -> Path:
+        """Write the manifest as a standalone pretty-printed JSON file."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return target
+
+    @classmethod
+    def load_json(cls, path: str | Path) -> "RunRecord":
+        """Read a manifest written by :meth:`write_json`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    @classmethod
+    def from_run(
+        cls,
+        result: Any,
+        seed: int,
+        parameters: Mapping[str, Any],
+        wall_seconds: float,
+    ) -> "RunRecord":
+        """Build a manifest from a :class:`~repro.core.algorithm.DistributedRunResult`."""
+        from repro import __version__
+
+        instance = result.instance
+        timeline = result.timeline
+        outcome: dict[str, Any] = {
+            "feasible": result.feasible,
+            "open_facilities": sorted(result.open_facilities),
+            "unserved_clients": len(result.unserved_clients),
+        }
+        if result.feasible:
+            outcome["cost"] = result.cost
+        return cls(
+            instance_name=instance.name,
+            instance_hash=instance_digest(instance),
+            num_facilities=instance.num_facilities,
+            num_clients=instance.num_clients,
+            seed=int(seed),
+            parameters=dict(parameters),
+            version=__version__,
+            wall_seconds=float(wall_seconds),
+            metrics=result.metrics.summary(),
+            timeline_summary={
+                "rounds": len(timeline),
+                "total_wall_ms": timeline.total_wall_ms,
+                "total_messages": timeline.total_messages,
+            },
+            outcome=outcome,
+        )

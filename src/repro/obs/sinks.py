@@ -1,0 +1,227 @@
+"""Trace sinks: where protocol events go when they must leave the process.
+
+All sinks satisfy the :class:`repro.net.trace.Trace` interface, so any of
+them can be handed to :class:`repro.net.simulator.Simulator` unchanged:
+
+* :class:`JsonlTraceSink` — streams every event as one JSON line to a file
+  (or any writer), flushing at each round boundary so a crashed or killed
+  run still leaves a usable prefix on disk. This is the artifact format
+  ``repro inspect`` reads back.
+* :class:`RingBufferTrace` — keeps only the last ``capacity`` events, for
+  long runs where an unbounded in-memory log would dominate memory.
+* :class:`MultiTrace` — fans every event (and lifecycle hook) out to
+  several traces, e.g. stream to disk *and* keep a ring buffer for
+  post-run assertions.
+
+JSONL line schema (one object per line, discriminated by ``type``):
+
+``{"type": "event", "round": r, "node": n, "event": name, "data": {...}}``
+    One protocol trace event.
+``{"type": "round", "round_number": r, "wall_ms": ..., ...}``
+    One :class:`repro.obs.timeline.RoundTimelineEntry`.
+``{"type": "manifest", ...}``
+    The :class:`repro.obs.manifest.RunRecord`, appended at end of run.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Any, Iterator, Mapping, TextIO
+
+from repro.net.trace import Trace, TraceEvent
+from repro.obs.timeline import RoundTimelineEntry
+
+__all__ = ["JsonlTraceSink", "RingBufferTrace", "MultiTrace", "event_to_dict"]
+
+
+def event_to_dict(event: TraceEvent) -> dict[str, Any]:
+    """The JSONL representation of one trace event."""
+    return {
+        "type": "event",
+        "round": event.round_number,
+        "node": event.node_id,
+        "event": event.event,
+        "data": dict(event.data),
+    }
+
+
+class JsonlTraceSink(Trace):
+    """Streaming JSONL trace writer.
+
+    Parameters
+    ----------
+    target:
+        A filesystem path (opened for writing, parent directories created)
+        or any text writer with ``write``. When a writer is passed in, the
+        caller keeps ownership: :meth:`close` flushes but does not close it.
+    flush_on_round:
+        Flush the underlying stream at every round boundary (default).
+        Turn off for maximum throughput when a torn tail line on crash is
+        acceptable.
+
+    The sink retains no events in memory — ``len()`` reports the number of
+    events written, and ``events()`` is always empty. Pair it with a
+    :class:`RingBufferTrace` through :class:`MultiTrace` when both
+    streaming output and in-memory assertions are needed.
+    """
+
+    def __init__(
+        self,
+        target: str | Path | TextIO,
+        flush_on_round: bool = True,
+    ) -> None:
+        super().__init__()
+        self.flush_on_round = flush_on_round
+        self._count = 0
+        if isinstance(target, (str, Path)):
+            path = Path(target)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream: TextIO = path.open("w", encoding="utf-8")
+            self._owns_stream = True
+            self.path: Path | None = path
+        else:
+            self._stream = target
+            self._owns_stream = False
+            self.path = None
+        self._closed = False
+
+    def record(
+        self, round_number: int, node_id: int, event: str, data: Mapping[str, Any]
+    ) -> None:
+        """Write one event as a JSON line."""
+        self.write_json(
+            event_to_dict(TraceEvent(round_number, node_id, event, dict(data)))
+        )
+        self._count += 1
+
+    def write_json(self, obj: Mapping[str, Any]) -> None:
+        """Write one arbitrary record as a JSON line (rounds, manifests)."""
+        self._stream.write(json.dumps(obj, sort_keys=True) + "\n")
+
+    def on_round_end(self, entry: RoundTimelineEntry) -> None:
+        """Stream the round's telemetry and flush (flush-on-round)."""
+        record = entry.to_dict()
+        record["type"] = "round"
+        self.write_json(record)
+        if self.flush_on_round:
+            self.flush()
+
+    def flush(self) -> None:
+        """Flush the underlying stream."""
+        self._stream.flush()
+
+    def close(self) -> None:
+        """Flush, and close the stream if this sink opened it."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.flush()
+        except (ValueError, io.UnsupportedOperation):  # already-closed writer
+            return
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- Trace interface: nothing is retained --------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(())
+
+    def events(
+        self, event: str | None = None, node_id: int | None = None
+    ) -> list[TraceEvent]:
+        """Always empty: streamed events are not retained in memory."""
+        return []
+
+    def render(self) -> str:
+        return f"<JsonlTraceSink: {self._count} events streamed>"
+
+
+class RingBufferTrace(Trace):
+    """Bounded trace keeping only the most recent ``capacity`` events.
+
+    For long runs the full event log is ``O(rounds * nodes)``; the ring
+    buffer caps memory while preserving the tail, which is where
+    termination bugs live. ``dropped_events`` counts evictions so the
+    reader knows the window is partial.
+    """
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        super().__init__()
+        self.capacity = int(capacity)
+        self.dropped_events = 0
+        self._total = 0
+
+    def record(
+        self, round_number: int, node_id: int, event: str, data: Mapping[str, Any]
+    ) -> None:
+        """Append one event, evicting the oldest beyond capacity."""
+        super().record(round_number, node_id, event, data)
+        self._total += 1
+        if len(self._events) > self.capacity:
+            del self._events[0]
+            self.dropped_events += 1
+
+    @property
+    def total_recorded(self) -> int:
+        """Events ever recorded (retained + evicted)."""
+        return self._total
+
+
+class MultiTrace(Trace):
+    """Multiplexer: forwards every event and lifecycle hook to all children.
+
+    ``len()``/iteration reflect the first child, which by convention is the
+    one tests inspect (e.g. ``MultiTrace(Trace(), JsonlTraceSink(path))``).
+    """
+
+    def __init__(self, *children: Trace) -> None:
+        if not children:
+            raise ValueError("MultiTrace needs at least one child trace")
+        super().__init__()
+        self.children = tuple(children)
+
+    @property
+    def enabled(self) -> bool:
+        return any(child.enabled for child in self.children)
+
+    def record(
+        self, round_number: int, node_id: int, event: str, data: Mapping[str, Any]
+    ) -> None:
+        for child in self.children:
+            child.record(round_number, node_id, event, data)
+
+    def on_round_end(self, entry: RoundTimelineEntry) -> None:
+        for child in self.children:
+            child.on_round_end(entry)
+
+    def close(self) -> None:
+        for child in self.children:
+            child.close()
+
+    def __len__(self) -> int:
+        return len(self.children[0])
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.children[0])
+
+    def events(
+        self, event: str | None = None, node_id: int | None = None
+    ) -> list[TraceEvent]:
+        return self.children[0].events(event=event, node_id=node_id)
+
+    def render(self) -> str:
+        return self.children[0].render()

@@ -1,0 +1,106 @@
+"""Per-round telemetry: where the rounds, messages and wall-clock went.
+
+:class:`repro.net.simulator.Simulator` appends one
+:class:`RoundTimelineEntry` per executed round (plus an explicit round-0
+entry for messages submitted during ``setup()``, which per-round
+accounting would otherwise never see). The timeline serializes to plain
+JSON dicts — the same objects the JSONL trace sink streams as
+``{"type": "round", ...}`` lines — and renders as a fixed-width table for
+terminals and docs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Iterator, Mapping
+
+from repro.analysis.tables import render_table
+
+__all__ = ["RoundTimelineEntry", "RoundTimeline"]
+
+
+@dataclass(frozen=True)
+class RoundTimelineEntry:
+    """Telemetry for one synchronous round.
+
+    ``round_number`` 0 is the setup phase: messages submitted from
+    ``on_setup`` hooks are accounted there, with zero wall-clock attributed
+    to message delivery (none happens before round 1).
+    """
+
+    round_number: int
+    wall_ms: float
+    messages: int
+    bits: int
+    drops: int
+    alive: int
+    finished: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON representation (used by the JSONL trace format)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RoundTimelineEntry":
+        """Inverse of :meth:`to_dict`; ignores unknown keys."""
+        return cls(
+            round_number=int(data["round_number"]),
+            wall_ms=float(data["wall_ms"]),
+            messages=int(data["messages"]),
+            bits=int(data["bits"]),
+            drops=int(data["drops"]),
+            alive=int(data["alive"]),
+            finished=int(data["finished"]),
+        )
+
+
+class RoundTimeline:
+    """Append-only sequence of per-round telemetry entries."""
+
+    def __init__(self, entries: list[RoundTimelineEntry] | None = None) -> None:
+        self._entries: list[RoundTimelineEntry] = list(entries or [])
+
+    def append(self, entry: RoundTimelineEntry) -> None:
+        """Record one round's telemetry."""
+        self._entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[RoundTimelineEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> RoundTimelineEntry:
+        return self._entries[index]
+
+    @property
+    def total_wall_ms(self) -> float:
+        """Total wall-clock across all recorded rounds."""
+        return sum(e.wall_ms for e in self._entries)
+
+    @property
+    def total_messages(self) -> int:
+        """Total messages across all recorded rounds (including setup)."""
+        return sum(e.messages for e in self._entries)
+
+    def slowest(self, count: int = 5) -> list[RoundTimelineEntry]:
+        """The ``count`` slowest rounds by wall-clock, slowest first."""
+        return sorted(self._entries, key=lambda e: -e.wall_ms)[:count]
+
+    def to_json(self) -> list[dict[str, Any]]:
+        """JSON-serializable list of per-round dicts."""
+        return [e.to_dict() for e in self._entries]
+
+    @classmethod
+    def from_json(cls, data: list[Mapping[str, Any]]) -> "RoundTimeline":
+        """Rebuild a timeline from :meth:`to_json` output."""
+        return cls([RoundTimelineEntry.from_dict(d) for d in data])
+
+    def render(self, title: str = "per-round timeline") -> str:
+        """Fixed-width table of the whole timeline."""
+        headers = ("round", "wall_ms", "messages", "bits", "drops", "alive", "finished")
+        rows = [
+            (e.round_number, e.wall_ms, e.messages, e.bits, e.drops, e.alive, e.finished)
+            for e in self._entries
+        ]
+        return render_table(headers, rows, title=title)

@@ -88,6 +88,111 @@ class TestSolve:
         assert code == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_no_lp_skips_ratio(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--family",
+                "uniform",
+                "-m",
+                "6",
+                "-n",
+                "15",
+                "-k",
+                "4",
+                "--no-lp",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "ratio_vs_lp" not in payload
+        assert payload["cost"] > 0
+
+    def test_timeline_flag_prints_table(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--family",
+                "uniform",
+                "-m",
+                "6",
+                "-n",
+                "15",
+                "-k",
+                "4",
+                "--timeline",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-round timeline" in out
+        assert "wall_ms" in out
+
+    def test_trace_writes_jsonl_and_manifest(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "solve",
+                "--family",
+                "uniform",
+                "-m",
+                "6",
+                "-n",
+                "15",
+                "-k",
+                "4",
+                "--trace",
+                str(trace_path),
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace"] == str(trace_path)
+        lines = [json.loads(l) for l in trace_path.read_text().splitlines()]
+        types = {l["type"] for l in lines}
+        assert types == {"event", "round", "manifest"}
+        manifest_path = tmp_path / "run.manifest.json"
+        assert manifest_path.exists()
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["parameters"]["k"] == 4
+        assert manifest["metrics"]["messages_by_kind"]
+
+
+class TestInspect:
+    def test_inspect_renders_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.jsonl"
+        main(
+            [
+                "solve",
+                "--family",
+                "uniform",
+                "-m",
+                "6",
+                "-n",
+                "15",
+                "-k",
+                "4",
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        capsys.readouterr()
+        code = main(["inspect", str(trace_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run manifest" in out
+        assert "per-round timeline" in out
+        assert "wall_ms" in out and "drops" in out
+        assert "messages by kind" in out
+        assert "slowest" in out
+
+    def test_inspect_missing_file_errors(self, tmp_path, capsys):
+        code = main(["inspect", str(tmp_path / "absent.jsonl")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
 
 class TestBaselines:
     def test_table(self, capsys):

@@ -61,6 +61,15 @@ class TestNetworkMetrics:
         summary = NetworkMetrics().summary()
         assert {"rounds", "total_messages", "max_message_bits"} <= set(summary)
 
+    def test_summary_includes_per_kind_counts(self):
+        metrics = NetworkMetrics()
+        metrics.start_round()
+        metrics.record_message(Message(0, 1, "a"))
+        metrics.record_message(Message(1, 0, "a"))
+        metrics.record_message(Message(1, 0, "b"))
+        summary = metrics.summary()
+        assert summary["messages_by_kind"] == {"a": 2, "b": 1}
+
     def test_drop_accounting(self):
         metrics = NetworkMetrics()
         metrics.record_drop()

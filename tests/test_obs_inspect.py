@@ -1,0 +1,129 @@
+"""Tests for run manifests and the trace-inspection reader."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.algorithm import DistributedFacilityLocation, Variant
+from repro.exceptions import ReproError
+from repro.obs.inspect import inspect_trace, load_trace_file
+from repro.obs.manifest import RunRecord, instance_digest, manifest_path_for
+from repro.obs.sinks import JsonlTraceSink
+
+
+def _solve_with_trace(instance, path, variant=Variant.GREEDY, k=4, seed=0):
+    sink = JsonlTraceSink(path)
+    result = DistributedFacilityLocation(
+        instance, k=k, variant=variant, seed=seed, trace=sink
+    ).run()
+    manifest = RunRecord.from_run(
+        result,
+        seed=seed,
+        parameters={"k": k, "variant": Variant(variant).value},
+        wall_seconds=result.wall_seconds,
+    )
+    sink.write_json(manifest.to_dict())
+    sink.close()
+    return result, manifest
+
+
+class TestInstanceDigest:
+    def test_stable_and_name_independent(self, tiny_instance):
+        digest = instance_digest(tiny_instance)
+        assert digest == instance_digest(tiny_instance)
+        assert len(digest) == 16
+
+    def test_distinguishes_instances(self, tiny_instance, uniform_small):
+        assert instance_digest(tiny_instance) != instance_digest(uniform_small)
+
+
+class TestRunRecord:
+    def test_from_run_captures_everything(self, uniform_small, tmp_path):
+        result, manifest = _solve_with_trace(uniform_small, tmp_path / "t.jsonl")
+        assert manifest.instance_name == uniform_small.name
+        assert manifest.num_facilities == 8
+        assert manifest.num_clients == 20
+        assert manifest.metrics["rounds"] == result.metrics.rounds
+        assert manifest.metrics["messages_by_kind"]
+        assert manifest.timeline_summary["rounds"] == len(result.timeline)
+        assert manifest.outcome["feasible"] is True
+        assert manifest.outcome["cost"] == pytest.approx(result.cost)
+        assert manifest.version
+
+    def test_json_round_trip(self, uniform_small, tmp_path):
+        _, manifest = _solve_with_trace(uniform_small, tmp_path / "t.jsonl")
+        path = manifest.write_json(tmp_path / "manifest.json")
+        loaded = RunRecord.load_json(path)
+        assert loaded == manifest
+
+    def test_manifest_path_for(self):
+        assert manifest_path_for("runs/out.jsonl").name == "out.manifest.json"
+
+
+class TestLoadTraceFile:
+    def test_full_artifact(self, uniform_small, tmp_path):
+        path = tmp_path / "t.jsonl"
+        result, _ = _solve_with_trace(uniform_small, path)
+        report = load_trace_file(path)
+        assert report.manifest is not None
+        assert len(report.timeline) == len(result.timeline)
+        assert report.num_events == sum(report.events_by_name.values())
+        assert report.num_events > 0
+        assert report.malformed_lines == 0
+
+    def test_sidecar_manifest_pickup(self, uniform_small, tmp_path):
+        # A run killed mid-flight leaves no manifest line in the JSONL; the
+        # sidecar written next to it must still be found.
+        path = tmp_path / "t.jsonl"
+        _, manifest = _solve_with_trace(uniform_small, path)
+        lines = [
+            l
+            for l in path.read_text().splitlines()
+            if json.loads(l)["type"] != "manifest"
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        manifest.write_json(manifest_path_for(path))
+        report = load_trace_file(path)
+        assert report.manifest == manifest
+
+    def test_malformed_lines_counted_not_fatal(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"type": "event", "round": 1, "node": 0, "event": "x"}\n'
+                        "not json\n"
+                        "[1, 2]\n"
+                        '{"unexpected": true}\n')
+        report = load_trace_file(path)
+        assert report.num_events == 1
+        assert report.malformed_lines == 3
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="not found"):
+            load_trace_file(tmp_path / "absent.jsonl")
+
+
+class TestInspectRendering:
+    def test_report_sections(self, uniform_small, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _solve_with_trace(uniform_small, path, variant=Variant.DUAL_ASCENT)
+        text = inspect_trace(path)
+        assert "run manifest" in text
+        assert "per-round timeline" in text
+        assert "wall_ms" in text and "drops" in text
+        assert "messages by kind" in text
+        assert "slowest" in text
+        assert "trace events" in text
+        assert "settle" in text  # protocol events made it into the report
+
+    def test_events_only_file_degrades_gracefully(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"type": "event", "round": 1, "node": 0, "event": "x"}\n')
+        text = inspect_trace(path)
+        assert "trace events" in text
+        assert "per-round timeline" not in text
+
+    def test_empty_file_reports_nothing_found(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        assert "no rounds" in inspect_trace(path)

@@ -1,0 +1,140 @@
+"""Unit tests for repro.obs.sinks: JSONL streaming, ring buffer, multiplexer."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.net.trace import Trace, TraceEvent
+from repro.obs.sinks import JsonlTraceSink, MultiTrace, RingBufferTrace, event_to_dict
+from repro.obs.timeline import RoundTimelineEntry
+
+
+def _entry(round_number: int, **overrides) -> RoundTimelineEntry:
+    defaults = dict(
+        round_number=round_number,
+        wall_ms=1.0,
+        messages=2,
+        bits=16,
+        drops=0,
+        alive=3,
+        finished=1,
+    )
+    defaults.update(overrides)
+    return RoundTimelineEntry(**defaults)
+
+
+class TestEventToDict:
+    def test_schema(self):
+        event = TraceEvent(3, 7, "open", {"x": 1})
+        assert event_to_dict(event) == {
+            "type": "event",
+            "round": 3,
+            "node": 7,
+            "event": "open",
+            "data": {"x": 1},
+        }
+
+
+class TestJsonlTraceSink:
+    def test_streams_events_as_json_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceSink(path) as sink:
+            sink.record(1, 0, "open", {"x": 1})
+            sink.record(2, 1, "connect", {})
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [l["event"] for l in lines] == ["open", "connect"]
+        assert lines[0]["round"] == 1 and lines[0]["node"] == 0
+
+    def test_round_boundary_writes_round_line_and_flushes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlTraceSink(path)
+        sink.record(1, 0, "tick", {})
+        sink.on_round_end(_entry(1))
+        # flush-on-round: the prefix is durable before close().
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [l["type"] for l in lines] == ["event", "round"]
+        assert lines[1]["round_number"] == 1
+        sink.close()
+
+    def test_retains_nothing_but_counts(self, tmp_path):
+        with JsonlTraceSink(tmp_path / "t.jsonl") as sink:
+            sink.record(1, 0, "a", {})
+            sink.record(1, 1, "b", {})
+            assert len(sink) == 2
+            assert sink.events() == []
+            assert list(sink) == []
+            assert sink.enabled
+
+    def test_external_writer_not_closed(self):
+        buffer = io.StringIO()
+        sink = JsonlTraceSink(buffer)
+        sink.record(1, 0, "a", {})
+        sink.close()
+        assert not buffer.closed
+        assert json.loads(buffer.getvalue())["event"] == "a"
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlTraceSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "t.jsonl"
+        with JsonlTraceSink(path) as sink:
+            sink.record(1, 0, "a", {})
+        assert path.exists()
+
+
+class TestRingBufferTrace:
+    def test_keeps_only_the_tail(self):
+        trace = RingBufferTrace(capacity=3)
+        for i in range(5):
+            trace.record(i, 0, f"e{i}", {})
+        assert len(trace) == 3
+        assert [e.event for e in trace] == ["e2", "e3", "e4"]
+        assert trace.dropped_events == 2
+        assert trace.total_recorded == 5
+
+    def test_under_capacity_drops_nothing(self):
+        trace = RingBufferTrace(capacity=10)
+        trace.record(1, 0, "a", {})
+        assert trace.dropped_events == 0
+        assert trace.events(event="a")
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            RingBufferTrace(capacity=0)
+
+
+class TestMultiTrace:
+    def test_fans_out_to_all_children(self, tmp_path):
+        memory = Trace()
+        ring = RingBufferTrace(capacity=5)
+        multi = MultiTrace(memory, ring)
+        multi.record(1, 0, "open", {"x": 1})
+        assert len(memory) == 1 and len(ring) == 1
+
+    def test_first_child_is_the_query_view(self):
+        first, second = Trace(), Trace()
+        multi = MultiTrace(first, second)
+        multi.record(1, 0, "a", {})
+        first.record(2, 0, "extra", {})
+        assert len(multi) == 2
+        assert len(multi.events(event="extra")) == 1
+        assert "extra" in multi.render()
+
+    def test_round_end_and_close_propagate(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlTraceSink(path)
+        multi = MultiTrace(Trace(), sink)
+        multi.on_round_end(_entry(1))
+        multi.close()
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["type"] == "round"
+
+    def test_requires_children(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MultiTrace()

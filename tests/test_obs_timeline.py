@@ -1,0 +1,113 @@
+"""Tests for per-round timeline telemetry recorded by the simulator."""
+
+from __future__ import annotations
+
+from repro.net.faults import FaultPlan
+from repro.net.node import Node
+from repro.net.simulator import Simulator
+from repro.net.topology import Topology
+from repro.obs.timeline import RoundTimeline, RoundTimelineEntry
+
+
+class SetupTalker(Node):
+    """Sends one message per neighbor during setup, then one in round 1."""
+
+    def on_setup(self, ctx):
+        for neighbor in sorted(self.neighbors):
+            ctx.send(neighbor, "hello")
+
+    def on_round(self, ctx, inbox):
+        if ctx.round_number == 1:
+            for neighbor in sorted(self.neighbors):
+                ctx.send(neighbor, "bye")
+        self.finished = True
+
+
+class Silent(Node):
+    def on_round(self, ctx, inbox):
+        self.finished = True
+
+
+class TestSimulatorTimeline:
+    def test_round_zero_accounts_setup_messages(self):
+        simulator = Simulator(Topology.path(2), [SetupTalker(0), SetupTalker(1)])
+        simulator.run(max_rounds=5)
+        entry0 = simulator.timeline[0]
+        assert entry0.round_number == 0
+        assert entry0.messages == 2  # one hello each way
+        assert entry0.bits > 0
+        assert entry0.drops == 0
+        assert entry0.finished == 0
+
+    def test_per_round_message_deltas(self):
+        simulator = Simulator(Topology.path(2), [SetupTalker(0), SetupTalker(1)])
+        simulator.run(max_rounds=5)
+        rounds = {e.round_number: e for e in simulator.timeline}
+        assert rounds[1].messages == 2  # the two "bye" sends
+        # Total across the timeline matches the metrics accumulator.
+        assert simulator.timeline.total_messages == simulator.metrics.total_messages
+
+    def test_drops_attributed_to_delivery_round(self):
+        plan = FaultPlan(drop_probability=1.0)
+        simulator = Simulator(
+            Topology.path(2), [SetupTalker(0), SetupTalker(1)], fault_plan=plan
+        )
+        simulator.run(max_rounds=5, allow_truncation=True)
+        rounds = {e.round_number: e for e in simulator.timeline}
+        assert rounds[0].drops == 0
+        assert rounds[1].drops == 2  # setup messages dropped at delivery
+
+    def test_alive_and_finished_counts(self):
+        plan = FaultPlan(crash_rounds={1: 1})
+        simulator = Simulator(
+            Topology.path(3), [Silent(0), Silent(1), Silent(2)], fault_plan=plan
+        )
+        simulator.run(max_rounds=3, allow_truncation=True)
+        rounds = {e.round_number: e for e in simulator.timeline}
+        assert rounds[0].alive == 3
+        assert rounds[1].alive == 2
+        assert rounds[1].finished == 2
+
+    def test_wall_clock_recorded(self):
+        simulator = Simulator(Topology.path(2), [Silent(0), Silent(1)])
+        simulator.run(max_rounds=3)
+        assert all(e.wall_ms >= 0.0 for e in simulator.timeline)
+        assert simulator.timeline.total_wall_ms >= 0.0
+
+
+class TestRoundTimeline:
+    def _timeline(self) -> RoundTimeline:
+        return RoundTimeline(
+            [
+                RoundTimelineEntry(0, 0.5, 1, 8, 0, 4, 0),
+                RoundTimelineEntry(1, 2.0, 10, 80, 1, 4, 2),
+                RoundTimelineEntry(2, 1.0, 5, 40, 0, 4, 4),
+            ]
+        )
+
+    def test_json_round_trip(self):
+        timeline = self._timeline()
+        rebuilt = RoundTimeline.from_json(timeline.to_json())
+        assert list(rebuilt) == list(timeline)
+
+    def test_from_dict_ignores_extra_keys(self):
+        data = self._timeline().to_json()[0]
+        data["type"] = "round"
+        entry = RoundTimelineEntry.from_dict(data)
+        assert entry == self._timeline()[0]
+
+    def test_slowest_orders_by_wall_clock(self):
+        slowest = self._timeline().slowest(2)
+        assert [e.round_number for e in slowest] == [1, 2]
+
+    def test_render_has_headers_and_rows(self):
+        table = self._timeline().render()
+        for header in ("round", "wall_ms", "messages", "bits", "drops"):
+            assert header in table
+        assert len(table.splitlines()) == 3 + 3  # title + header + rule + rows
+
+    def test_totals(self):
+        timeline = self._timeline()
+        assert timeline.total_wall_ms == 3.5
+        assert timeline.total_messages == 16
+        assert len(timeline) == 3

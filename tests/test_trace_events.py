@@ -1,0 +1,102 @@
+"""Protocol trace-event sequences: tests assert on *what happened in order*,
+not only on end states, and on the zero-overhead disabled path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm import DistributedFacilityLocation, Variant
+from repro.net.trace import NullTrace, Trace
+
+
+def _ordered(trace: Trace, node_id: int) -> list[str]:
+    """Event names recorded for one node, in recording order."""
+    return [e.event for e in trace.events(node_id=node_id)]
+
+
+class TestDualAscentEventSequence:
+    @pytest.fixture
+    def traced_run(self, uniform_small):
+        trace = Trace()
+        result = DistributedFacilityLocation(
+            uniform_small, k=4, variant=Variant.DUAL_ASCENT, seed=0, trace=trace
+        ).run()
+        return trace, result, uniform_small.num_facilities
+
+    def test_trace_is_non_empty(self, traced_run):
+        trace, _, _ = traced_run
+        assert len(trace) > 0
+
+    def test_every_client_settles_selects_then_connects(self, traced_run):
+        trace, result, m = traced_run
+        for j in range(result.instance.num_clients):
+            events = _ordered(trace, m + j)
+            assert "settle" in events, f"client {j} never settled"
+            assert "connected" in events, f"client {j} never connected"
+            # The protocol order: the budget settles on a witness, the
+            # client selects it in rounding, and only then connects.
+            assert events.index("settle") < events.index("select")
+            assert events.index("select") < events.index("connected")
+
+    def test_open_facilities_went_tight_first(self, traced_run):
+        trace, result, m = traced_run
+        opened = {e.node_id for e in trace.events(event="open")}
+        opened |= {e.node_id for e in trace.events(event="forced_open")}
+        assert opened, "no facility ever logged an open decision"
+        assert result.open_facilities == frozenset(opened)
+        for node_id in trace.events(event="open"):
+            events = _ordered(trace, node_id.node_id)
+            assert events.index("tight") < events.index("open")
+
+    def test_alpha_raises_are_level_ordered(self, traced_run):
+        trace, _, m = traced_run
+        raises = trace.events(event="alpha_raise", node_id=m)
+        assert raises, "first client never raised its budget"
+        levels = [e.data["level"] for e in raises]
+        assert levels == sorted(levels)
+        alphas = [e.data["alpha"] for e in raises]
+        assert alphas == sorted(alphas)
+
+
+class TestGreedyEventSequence:
+    def test_trace_is_non_empty_and_accept_precedes_connect(self, uniform_small):
+        trace = Trace()
+        result = DistributedFacilityLocation(
+            uniform_small, k=4, variant=Variant.GREEDY, seed=0, trace=trace
+        ).run()
+        assert result.feasible
+        assert len(trace) > 0
+        m = uniform_small.num_facilities
+        connected = trace.events(event="connected")
+        assert connected
+        for event in connected:
+            events = _ordered(trace, event.node_id)
+            first_attempt = min(
+                idx
+                for idx, name in enumerate(events)
+                if name in ("accept", "join", "force")
+            )
+            assert first_attempt < events.index("connected")
+
+
+class TestDisabledTracingOverhead:
+    def test_null_trace_record_is_never_called(self, uniform_small, monkeypatch):
+        """The disabled path is a single `enabled` check: with the default
+        NullTrace, `record` must never even be invoked."""
+
+        def boom(self, *args, **kwargs):  # pragma: no cover - fails the test
+            raise AssertionError("NullTrace.record called on the disabled path")
+
+        monkeypatch.setattr(NullTrace, "record", boom)
+        result = DistributedFacilityLocation(
+            uniform_small, k=4, variant=Variant.DUAL_ASCENT, seed=0
+        ).run()
+        assert result.feasible
+
+    def test_null_trace_stays_empty(self, uniform_small):
+        runner = DistributedFacilityLocation(uniform_small, k=4, seed=0)
+        simulator = runner.build_simulator()
+        simulator.run(max_rounds=runner.schedule_rounds() + 2)
+        assert isinstance(simulator.trace, NullTrace)
+        assert len(simulator.trace) == 0
+        assert not simulator.trace.enabled
