@@ -6,7 +6,7 @@ linear round budget and produce bounded ratios at every ``k``.
 
 from __future__ import annotations
 
-from benchmarks.conftest import save_table
+from benchmarks.conftest import save_result
 from repro.analysis.experiments import run_e10_variants_table
 from repro.core.algorithm import Variant, solve_distributed
 from repro.core.bounds import round_budget
@@ -15,7 +15,7 @@ from repro.fl.generators import uniform_instance
 
 def test_e10_variants_table(benchmark, artifact_dir, quick):
     result = run_e10_variants_table(quick=quick)
-    save_table(artifact_dir, "E10", result.table)
+    save_result(artifact_dir, result)
     for k, variant, ratio_mean, _ratio_max, rounds in result.rows:
         assert ratio_mean >= 0.99
         assert rounds <= round_budget(k), (variant, k, rounds)

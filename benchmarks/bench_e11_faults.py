@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 
-from benchmarks.conftest import save_table
+from benchmarks.conftest import save_result
 from repro.analysis.experiments import run_e11_faults
 from repro.core.algorithm import DistributedFacilityLocation
 from repro.fl.generators import uniform_instance
@@ -19,7 +19,7 @@ from repro.net.faults import FaultPlan
 
 def test_e11_faults(benchmark, artifact_dir, quick):
     result = run_e11_faults(quick=quick)
-    save_table(artifact_dir, "E11", result.table)
+    save_result(artifact_dir, result)
     baseline = result.rows[0]
     assert baseline[0] == 0.0 and baseline[1] == 1.0 and baseline[2] == 0.0
     for row in result.rows:

@@ -8,7 +8,7 @@ rounds genuinely cost approximation quality.
 
 from __future__ import annotations
 
-from benchmarks.conftest import save_table
+from benchmarks.conftest import save_result
 from repro.analysis.experiments import run_e12_ladder_necessity
 from repro.core.algorithm import solve_distributed
 from repro.fl.generators import decoy_instance
@@ -16,7 +16,7 @@ from repro.fl.generators import decoy_instance
 
 def test_e12_ladder_necessity(benchmark, artifact_dir, quick):
     result = run_e12_ladder_necessity(quick=quick)
-    save_table(artifact_dir, "E12", result.table)
+    save_result(artifact_dir, result)
     gap = result.notes["gap"]
     by_k = {row[0]: row[1] for row in result.rows}  # k -> ratio_mean
     assert by_k[1] >= gap * 0.5, "single scale should be lured by decoys"

@@ -8,7 +8,7 @@ repetition), with sharply diminishing returns afterwards.
 
 from __future__ import annotations
 
-from benchmarks.conftest import save_table
+from benchmarks.conftest import save_result
 from repro.analysis.experiments import run_e13_settle_ablation
 from repro.core.algorithm import DistributedFacilityLocation
 from repro.core.parameters import TradeoffParameters
@@ -17,7 +17,7 @@ from repro.fl.generators import set_cover_instance
 
 def test_e13_settle_ablation(benchmark, artifact_dir, quick):
     result = run_e13_settle_ablation(quick=quick)
-    save_table(artifact_dir, "E13", result.table)
+    save_result(artifact_dir, result)
     ratios = result.column("ratio_mean")
     # R >= 2 should not be meaningfully worse than R = 1 (the settle effect
     # is a trend over randomized runs; small slack absorbs seed noise), and

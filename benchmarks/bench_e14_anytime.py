@@ -7,7 +7,7 @@ budget, and a completed run is always fully served and repairable.
 
 from __future__ import annotations
 
-from benchmarks.conftest import save_table
+from benchmarks.conftest import save_result
 from repro.analysis.experiments import run_e14_anytime
 from repro.core.algorithm import DistributedFacilityLocation
 from repro.fl.generators import euclidean_instance
@@ -15,7 +15,7 @@ from repro.fl.generators import euclidean_instance
 
 def test_e14_anytime(benchmark, artifact_dir, quick):
     result = run_e14_anytime(quick=quick)
-    save_table(artifact_dir, "E14", result.table)
+    save_result(artifact_dir, result)
     served = result.column("served_frac")
     repairable = result.column("repairable_frac")
     assert served == sorted(served), "served fraction must accrue with rounds"

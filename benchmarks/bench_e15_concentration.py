@@ -8,7 +8,7 @@ median).
 
 from __future__ import annotations
 
-from benchmarks.conftest import save_table
+from benchmarks.conftest import save_result
 from repro.analysis.experiments import run_e15_concentration
 from repro.core.sequential_sim import run_sequential
 from repro.fl.generators import euclidean_instance
@@ -16,7 +16,7 @@ from repro.fl.generators import euclidean_instance
 
 def test_e15_concentration(benchmark, artifact_dir, quick):
     result = run_e15_concentration(quick=quick)
-    save_table(artifact_dir, "E15", result.table)
+    save_result(artifact_dir, result)
     for row in result.rows:
         _k, p50, p95, worst, spread, envelope = row
         assert worst <= envelope, row

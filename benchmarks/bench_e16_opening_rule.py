@@ -7,7 +7,7 @@ opening on any accept (0) and demanding the full star (1).
 
 from __future__ import annotations
 
-from benchmarks.conftest import save_table
+from benchmarks.conftest import save_result
 from repro.analysis.experiments import run_e16_opening_rule
 from repro.core.algorithm import solve_distributed
 from repro.fl.generators import set_cover_instance
@@ -15,7 +15,7 @@ from repro.fl.generators import set_cover_instance
 
 def test_e16_opening_rule(benchmark, artifact_dir, quick):
     result = run_e16_opening_rule(quick=quick)
-    save_table(artifact_dir, "E16", result.table)
+    save_result(artifact_dir, result)
     by_fraction = {row[0]: row[1] for row in result.rows}
     half = by_fraction[0.5]
     assert half <= by_fraction[0.0] + 1e-9, "half-star must beat open-on-any"

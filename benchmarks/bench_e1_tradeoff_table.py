@@ -7,7 +7,7 @@ times one distributed solve as the performance anchor.
 
 from __future__ import annotations
 
-from benchmarks.conftest import save_table
+from benchmarks.conftest import save_result
 from repro.analysis.experiments import run_e1_tradeoff_table
 from repro.core.algorithm import solve_distributed
 from repro.fl.generators import uniform_instance
@@ -15,7 +15,7 @@ from repro.fl.generators import uniform_instance
 
 def test_e1_tradeoff_table(benchmark, artifact_dir, quick):
     result = run_e1_tradeoff_table(quick=quick)
-    save_table(artifact_dir, "E1", result.table)
+    save_result(artifact_dir, result)
     # The reproduced claim: every measured ratio sits under the envelope
     # (implied constant <= 1 across the whole sweep).
     envelope_idx = result.headers.index("envelope")

@@ -7,7 +7,7 @@ and asserts the curve's qualitative shape: the large-``k`` end is at least
 
 from __future__ import annotations
 
-from benchmarks.conftest import save_table
+from benchmarks.conftest import save_result
 from repro.analysis.experiments import run_e2_ratio_vs_k
 from repro.core.algorithm import solve_distributed
 from repro.fl.generators import euclidean_instance
@@ -15,7 +15,7 @@ from repro.fl.generators import euclidean_instance
 
 def test_e2_ratio_vs_k(benchmark, artifact_dir, quick):
     result = run_e2_ratio_vs_k(quick=quick)
-    save_table(artifact_dir, "E2", result.table)
+    save_result(artifact_dir, result)
     ratios = result.column("ratio_mean")
     envelopes = result.column("envelope")
     greedy_ref = result.column("greedy_ref")[0]

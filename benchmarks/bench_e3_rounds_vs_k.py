@@ -7,7 +7,7 @@ proposal iteration) within slack.
 
 from __future__ import annotations
 
-from benchmarks.conftest import save_table
+from benchmarks.conftest import save_result
 from repro.analysis.experiments import run_e3_rounds_vs_k
 from repro.core.algorithm import DistributedFacilityLocation
 from repro.fl.generators import uniform_instance
@@ -15,7 +15,7 @@ from repro.fl.generators import uniform_instance
 
 def test_e3_rounds_vs_k(benchmark, artifact_dir, quick):
     result = run_e3_rounds_vs_k(quick=quick)
-    save_table(artifact_dir, "E3", result.table)
+    save_result(artifact_dir, result)
     for k, rounds, budget in result.rows:
         assert rounds <= budget, f"k={k}: {rounds} rounds exceed budget {budget}"
     assert 2.0 <= result.notes["fit_slope"] <= 5.0

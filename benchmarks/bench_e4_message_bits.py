@@ -7,14 +7,14 @@ in particular under the ``16 log2 N`` envelope for every tested size.
 
 from __future__ import annotations
 
-from benchmarks.conftest import save_table
+from benchmarks.conftest import save_result
 from repro.analysis.experiments import run_e4_message_bits
 from repro.net.message import Message
 
 
 def test_e4_message_bits(benchmark, artifact_dir, quick):
     result = run_e4_message_bits(quick=quick)
-    save_table(artifact_dir, "E4", result.table)
+    save_result(artifact_dir, result)
     max_bits = result.column("max_bits")
     envelopes = result.column("envelope")
     for bits, envelope in zip(max_bits, envelopes):

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 
-from benchmarks.conftest import save_table
+from benchmarks.conftest import save_result
 from repro.analysis.experiments import run_e5_baselines_table
 from repro.baselines import greedy_solve
 from repro.fl.generators import uniform_instance
@@ -19,7 +19,7 @@ from repro.fl.generators import uniform_instance
 
 def test_e5_baselines_table(benchmark, artifact_dir, quick):
     result = run_e5_baselines_table(quick=quick)
-    save_table(artifact_dir, "E5", result.table)
+    save_result(artifact_dir, result)
     headers = result.headers
     exact_idx = headers.index("exact")
     dist_idx = headers.index("distributed")

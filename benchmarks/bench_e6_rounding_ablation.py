@@ -8,7 +8,7 @@ stays feasible (its row exists and reports a finite ratio).
 
 from __future__ import annotations
 
-from benchmarks.conftest import save_table
+from benchmarks.conftest import save_result
 from repro.analysis.experiments import run_e6_rounding_ablation
 from repro.core.algorithm import Variant, solve_distributed
 from repro.core.dual_ascent_nodes import RoundingPolicy
@@ -17,7 +17,7 @@ from repro.fl.generators import uniform_instance
 
 def test_e6_rounding_ablation(benchmark, artifact_dir, quick):
     result = run_e6_rounding_ablation(quick=quick)
-    save_table(artifact_dir, "E6", result.table)
+    save_result(artifact_dir, result)
     assert result.rows[0][0] == "select_all"
     assert result.rows[0][3] == 0.0  # no fallback ever
     for row in result.rows:

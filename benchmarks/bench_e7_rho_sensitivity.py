@@ -7,7 +7,7 @@ which itself grows with rho.
 
 from __future__ import annotations
 
-from benchmarks.conftest import save_table
+from benchmarks.conftest import save_result
 from repro.analysis.experiments import run_e7_rho_sensitivity
 from repro.core.algorithm import solve_distributed
 from repro.fl.generators import high_spread_instance
@@ -15,7 +15,7 @@ from repro.fl.generators import high_spread_instance
 
 def test_e7_rho_sensitivity(benchmark, artifact_dir, quick):
     result = run_e7_rho_sensitivity(quick=quick)
-    save_table(artifact_dir, "E7", result.table)
+    save_result(artifact_dir, result)
     envelopes = result.column("envelope")
     for row, envelope in zip(result.rows, envelopes):
         assert row[3] <= envelope, row  # ratio_max under envelope

@@ -7,7 +7,7 @@ feasibly with a bounded ratio.
 
 from __future__ import annotations
 
-from benchmarks.conftest import save_table
+from benchmarks.conftest import save_result
 from repro.analysis.experiments import run_e8_families_table
 from repro.core.algorithm import solve_distributed
 from repro.fl.generators import set_cover_instance
@@ -15,7 +15,7 @@ from repro.fl.generators import set_cover_instance
 
 def test_e8_families_table(benchmark, artifact_dir, quick):
     result = run_e8_families_table(quick=quick)
-    save_table(artifact_dir, "E8", result.table)
+    save_result(artifact_dir, result)
     for row in result.rows:
         family, _metric, rho, ratio_mean, ratio_max = row
         assert ratio_mean >= 0.99, row

@@ -8,7 +8,7 @@ benchmark entries so their relative cost is tracked over time.
 
 from __future__ import annotations
 
-from benchmarks.conftest import save_table
+from benchmarks.conftest import save_result
 from repro.analysis.experiments import run_e9_scalability
 from repro.core.algorithm import solve_distributed
 from repro.core.sequential_sim import run_sequential
@@ -17,7 +17,7 @@ from repro.fl.generators import uniform_instance
 
 def test_e9_scalability_table(benchmark, artifact_dir, quick):
     result = run_e9_scalability(quick=quick)
-    save_table(artifact_dir, "E9", result.table)
+    save_result(artifact_dir, result)
     largest = result.rows[-1]
     _n, sim_s, seq_s, speedup, _messages = largest
     assert speedup >= 1.0, "emulation should not be slower at the largest size"

@@ -4,16 +4,23 @@ Each ``bench_e*.py`` file regenerates one experiment of the index in
 DESIGN.md: it runs the experiment (quick configuration by default — set
 ``REPRO_BENCH_FULL=1`` for the full EXPERIMENTS.md configuration), asserts
 the reproduced claim, writes the rendered table to
-``benchmarks/_artifacts/<ID>.txt``, and times a representative core
+``benchmarks/_artifacts/<ID>.txt`` plus a structured JSON record to
+``<ID>.json`` (params, per-column metric summary, wall-clock, package
+version — the inputs of ``repro bench``), and times a representative core
 operation through pytest-benchmark so performance regressions are caught.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import pytest
+
+if TYPE_CHECKING:
+    from repro.analysis.experiments import ExperimentResult
 
 ARTIFACT_DIR = Path(__file__).parent / "_artifacts"
 
@@ -37,3 +44,18 @@ def quick() -> bool:
 def save_table(artifact_dir: Path, experiment_id: str, table: str) -> None:
     """Persist a rendered experiment table as a benchmark artifact."""
     (artifact_dir / f"{experiment_id}.txt").write_text(table + "\n")
+
+
+def save_result(artifact_dir: Path, result: "ExperimentResult") -> None:
+    """Persist both faces of an experiment: the table and the JSON record.
+
+    The ``.txt`` is for humans and EXPERIMENTS.md diffs; the ``.json`` is
+    the machine-readable record ``repro bench`` folds into a versioned
+    ``BENCH_<name>.json`` trajectory and ``repro compare`` diffs across
+    versions.
+    """
+    save_table(artifact_dir, result.experiment_id, result.table)
+    record = result.to_record()
+    (artifact_dir / f"{result.experiment_id}.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )

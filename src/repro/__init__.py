@@ -41,6 +41,7 @@ from repro.exceptions import (
     AlgorithmError,
     InfeasibleSolutionError,
     InvalidInstanceError,
+    InvariantViolationError,
     ReproError,
     SimulationError,
     SolverError,
@@ -53,11 +54,16 @@ from repro.net.topology import Topology
 from repro.net.trace import NullTrace, Trace
 from repro.obs import (
     JsonlTraceSink,
+    MetricsRegistry,
     MultiTrace,
     RingBufferTrace,
     RoundTimeline,
     RoundTimelineEntry,
     RunRecord,
+    SolutionQualityProbe,
+    compare_metrics,
+    compare_paths,
+    default_watchdogs,
     inspect_trace,
 )
 
@@ -102,6 +108,11 @@ __all__ = [
     "RoundTimelineEntry",
     "RunRecord",
     "inspect_trace",
+    "MetricsRegistry",
+    "SolutionQualityProbe",
+    "default_watchdogs",
+    "compare_metrics",
+    "compare_paths",
     # errors
     "ReproError",
     "InvalidInstanceError",
@@ -109,4 +120,5 @@ __all__ = [
     "SimulationError",
     "AlgorithmError",
     "SolverError",
+    "InvariantViolationError",
 ]

@@ -15,6 +15,7 @@ benchmark-friendly size without changing its structure.
 from __future__ import annotations
 
 import functools
+import math
 import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Mapping, Sequence
@@ -96,6 +97,56 @@ class ExperimentResult:
     def wall_seconds(self) -> float:
         """Wall-clock the experiment took (0.0 for hand-built results)."""
         return float(self.notes.get("wall_seconds", 0.0))
+
+    def to_record(self) -> dict[str, Any]:
+        """Structured JSON record for benchmark trajectories.
+
+        This is what ``benchmarks/`` writes next to each rendered table
+        and what ``repro bench`` folds into ``BENCH_<name>.json`` files.
+        ``params`` carries the experiment configuration (the notes);
+        ``metrics`` carries per-column mean/max of every numeric table
+        column, which is what cross-version regression comparison keys
+        on. NaN/inf cells are dropped (they encode "not applicable").
+        """
+        from repro import __version__
+
+        params = {
+            key: _json_safe(value)
+            for key, value in sorted(self.notes.items())
+            if key != "wall_seconds"
+        }
+        metrics: dict[str, float] = {}
+        for idx, header in enumerate(self.headers):
+            values = [
+                float(row[idx])
+                for row in self.rows
+                if isinstance(row[idx], (int, float))
+                and not isinstance(row[idx], bool)
+                and math.isfinite(row[idx])
+            ]
+            if values:
+                metrics[f"{header}_mean"] = sum(values) / len(values)
+                metrics[f"{header}_max"] = max(values)
+        return {
+            "type": "bench_record",
+            "schema": 1,
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "version": __version__,
+            "wall_seconds": self.wall_seconds,
+            "num_rows": len(self.rows),
+            "params": params,
+            "metrics": metrics,
+        }
+
+
+def _json_safe(value: Any) -> Any:
+    """Make one record value strict-JSON representable (NaN/inf -> None)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, tuple):
+        return [_json_safe(v) for v in value]
+    return value
 
 
 def _timed(

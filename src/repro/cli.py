@@ -6,7 +6,10 @@ Everything the library does is reachable from the shell::
     repro solve inst.json -k 16 --variant greedy
     repro solve --family uniform -m 20 -n 60 --seed 3 -k 16
     repro solve inst.json -k 16 --trace run.jsonl --timeline --no-lp
+    repro solve inst.json -k 16 --watchdogs --trace run.jsonl
     repro inspect run.jsonl
+    repro compare old.manifest.json new.manifest.json --threshold cost=1.05
+    repro bench benchmarks/_artifacts --name micro -o benchmarks/baselines
     repro baselines inst.json
     repro experiment E3 --quick
     repro report EXPERIMENTS.md --quick
@@ -39,9 +42,12 @@ from repro.exceptions import ReproError
 from repro.fl.generators import FAMILIES, make_instance
 from repro.fl.instance import FacilityLocationInstance
 from repro.fl.io import load_instance_json, save_instance_json
+from repro.obs.bench import collect_records, write_bench
+from repro.obs.compare import compare_paths, parse_threshold
 from repro.obs.inspect import inspect_trace
 from repro.obs.manifest import RunRecord, manifest_path_for
 from repro.obs.sinks import JsonlTraceSink
+from repro.obs.watchdogs import default_watchdogs
 
 __all__ = ["main", "build_parser"]
 
@@ -111,6 +117,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the LP lower bound (omits ratio_vs_lp; use on large instances)",
     )
+    solve.add_argument(
+        "--watchdogs",
+        action="store_true",
+        help="attach the invariant watchdogs (feasibility, dual monotonicity, "
+        "CONGEST envelope); violations become trace events",
+    )
+    solve.add_argument(
+        "--strict-watchdogs",
+        action="store_true",
+        help="like --watchdogs, but the first violation aborts the run",
+    )
 
     inspect = sub.add_parser(
         "inspect", help="summarize a JSONL trace written by solve --trace"
@@ -118,6 +135,48 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("trace", help="JSONL trace path")
     inspect.add_argument(
         "--slowest", type=int, default=5, help="how many slowest rounds to show"
+    )
+
+    compare = sub.add_parser(
+        "compare",
+        help="diff two run artifacts (or directories) under regression thresholds",
+    )
+    compare.add_argument("old", help="baseline artifact: trace .jsonl, manifest, BENCH file, or directory")
+    compare.add_argument("new", help="candidate artifact of the same kind")
+    compare.add_argument(
+        "--threshold",
+        action="append",
+        default=[],
+        metavar="NAME=RATIO",
+        help="per-metric regression threshold (repeatable), e.g. cost=1.05",
+    )
+    compare.add_argument(
+        "--default-threshold",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="threshold applied to metrics without an explicit one "
+        "(such metrics are otherwise reported but unchecked)",
+    )
+    compare.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="fold benchmark artifacts into a versioned BENCH_<name>.json",
+    )
+    bench.add_argument(
+        "source",
+        help="artifact directory (benchmarks/_artifacts), a pytest-benchmark "
+        "JSON export, or a single record/manifest file",
+    )
+    bench.add_argument("--name", required=True, help="trajectory name")
+    bench.add_argument(
+        "-o",
+        "--output",
+        default=".",
+        help="output directory or explicit file path (default: cwd)",
     )
 
     base = sub.add_parser("baselines", help="run every sequential baseline")
@@ -174,6 +233,15 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     instance = _load_instance(args)
     policy = RoundingPolicy(mode=args.rounding, c_round=args.c_round)
     sink = JsonlTraceSink(args.trace) if args.trace else None
+    # The LP bound is computed *before* the run when probes will want it:
+    # the per-round quality probe turns it into the anytime ratio estimate.
+    want_probes = bool(args.trace or args.timeline)
+    lp_value: float | None = None
+    if not args.no_lp:
+        lp_value = solve_lp(instance).value
+    watchdogs = ()
+    if args.watchdogs or args.strict_watchdogs:
+        watchdogs = default_watchdogs(strict=args.strict_watchdogs)
     try:
         result = solve_distributed(
             instance,
@@ -182,6 +250,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             seed=args.algo_seed,
             rounding=policy,
             trace=sink,
+            probe_quality=want_probes,
+            lower_bound=lp_value,
+            watchdogs=watchdogs,
         )
     except ReproError:
         if sink is not None:
@@ -198,9 +269,14 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         "max_message_bits": result.metrics.max_message_bits,
         "wall_seconds": result.wall_seconds,
     }
-    if not args.no_lp:
-        lp = solve_lp(instance)
-        payload["ratio_vs_lp"] = result.cost / max(lp.value, 1e-12)
+    extras: dict[str, object] = {}
+    if lp_value is not None:
+        extras["ratio_vs_lp"] = result.cost / max(lp_value, 1e-12)
+        payload["ratio_vs_lp"] = extras["ratio_vs_lp"]
+    if watchdogs:
+        violations = result.diagnostics.get("invariant_violations", 0)
+        extras["invariant_violations"] = violations
+        payload["invariant_violations"] = violations
     if sink is not None:
         manifest = RunRecord.from_run(
             result,
@@ -212,6 +288,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 "c_round": args.c_round,
             },
             wall_seconds=result.wall_seconds,
+            extras=extras,
         )
         sink.write_json(manifest.to_dict())
         sink.close()
@@ -230,6 +307,35 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
     print(inspect_trace(args.trace, slowest=args.slowest))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    thresholds = dict(parse_threshold(spec) for spec in args.threshold)
+    reports = compare_paths(
+        args.old,
+        args.new,
+        thresholds=thresholds,
+        default_threshold=args.default_threshold,
+    )
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+    else:
+        print("\n\n".join(r.render() for r in reports))
+    regressions = sum(len(r.regressions) for r in reports)
+    if regressions:
+        print(
+            f"error: {regressions} metric(s) regressed past threshold",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    records = collect_records(args.source)
+    target = write_bench(args.name, records, args.output)
+    print(f"wrote {target}: {len(records)} record(s)")
     return 0
 
 
@@ -279,6 +385,8 @@ _HANDLERS = {
     "generate": _cmd_generate,
     "solve": _cmd_solve,
     "inspect": _cmd_inspect,
+    "compare": _cmd_compare,
+    "bench": _cmd_bench,
     "baselines": _cmd_baselines,
     "experiment": _cmd_experiment,
     "report": _cmd_report,

@@ -21,7 +21,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from repro.core.dual_ascent_nodes import (
     DualClientNode,
@@ -43,7 +43,10 @@ from repro.net.metrics import NetworkMetrics
 from repro.net.simulator import Simulator
 from repro.net.topology import Topology
 from repro.net.trace import Trace
+from repro.obs.probes import RoundProbe, SolutionQualityProbe
+from repro.obs.registry import MetricsRegistry
 from repro.obs.timeline import RoundTimeline
+from repro.obs.watchdogs import Watchdog
 
 __all__ = [
     "Variant",
@@ -143,6 +146,22 @@ class DistributedFacilityLocation:
         Opening rule of the flagship variant: fraction of a proposed star
         that must accept before a closed facility opens (default 0.5, the
         analyzed half-star rule; ablation E16).
+    probes:
+        Round probes forwarded to the simulator (see
+        :mod:`repro.obs.probes`). ``probe_quality=True`` is the shorthand
+        that attaches a :class:`~repro.obs.probes.SolutionQualityProbe`
+        for this instance.
+    watchdogs:
+        Invariant watchdogs forwarded to the simulator (see
+        :mod:`repro.obs.watchdogs`).
+    registry:
+        Optional metrics registry shared by the simulator and the nodes.
+    probe_quality:
+        Convenience flag: attach a quality probe (per-round dual sum,
+        induced primal cost, anytime ratio against ``lower_bound``).
+    lower_bound:
+        Lower bound on the optimum (typically the LP value) used by the
+        quality probe's ``ratio_vs_bound``.
     """
 
     def __init__(
@@ -157,6 +176,11 @@ class DistributedFacilityLocation:
         trace: Trace | None = None,
         params: TradeoffParameters | None = None,
         open_fraction: float = 0.5,
+        probes: Sequence[RoundProbe] = (),
+        watchdogs: Sequence[Watchdog] = (),
+        registry: MetricsRegistry | None = None,
+        probe_quality: bool = False,
+        lower_bound: float | None = None,
     ) -> None:
         self.instance = instance
         self.variant = Variant(variant)
@@ -166,6 +190,13 @@ class DistributedFacilityLocation:
         self.max_message_bits = max_message_bits
         self.trace = trace
         self.open_fraction = float(open_fraction)
+        self.probes: tuple[RoundProbe, ...] = tuple(probes)
+        if probe_quality:
+            self.probes += (
+                SolutionQualityProbe(instance, lower_bound=lower_bound),
+            )
+        self.watchdogs: tuple[Watchdog, ...] = tuple(watchdogs)
+        self.registry = registry
         if params is not None:
             self.params = params
         elif self.variant is Variant.GREEDY:
@@ -222,6 +253,9 @@ class DistributedFacilityLocation:
             fault_plan=self.fault_plan,
             max_message_bits=self.max_message_bits,
             trace=self.trace,
+            probes=self.probes,
+            watchdogs=self.watchdogs,
+            registry=self.registry,
         )
 
     def schedule_rounds(self) -> int:
@@ -285,6 +319,10 @@ class DistributedFacilityLocation:
                 self.instance, open_set, assignment, validate=True
             )
         diagnostics = self._diagnostics(facilities, clients)
+        if self.watchdogs:
+            diagnostics["invariant_violations"] = sum(
+                len(w.violations) for w in self.watchdogs
+            )
         return DistributedRunResult(
             instance=self.instance,
             params=self.params,

@@ -182,6 +182,7 @@ class DualFacilityNode(Node):
             self.is_tight = True
             self.tight_at_level = level
             ctx.log("tight", level=level, payment=self.payment)
+            ctx.count("protocol_tight_total", variant="dual_ascent")
         if self.is_tight:
             # Re-announce every level: clients whose budgets grow later must
             # still learn of facilities that went tight earlier, otherwise
@@ -216,6 +217,7 @@ class DualFacilityNode(Node):
             return
         self.is_open = True
         ctx.log("open", selectors=len(selectors), payment=self.payment)
+        ctx.count("protocol_opens_total", variant="dual_ascent")
         ctx.broadcast(OPEN_AD)
 
     def _handle_force(self, ctx: RoundContext, inbox: list[Message]) -> None:
@@ -229,6 +231,7 @@ class DualFacilityNode(Node):
                     self.is_open = True
                     self.was_forced = True
                     ctx.log("forced_open", by=msg.sender)
+                    ctx.count("protocol_forced_opens_total", variant="dual_ascent")
                 self.served_clients.add(msg.sender)
                 ctx.send(msg.sender, SERVE)
 
@@ -265,6 +268,7 @@ class DualClientNode(Node):
             if not self.frozen:
                 self.alpha = max(self.gamma, self.params.threshold(level))
                 ctx.log("alpha_raise", level=level, alpha=self.alpha)
+                ctx.count("protocol_alpha_raises_total", variant="dual_ascent")
                 ctx.broadcast(ALPHA, alpha=self.alpha)
         elif phase == "round1":
             self._select(ctx)
@@ -286,9 +290,11 @@ class DualClientNode(Node):
                         self.frozen = True
                         self.frozen_at_level = level
                         ctx.log("settle", level=level, witness=msg.sender)
+                        ctx.count("protocol_settles_total", variant="dual_ascent")
             elif msg.kind == SERVE and not self.connected:
                 self.connected_to = msg.sender
                 ctx.log("connected", facility=msg.sender)
+                ctx.count("protocol_connects_total", variant="dual_ascent")
 
     def _cheapest_witness(self) -> int:
         if not self.witnesses:

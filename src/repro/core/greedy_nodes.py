@@ -167,6 +167,7 @@ class GreedyFacilityNode(Node):
         self._proposed_star = star
         priority = float(self.rng.random())
         ctx.log("propose", scale=scale, size=len(star), priority=priority)
+        ctx.count("protocol_proposals_total", variant="greedy")
         for client in star:
             ctx.send(client, PROPOSE, priority=priority)
 
@@ -204,6 +205,7 @@ class GreedyFacilityNode(Node):
             self.is_open = True
             self.opened_at_round = ctx.round_number
             ctx.log("open", accepted=len(accepted))
+            ctx.count("protocol_opens_total", variant="greedy")
         for client in accepted:
             self.served_clients.add(client)
             ctx.send(client, SERVE)
@@ -228,6 +230,7 @@ class GreedyFacilityNode(Node):
                     self.opened_at_round = ctx.round_number
                     self.was_forced = True
                     ctx.log("forced_open", by=msg.sender)
+                    ctx.count("protocol_forced_opens_total", variant="greedy")
                 self.served_clients.add(msg.sender)
                 ctx.send(msg.sender, SERVE)
 
@@ -303,6 +306,7 @@ class GreedyClientNode(Node):
             self.connected_to = best
             self.connected_at_round = ctx.round_number
             ctx.log("connected", facility=best)
+            ctx.count("protocol_connects_total", variant="greedy")
         if phase in self._SERVE_DUE_PHASES:
             if not serves and self._accepted is not None:
                 self.failed_accepts += 1

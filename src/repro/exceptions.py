@@ -50,6 +50,15 @@ class RoundLimitExceededError(SimulationError):
     """The protocol did not terminate within the allowed number of rounds."""
 
 
+class InvariantViolationError(SimulationError):
+    """A runtime invariant watchdog detected a protocol violation.
+
+    Raised only by *strict* watchdogs (see :mod:`repro.obs.watchdogs`);
+    non-strict watchdogs record structured ``invariant_violation`` trace
+    events instead of raising.
+    """
+
+
 class AlgorithmError(ReproError):
     """An algorithm received parameters outside its supported domain.
 

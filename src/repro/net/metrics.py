@@ -9,16 +9,23 @@ run the caller can read off:
 * ``total_messages`` / ``total_bits`` — traffic volume,
 * ``max_message_bits`` — the largest single message (the CONGEST bound),
 * ``max_messages_per_round`` — peak per-round traffic,
-* per-kind message counts — useful for protocol-level regression tests.
+* per-kind message counts — useful for protocol-level regression tests,
+* per-kind and per-round *drop* counts — fault injection loses concrete
+  messages, and knowing *which* protocol step lost them (a dropped SERVE
+  confirmation is much worse than a dropped ACTIVE beacon) is what makes
+  fault experiments explainable.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.net.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.obs.registry import MetricsRegistry
 
 __all__ = ["NetworkMetrics"]
 
@@ -34,6 +41,8 @@ class NetworkMetrics:
     max_messages_per_round: int = 0
     dropped_messages: int = 0
     messages_by_kind: Counter = field(default_factory=Counter)
+    drops_by_kind: Counter = field(default_factory=Counter)
+    drops_by_round: Counter = field(default_factory=Counter)
     _current_round_messages: int = field(default=0, repr=False)
 
     def start_round(self) -> None:
@@ -53,9 +62,21 @@ class NetworkMetrics:
             self.max_messages_per_round, self._current_round_messages
         )
 
-    def record_drop(self) -> None:
-        """Account one message dropped by fault injection."""
+    def record_drop(
+        self, message: Message | None = None, round_number: int | None = None
+    ) -> None:
+        """Account one message lost to fault injection.
+
+        The lost message itself (and the round the loss happened in) used
+        to be discarded; passing them attributes the drop by message kind
+        and by round so fault analyses can tell *what* was lost. Both
+        arguments stay optional for callers that only need the total.
+        """
         self.dropped_messages += 1
+        if message is not None:
+            self.drops_by_kind[message.kind] += 1
+        if round_number is not None:
+            self.drops_by_round[int(round_number)] += 1
 
     @property
     def mean_message_bits(self) -> float:
@@ -67,9 +88,9 @@ class NetworkMetrics:
     def summary(self) -> dict[str, Any]:
         """Dictionary for tables and experiment records.
 
-        Counts are ints, ``mean_message_bits`` is a float, and
-        ``messages_by_kind`` is a plain ``dict[str, int]`` so per-kind
-        counts survive JSON round-trips into experiment records.
+        Counts are ints, ``mean_message_bits`` is a float, and the per-kind
+        / per-round breakdowns are plain ``dict`` with string keys so they
+        survive JSON round-trips into experiment records.
         """
         return {
             "rounds": self.rounds,
@@ -80,4 +101,26 @@ class NetworkMetrics:
             "max_messages_per_round": self.max_messages_per_round,
             "dropped_messages": self.dropped_messages,
             "messages_by_kind": dict(self.messages_by_kind),
+            "drops_by_kind": dict(self.drops_by_kind),
+            "drops_by_round": {
+                str(r): count for r, count in sorted(self.drops_by_round.items())
+            },
         }
+
+    def publish(self, registry: "MetricsRegistry") -> None:
+        """Publish the current totals into a metrics registry.
+
+        Scalar totals become gauges under the ``net_`` prefix; the per-kind
+        message and drop breakdowns become ``kind``-labeled gauges. Safe to
+        call repeatedly (gauges overwrite).
+        """
+        registry.gauge("net_rounds").set(self.rounds)
+        registry.gauge("net_messages_total").set(self.total_messages)
+        registry.gauge("net_bits_total").set(self.total_bits)
+        registry.gauge("net_max_message_bits").set(self.max_message_bits)
+        registry.gauge("net_max_messages_per_round").set(self.max_messages_per_round)
+        registry.gauge("net_dropped_messages").set(self.dropped_messages)
+        for kind, count in self.messages_by_kind.items():
+            registry.gauge("net_messages_by_kind").set(count, kind=kind)
+        for kind, count in self.drops_by_kind.items():
+            registry.gauge("net_drops_by_kind").set(count, kind=kind)

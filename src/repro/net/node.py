@@ -155,3 +155,15 @@ class RoundContext:
         trace = self._simulator.trace
         if trace.enabled:
             trace.record(self._round_number, self._node.node_id, event, data)
+
+    def count(self, name: str, amount: float = 1, **labels: Any) -> None:
+        """Increment a registry counter (no-op without a registry).
+
+        Guarded exactly like :meth:`log`: when no
+        :class:`~repro.obs.registry.MetricsRegistry` is attached to the
+        simulator, the cost is a single ``None`` check and the registry
+        machinery is never touched.
+        """
+        registry = self._simulator.registry
+        if registry is not None:
+            registry.counter(name).inc(amount, **labels)

@@ -32,7 +32,10 @@ from repro.net.node import Node, RoundContext
 from repro.net.rng import spawn_node_rngs
 from repro.net.topology import Topology
 from repro.net.trace import NullTrace, Trace
+from repro.obs.probes import RoundProbe
+from repro.obs.registry import MetricsRegistry
 from repro.obs.timeline import RoundTimeline, RoundTimelineEntry
+from repro.obs.watchdogs import Watchdog
 
 __all__ = ["Simulator"]
 
@@ -61,6 +64,22 @@ class Simulator:
         neighbor per round.
     trace:
         Pass a :class:`~repro.net.trace.Trace` to record protocol events.
+    probes:
+        Optional :class:`~repro.obs.probes.RoundProbe` instances observed
+        at every round boundary; their merged output is embedded in the
+        round's timeline entry (``probe`` field). With no probes attached
+        the per-round cost is a single truthiness check.
+    watchdogs:
+        Optional :class:`~repro.obs.watchdogs.Watchdog` invariant checks
+        run at every round boundary (after probes, before the trace's
+        round hook, so violations stream ahead of the round line).
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; when given,
+        the simulator publishes per-round instruments (round wall-clock
+        histogram, message counters) and the final
+        :meth:`~repro.net.metrics.NetworkMetrics.publish` summary into it,
+        and protocol nodes can publish through
+        :meth:`~repro.net.node.RoundContext.count`.
     """
 
     def __init__(
@@ -72,6 +91,9 @@ class Simulator:
         max_message_bits: int | None = None,
         enforce_single_message_per_edge: bool = False,
         trace: Trace | None = None,
+        probes: Sequence[RoundProbe] = (),
+        watchdogs: Sequence[Watchdog] = (),
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self._topology = topology
         self._nodes = _normalize_nodes(topology, nodes)
@@ -80,6 +102,9 @@ class Simulator:
         self.max_message_bits = max_message_bits
         self.enforce_single_message_per_edge = enforce_single_message_per_edge
         self.trace: Trace = trace if trace is not None else NullTrace()
+        self.probes: tuple[RoundProbe, ...] = tuple(probes)
+        self.watchdogs: tuple[Watchdog, ...] = tuple(watchdogs)
+        self.registry: MetricsRegistry | None = registry
         self.metrics = NetworkMetrics()
         self.timeline = RoundTimeline()
         self._round = 0
@@ -164,10 +189,10 @@ class Simulator:
         for message in self._pending:
             if self._nodes[message.sender].crashed:
                 # A node that crashed before delivery never really sent.
-                self.metrics.record_drop()
+                self.metrics.record_drop(message, self._round)
                 continue
             if self._fault_plan.should_drop(message):
-                self.metrics.record_drop()
+                self.metrics.record_drop(message, self._round)
                 continue
             inboxes[message.receiver].append(message)
         self._pending = []
@@ -193,9 +218,19 @@ class Simulator:
     def _record_timeline_entry(
         self, round_number: int, wall_ms: float, messages: int, bits: int, drops: int
     ) -> None:
-        """Append one round's telemetry and notify the trace sink."""
+        """Append one round's telemetry and notify probes/watchdogs/trace.
+
+        Probes, watchdogs and registry publishes are each guarded by a
+        single emptiness/None check, so runs without them attached pay
+        nothing beyond the pre-existing telemetry cost.
+        """
         alive = sum(1 for n in self._nodes if not n.crashed)
         finished = sum(1 for n in self._nodes if n.finished)
+        probe_data: dict | None = None
+        if self.probes:
+            probe_data = {}
+            for probe in self.probes:
+                probe_data.update(probe.observe(self, round_number))
         entry = RoundTimelineEntry(
             round_number=round_number,
             wall_ms=wall_ms,
@@ -204,8 +239,16 @@ class Simulator:
             drops=drops,
             alive=alive,
             finished=finished,
+            probe=probe_data,
         )
         self.timeline.append(entry)
+        if self.watchdogs:
+            for watchdog in self.watchdogs:
+                watchdog.check(self, entry)
+        if self.registry is not None:
+            self.registry.counter("sim_rounds_total").inc()
+            self.registry.histogram("sim_round_wall_ms").observe(wall_ms)
+            self.registry.histogram("sim_round_messages").observe(messages)
         self.trace.on_round_end(entry)
 
     def run(self, max_rounds: int, allow_truncation: bool = False) -> NetworkMetrics:
@@ -224,6 +267,8 @@ class Simulator:
         while not (self.all_finished and not self._pending):
             if self._round >= max_rounds:
                 if allow_truncation:
+                    if self.registry is not None:
+                        self.metrics.publish(self.registry)
                     return self.metrics
                 unfinished = [
                     n.node_id for n in self._nodes if not (n.finished or n.crashed)
@@ -234,6 +279,8 @@ class Simulator:
                     f"(first few: {unfinished[:5]})"
                 )
             self.step()
+        if self.registry is not None:
+            self.metrics.publish(self.registry)
         return self.metrics
 
 

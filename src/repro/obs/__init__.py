@@ -1,8 +1,9 @@
-"""Observability: trace sinks, per-round timelines, run manifests.
+"""Observability: traces, timelines, manifests, metrics, probes, diffs.
 
 The paper's claims are *resource* claims — ``O(k)`` rounds and
-``O(log N)``-bit messages — so a run's evidence must be more than a final
-cost number. This subpackage turns a simulation into auditable artifacts:
+``O(log N)``-bit messages — and *quality* claims — the approximation
+trade-off curve. This subpackage turns a simulation into auditable
+artifacts on both axes:
 
 * :mod:`repro.obs.sinks` — trace implementations beyond the in-memory
   default: a streaming JSONL sink (flushes at round boundaries), a bounded
@@ -10,19 +11,57 @@ cost number. This subpackage turns a simulation into auditable artifacts:
   several traces at once. All satisfy the :class:`repro.net.trace.Trace`
   interface, so the simulator needs no API change.
 * :mod:`repro.obs.timeline` — per-round telemetry (wall-clock, messages,
-  bits, drops, alive/finished node counts) recorded by the simulator.
+  bits, drops, alive/finished node counts, probe observations) recorded by
+  the simulator.
+* :mod:`repro.obs.registry` — a lightweight metrics registry
+  (counter/gauge/histogram with labels) that the simulator, the network
+  metrics and the protocol nodes publish into; snapshots to plain dicts.
+* :mod:`repro.obs.probes` — per-round convergence probes: dual budgets,
+  tight/frozen counts, induced primal cost and the anytime
+  approximation-ratio estimate against a lower bound.
+* :mod:`repro.obs.watchdogs` — opt-in invariant checks (assignment
+  feasibility, dual monotonicity, CONGEST bit envelope) that log
+  structured ``invariant_violation`` events or raise in strict mode.
 * :mod:`repro.obs.manifest` — the :class:`RunRecord` manifest capturing
   what was run (instance, seed, parameters, version) and what it cost
   (timings, final metrics), written next to trace output.
 * :mod:`repro.obs.inspect` — reads a JSONL trace back and renders
   per-round tables, per-kind message counts and the slowest rounds
   (surfaced as ``repro inspect``).
+* :mod:`repro.obs.compare` — loads two run artifacts (manifests, traces,
+  BENCH files) and diffs their metrics under configurable regression
+  thresholds (surfaced as ``repro compare``).
+* :mod:`repro.obs.bench` — converts benchmark artifacts into versioned
+  ``BENCH_<name>.json`` trajectory files (surfaced as ``repro bench``).
 """
 
+from repro.obs.bench import (
+    bench_path_for,
+    collect_records,
+    load_bench,
+    write_bench,
+)
+from repro.obs.compare import (
+    ComparisonReport,
+    MetricDiff,
+    compare_metrics,
+    compare_paths,
+    extract_metrics,
+    parse_threshold,
+)
 from repro.obs.inspect import TraceReport, inspect_trace, load_trace_file
 from repro.obs.manifest import RunRecord, manifest_path_for
+from repro.obs.probes import RoundProbe, SolutionQualityProbe
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.sinks import JsonlTraceSink, MultiTrace, RingBufferTrace
 from repro.obs.timeline import RoundTimeline, RoundTimelineEntry
+from repro.obs.watchdogs import (
+    CongestWatchdog,
+    DualMonotonicityWatchdog,
+    FeasibilityWatchdog,
+    Watchdog,
+    default_watchdogs,
+)
 
 __all__ = [
     "JsonlTraceSink",
@@ -35,4 +74,30 @@ __all__ = [
     "TraceReport",
     "inspect_trace",
     "load_trace_file",
+    # registry
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    # probes
+    "RoundProbe",
+    "SolutionQualityProbe",
+    # watchdogs
+    "Watchdog",
+    "FeasibilityWatchdog",
+    "DualMonotonicityWatchdog",
+    "CongestWatchdog",
+    "default_watchdogs",
+    # comparison
+    "ComparisonReport",
+    "MetricDiff",
+    "compare_metrics",
+    "compare_paths",
+    "extract_metrics",
+    "parse_threshold",
+    # bench trajectories
+    "bench_path_for",
+    "collect_records",
+    "load_bench",
+    "write_bench",
 ]

@@ -48,6 +48,15 @@ class TraceReport:
                         title="messages by kind",
                     )
                 )
+            drops = self.manifest.metrics.get("drops_by_kind") or {}
+            if drops:
+                sections.append(
+                    render_table(
+                        ("kind", "dropped"),
+                        sorted(drops.items(), key=lambda kv: (-kv[1], kv[0])),
+                        title="dropped messages by kind",
+                    )
+                )
         if len(self.timeline):
             sections.append(self.timeline.render())
             top = self.timeline.slowest(slowest)

@@ -108,8 +108,13 @@ class RunRecord:
         seed: int,
         parameters: Mapping[str, Any],
         wall_seconds: float,
+        extras: Mapping[str, Any] | None = None,
     ) -> "RunRecord":
-        """Build a manifest from a :class:`~repro.core.algorithm.DistributedRunResult`."""
+        """Build a manifest from a :class:`~repro.core.algorithm.DistributedRunResult`.
+
+        ``extras`` (e.g. ``ratio_vs_lp``, ``invariant_violations``) is
+        merged into the outcome block, where regression comparison finds it.
+        """
         from repro import __version__
 
         instance = result.instance
@@ -121,6 +126,8 @@ class RunRecord:
         }
         if result.feasible:
             outcome["cost"] = result.cost
+        if extras:
+            outcome.update(extras)
         return cls(
             instance_name=instance.name,
             instance_hash=instance_digest(instance),

@@ -1,0 +1,145 @@
+"""Per-round convergence probes: solution quality as it evolves.
+
+The paper's headline is a trade-off *curve* — rounds against approximation
+quality — but network metrics alone only show the cost side. A
+:class:`RoundProbe` attached to the simulator observes the *global* state
+at every round boundary (the probe is an experimenter's instrument, not
+part of the distributed protocol; it may read any node) and contributes a
+dict that the simulator embeds in the round's
+:class:`~repro.obs.timeline.RoundTimelineEntry` under ``probe`` — so a
+JSONL trace of a run carries the full anytime-quality trajectory.
+
+:class:`SolutionQualityProbe` reports, per round:
+
+* ``dual_sum`` — total client dual budget ``sum_j alpha_j`` (dual-ascent
+  variant; 0 for protocols without duals),
+* ``num_tight`` / ``num_frozen`` — tight facilities and frozen-or-connected
+  clients, the protocol's discrete progress measures,
+* ``open_cost`` — opening cost of the tentatively-open facilities,
+* ``primal_cost`` — cost of the feasible solution *induced* by the current
+  open set (every client to its cheapest open neighbor), ``None`` while the
+  open set covers no feasible assignment yet,
+* ``ratio_vs_bound`` — ``primal_cost`` over the supplied lower bound (the
+  LP optimum from :mod:`repro.baselines.lp`, or any bound from
+  :mod:`repro.core.bounds`): an anytime approximation-ratio estimate.
+
+Probes are strictly opt-in: a simulator constructed without probes never
+executes any probe code (verified by test), so the default path stays as
+fast as before this module existed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping
+
+import numpy as np
+
+from repro.fl.instance import FacilityLocationInstance
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.net.simulator import Simulator
+
+__all__ = ["RoundProbe", "SolutionQualityProbe", "PROBE_FIELDS"]
+
+#: Canonical ordering of probe fields in rendered timelines.
+PROBE_FIELDS: tuple[str, ...] = (
+    "dual_sum",
+    "num_tight",
+    "num_frozen",
+    "open_cost",
+    "primal_cost",
+    "ratio_vs_bound",
+)
+
+
+class RoundProbe:
+    """Base class: observe global simulator state at a round boundary.
+
+    Subclasses override :meth:`observe` and return a JSON-serializable
+    mapping; the simulator merges the outputs of all attached probes into
+    the round's timeline entry. Returning ``{}`` contributes nothing.
+    """
+
+    def observe(
+        self, simulator: "Simulator", round_number: int
+    ) -> Mapping[str, Any]:
+        """Return this probe's fields for the given round."""
+        return {}
+
+
+class SolutionQualityProbe(RoundProbe):
+    """Anytime solution-quality probe for both protocol variants.
+
+    Parameters
+    ----------
+    instance:
+        The facility-location instance being solved; probe costs come from
+        its cost arrays, not from node-local state.
+    lower_bound:
+        Optional lower bound on the optimum (typically the LP value). When
+        given, every round with a feasible induced solution also reports
+        ``ratio_vs_bound``.
+    """
+
+    def __init__(
+        self,
+        instance: FacilityLocationInstance,
+        lower_bound: float | None = None,
+    ) -> None:
+        self.instance = instance
+        self.lower_bound = float(lower_bound) if lower_bound is not None else None
+        self._num_facilities = instance.num_facilities
+
+    def observe(
+        self, simulator: "Simulator", round_number: int
+    ) -> dict[str, Any]:
+        nodes = simulator.nodes
+        facilities = nodes[: self._num_facilities]
+        clients = nodes[self._num_facilities:]
+
+        dual_sum = 0.0
+        num_frozen = 0
+        for client in clients:
+            alpha = getattr(client, "alpha", None)
+            if alpha is not None:
+                dual_sum += alpha
+            if getattr(client, "frozen", False) or getattr(client, "connected", False):
+                num_frozen += 1
+        num_tight = sum(
+            1 for f in facilities if getattr(f, "is_tight", False)
+        )
+        open_ids = [
+            f.node_id
+            for f in facilities
+            if getattr(f, "is_open", False) and not f.crashed
+        ]
+        open_cost = float(self.instance.opening_costs[open_ids].sum()) if open_ids else 0.0
+
+        data: dict[str, Any] = {
+            "dual_sum": dual_sum,
+            "num_tight": num_tight,
+            "num_frozen": num_frozen,
+            "open_cost": open_cost,
+            "primal_cost": None,
+        }
+        primal = self._induced_primal_cost(open_ids, open_cost)
+        if primal is not None:
+            data["primal_cost"] = primal
+            if self.lower_bound is not None:
+                data["ratio_vs_bound"] = primal / max(self.lower_bound, 1e-12)
+        return data
+
+    def _induced_primal_cost(
+        self, open_ids: list[int], open_cost: float
+    ) -> float | None:
+        """Cost of assigning every client to its cheapest open neighbor.
+
+        ``None`` while some client has no (finite-cost) edge to any open
+        facility — the induced solution is not yet feasible.
+        """
+        if not open_ids:
+            return None
+        best = np.min(self.instance.connection_costs[open_ids, :], axis=0)
+        if not np.all(np.isfinite(best)):
+            return None
+        return open_cost + float(best.sum())

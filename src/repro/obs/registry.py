@@ -1,0 +1,327 @@
+"""A lightweight in-process metrics registry (counters, gauges, histograms).
+
+The registry is the *numeric* side of observability, complementing the
+event trace: components publish named time-series-style instruments into a
+shared :class:`MetricsRegistry`, and a run snapshot (:meth:`MetricsRegistry.
+snapshot`) serializes every instrument to a plain dict for manifests, BENCH
+records and regression diffs.
+
+Design constraints, in order:
+
+1. **Zero overhead when absent.** Nothing in the hot path may pay for an
+   unused registry: the simulator and :meth:`repro.net.node.RoundContext.
+   count` guard every publish behind a single ``registry is None`` check,
+   mirroring the ``trace.enabled`` guard of event logging.
+2. **No dependencies.** This is deliberately not a Prometheus client; it is
+   a few dicts with the same vocabulary (``Counter`` only goes up,
+   ``Gauge`` is set, ``Histogram`` buckets observations) so the names
+   transfer if the system ever exports for real.
+3. **Labels are cheap.** A labeled instrument keys its values by the sorted
+   ``(key, value)`` tuple; ``("kind", "prp")`` and friends cost one tuple
+   construction per publish.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds: a geometric ladder wide enough
+#: for both millisecond timings and message/bit counts.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelKey:
+    """Canonical, hashable form of a label set."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _labels_dict(key: LabelKey) -> dict[str, str]:
+    return dict(key)
+
+
+class _Instrument:
+    """Shared name/description plumbing of every instrument kind."""
+
+    kind = "instrument"
+
+    def __init__(self, name: str, description: str = "") -> None:
+        if not name:
+            raise ValueError("instrument name must be non-empty")
+        self.name = name
+        self.description = description
+
+    def snapshot(self) -> dict[str, Any]:
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count, optionally split by labels."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, description: str = "") -> None:
+        super().__init__(name, description)
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        """Add ``amount`` (must be >= 0) to the labeled series."""
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """Current count of the labeled series (0 when never incremented)."""
+        return self._values.get(_label_key(labels), 0)
+
+    @property
+    def total(self) -> float:
+        """Sum across every label combination."""
+        return sum(self._values.values())
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "type": self.kind,
+            "description": self.description,
+            "values": [
+                {"labels": _labels_dict(key), "value": value}
+                for key, value in sorted(self._values.items())
+            ],
+            "total": self.total,
+        }
+
+
+class Gauge(_Instrument):
+    """Last-written value, optionally split by labels."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, description: str = "") -> None:
+        super().__init__(name, description)
+        self._values: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Overwrite the labeled series with ``value``."""
+        self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        """Adjust the labeled series by ``amount`` (may be negative)."""
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float | None:
+        """Current value of the labeled series (None when never set)."""
+        return self._values.get(_label_key(labels))
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "type": self.kind,
+            "description": self.description,
+            "values": [
+                {"labels": _labels_dict(key), "value": value}
+                for key, value in sorted(self._values.items())
+            ],
+        }
+
+
+class _HistogramSeries:
+    __slots__ = ("count", "total", "minimum", "maximum", "bucket_counts")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        # One slot per bucket bound plus the overflow (+inf) slot.
+        self.bucket_counts = [0] * (num_buckets + 1)
+
+
+class Histogram(_Instrument):
+    """Distribution of observations over fixed bucket bounds.
+
+    ``buckets`` are inclusive upper bounds in increasing order; an implicit
+    ``+inf`` bucket catches everything beyond the last bound. The snapshot
+    reports cumulative bucket counts (Prometheus convention) plus
+    count/sum/min/max per label set.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        description: str = "",
+        buckets: Iterable[float] | None = None,
+    ) -> None:
+        super().__init__(name, description)
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(
+                f"histogram {name!r} buckets must be non-empty and increasing"
+            )
+        self.buckets = tuple(float(b) for b in bounds)
+        self._series: dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one observation into the labeled series."""
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(len(self.buckets))
+        value = float(value)
+        series.count += 1
+        series.total += value
+        series.minimum = min(series.minimum, value)
+        series.maximum = max(series.maximum, value)
+        series.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+
+    def count(self, **labels: Any) -> int:
+        """Number of observations in the labeled series."""
+        series = self._series.get(_label_key(labels))
+        return series.count if series is not None else 0
+
+    def mean(self, **labels: Any) -> float:
+        """Mean observation of the labeled series (0 when empty)."""
+        series = self._series.get(_label_key(labels))
+        if series is None or series.count == 0:
+            return 0.0
+        return series.total / series.count
+
+    def snapshot(self) -> dict[str, Any]:
+        values = []
+        for key, series in sorted(self._series.items()):
+            cumulative = []
+            running = 0
+            for count in series.bucket_counts:
+                running += count
+                cumulative.append(running)
+            values.append(
+                {
+                    "labels": _labels_dict(key),
+                    "count": series.count,
+                    "sum": series.total,
+                    "min": series.minimum if series.count else None,
+                    "max": series.maximum if series.count else None,
+                    "mean": series.total / series.count if series.count else 0.0,
+                    "cumulative_buckets": cumulative,
+                }
+            )
+        return {
+            "type": self.kind,
+            "description": self.description,
+            "buckets": list(self.buckets) + ["+inf"],
+            "values": values,
+        }
+
+
+class MetricsRegistry:
+    """Named instrument store; get-or-create semantics per instrument.
+
+    Asking twice for the same name returns the same instrument; asking for
+    an existing name with a *different* kind raises, because two components
+    silently sharing a name across kinds is always a bug.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, _Instrument] = {}
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(Counter, name, description)
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(Gauge, name, description)
+
+    def histogram(
+        self,
+        name: str,
+        description: str = "",
+        buckets: Iterable[float] | None = None,
+    ) -> Histogram:
+        """Get or create the histogram ``name``."""
+        existing = self._instruments.get(name)
+        if existing is None:
+            instrument = Histogram(name, description, buckets=buckets)
+            self._instruments[name] = instrument
+            return instrument
+        if not isinstance(existing, Histogram):
+            raise ValueError(
+                f"metric {name!r} already registered as a {existing.kind}"
+            )
+        return existing
+
+    def _get_or_create(self, cls: type, name: str, description: str):
+        existing = self._instruments.get(name)
+        if existing is None:
+            instrument = cls(name, description)
+            self._instruments[name] = instrument
+            return instrument
+        if not isinstance(existing, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as a {existing.kind}"
+            )
+        return existing
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def names(self) -> list[str]:
+        """All registered instrument names, sorted."""
+        return sorted(self._instruments)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Serialize every instrument to a plain-JSON dict, keyed by name."""
+        return {
+            name: instrument.snapshot()
+            for name, instrument in sorted(self._instruments.items())
+        }
+
+    def scalars(self) -> dict[str, float]:
+        """Flat ``name{labels} -> value`` view for regression comparison.
+
+        Counters and gauges contribute their values directly; histograms
+        contribute ``<name>.count``, ``<name>.sum`` and ``<name>.mean``.
+        Label sets are rendered Prometheus-style: ``name{k=v,k2=v2}``.
+        """
+        flat: dict[str, float] = {}
+        for name, instrument in sorted(self._instruments.items()):
+            if isinstance(instrument, (Counter, Gauge)):
+                for key, value in sorted(instrument._values.items()):
+                    flat[_flat_name(name, key)] = value
+            elif isinstance(instrument, Histogram):
+                for key, series in sorted(instrument._series.items()):
+                    base = _flat_name(name, key)
+                    flat[f"{base}.count"] = series.count
+                    flat[f"{base}.sum"] = series.total
+                    if series.count:
+                        flat[f"{base}.mean"] = series.total / series.count
+        return flat
+
+
+def _flat_name(name: str, key: LabelKey) -> str:
+    if not key:
+        return name
+    labels = ",".join(f"{k}={v}" for k, v in key)
+    return f"{name}{{{labels}}}"

@@ -208,9 +208,30 @@ class MultiTrace(Trace):
         for child in self.children:
             child.on_round_end(entry)
 
-    def close(self) -> None:
+    def flush(self) -> None:
+        """Flush every child that supports flushing, in child order."""
         for child in self.children:
-            child.close()
+            flush = getattr(child, "flush", None)
+            if callable(flush):
+                flush()
+
+    def close(self) -> None:
+        """Close every child, in child order.
+
+        A child whose ``close`` raises must not leave later siblings
+        unflushed — a streaming sink after a failing one would otherwise
+        lose its tail. Every child's ``close`` runs; the first exception
+        is re-raised after the sweep.
+        """
+        first_error: BaseException | None = None
+        for child in self.children:
+            try:
+                child.close()
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
 
     def __len__(self) -> int:
         return len(self.children[0])

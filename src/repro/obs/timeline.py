@@ -26,6 +26,11 @@ class RoundTimelineEntry:
     ``round_number`` 0 is the setup phase: messages submitted from
     ``on_setup`` hooks are accounted there, with zero wall-clock attributed
     to message delivery (none happens before round 1).
+
+    ``probe`` holds per-round convergence observations (dual sum, induced
+    primal cost, anytime ratio, ...) when :class:`~repro.obs.probes.
+    RoundProbe` instances are attached to the simulator; it is ``None`` —
+    and absent from the JSONL representation — for unprobed runs.
     """
 
     round_number: int
@@ -35,14 +40,23 @@ class RoundTimelineEntry:
     drops: int
     alive: int
     finished: int
+    probe: Mapping[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
-        """Plain-JSON representation (used by the JSONL trace format)."""
-        return asdict(self)
+        """Plain-JSON representation (used by the JSONL trace format).
+
+        ``probe`` is omitted when ``None`` so unprobed traces keep the
+        original schema byte-for-byte.
+        """
+        record = asdict(self)
+        if record["probe"] is None:
+            del record["probe"]
+        return record
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RoundTimelineEntry":
         """Inverse of :meth:`to_dict`; ignores unknown keys."""
+        probe = data.get("probe")
         return cls(
             round_number=int(data["round_number"]),
             wall_ms=float(data["wall_ms"]),
@@ -51,6 +65,7 @@ class RoundTimelineEntry:
             drops=int(data["drops"]),
             alive=int(data["alive"]),
             finished=int(data["finished"]),
+            probe=dict(probe) if probe is not None else None,
         )
 
 
@@ -96,11 +111,41 @@ class RoundTimeline:
         """Rebuild a timeline from :meth:`to_json` output."""
         return cls([RoundTimelineEntry.from_dict(d) for d in data])
 
+    def probe_fields(self) -> tuple[str, ...]:
+        """Probe keys present in at least one entry, in canonical order.
+
+        Canonically-known fields (:data:`repro.obs.probes.PROBE_FIELDS`)
+        come first; any extra fields follow alphabetically.
+        """
+        from repro.obs.probes import PROBE_FIELDS
+
+        seen: set[str] = set()
+        for entry in self._entries:
+            if entry.probe:
+                seen.update(entry.probe)
+        ordered = [f for f in PROBE_FIELDS if f in seen]
+        ordered.extend(sorted(seen.difference(PROBE_FIELDS)))
+        return tuple(ordered)
+
     def render(self, title: str = "per-round timeline") -> str:
-        """Fixed-width table of the whole timeline."""
-        headers = ("round", "wall_ms", "messages", "bits", "drops", "alive", "finished")
-        rows = [
-            (e.round_number, e.wall_ms, e.messages, e.bits, e.drops, e.alive, e.finished)
-            for e in self._entries
-        ]
+        """Fixed-width table of the whole timeline.
+
+        When convergence probes were attached, their fields (dual sum,
+        induced primal cost, anytime ratio, ...) appear as extra columns.
+        """
+        probe_fields = self.probe_fields()
+        headers = (
+            "round", "wall_ms", "messages", "bits", "drops", "alive", "finished",
+        ) + probe_fields
+        rows = []
+        for e in self._entries:
+            row = [
+                e.round_number, e.wall_ms, e.messages, e.bits, e.drops,
+                e.alive, e.finished,
+            ]
+            probe = e.probe or {}
+            for field in probe_fields:
+                value = probe.get(field)
+                row.append("-" if value is None else value)
+            rows.append(tuple(row))
         return render_table(headers, rows, title=title)

@@ -1,0 +1,214 @@
+"""Invariant watchdogs: runtime checks of what the protocol must never do.
+
+A :class:`Watchdog` is attached to the simulator alongside probes and is
+called at every round boundary. Unlike probes (which *measure*), watchdogs
+*assert*: each one encodes an invariant of the algorithm or of the CONGEST
+model, and on violation either records a structured
+``invariant_violation`` trace event (default) or raises
+:class:`~repro.exceptions.InvariantViolationError` (``strict=True`` —
+useful in tests and CI, where a violated invariant should fail loudly).
+
+Shipped watchdogs:
+
+* :class:`FeasibilityWatchdog` — every *settled* client (one holding a
+  SERVE confirmation) must point at a facility that is currently open,
+  alive, and adjacent to it. Catches extraction/fault bugs where a client
+  believes in a facility that never opened or crashed after confirming.
+* :class:`DualMonotonicityWatchdog` — client dual budgets ``alpha_j`` may
+  never decrease between rounds (the dual ascent only climbs). A decrease
+  means the ladder arithmetic or the freeze logic broke.
+* :class:`CongestWatchdog` — the largest message observed so far must stay
+  under the ``O(log N)`` envelope of
+  :func:`repro.core.bounds.message_bits_envelope`. Reports once per run
+  (the first round in which the envelope is pierced).
+
+Like probes, watchdogs are strictly opt-in: a simulator constructed
+without watchdogs never executes any watchdog code.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.core.bounds import message_bits_envelope
+from repro.exceptions import InvariantViolationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.net.simulator import Simulator
+    from repro.obs.timeline import RoundTimelineEntry
+
+__all__ = [
+    "Watchdog",
+    "FeasibilityWatchdog",
+    "DualMonotonicityWatchdog",
+    "CongestWatchdog",
+    "default_watchdogs",
+]
+
+
+class Watchdog:
+    """Base class for round-boundary invariant checks.
+
+    Subclasses override :meth:`check` and call :meth:`report` for every
+    violation found. Violations accumulate in :attr:`violations` (plain
+    dicts) regardless of strictness, so callers can assert on them after a
+    run even without a trace attached.
+    """
+
+    #: Short machine-readable identifier used in violation records.
+    name = "watchdog"
+
+    def __init__(self, strict: bool = False) -> None:
+        self.strict = bool(strict)
+        self.violations: list[dict[str, Any]] = []
+
+    def check(self, simulator: "Simulator", entry: "RoundTimelineEntry") -> None:
+        """Inspect the simulator state after a round; report violations."""
+        raise NotImplementedError
+
+    def report(
+        self,
+        simulator: "Simulator",
+        round_number: int,
+        node_id: int = -1,
+        **data: Any,
+    ) -> None:
+        """Record one violation (trace event + local log; raise if strict)."""
+        record = {"watchdog": self.name, "round": round_number, **data}
+        self.violations.append(record)
+        trace = simulator.trace
+        if trace.enabled:
+            trace.record(
+                round_number,
+                node_id,
+                "invariant_violation",
+                {"watchdog": self.name, **data},
+            )
+        if self.strict:
+            detail = " ".join(f"{k}={v}" for k, v in data.items())
+            raise InvariantViolationError(
+                f"invariant {self.name!r} violated in round {round_number}: {detail}"
+            )
+
+
+class FeasibilityWatchdog(Watchdog):
+    """Settled assignments must point at open, alive, adjacent facilities."""
+
+    name = "feasibility"
+
+    def check(self, simulator: "Simulator", entry: "RoundTimelineEntry") -> None:
+        nodes = simulator.nodes
+        for client in nodes:
+            target = getattr(client, "connected_to", None)
+            if target is None:
+                continue
+            facility = nodes[target]
+            if not getattr(facility, "is_open", False):
+                self.report(
+                    simulator,
+                    entry.round_number,
+                    node_id=client.node_id,
+                    reason="assigned_facility_not_open",
+                    facility=target,
+                )
+            elif facility.crashed:
+                self.report(
+                    simulator,
+                    entry.round_number,
+                    node_id=client.node_id,
+                    reason="assigned_facility_crashed",
+                    facility=target,
+                )
+            elif target not in client.neighbors:
+                self.report(
+                    simulator,
+                    entry.round_number,
+                    node_id=client.node_id,
+                    reason="assigned_facility_not_adjacent",
+                    facility=target,
+                )
+
+
+class DualMonotonicityWatchdog(Watchdog):
+    """Client dual budgets ``alpha_j`` may only go up."""
+
+    name = "dual_monotonicity"
+
+    #: Absolute slack for float noise in budget updates.
+    tolerance = 1e-12
+
+    def __init__(self, strict: bool = False) -> None:
+        super().__init__(strict)
+        self._last_alpha: dict[int, float] = {}
+
+    def check(self, simulator: "Simulator", entry: "RoundTimelineEntry") -> None:
+        for node in simulator.nodes:
+            alpha = getattr(node, "alpha", None)
+            if alpha is None:
+                continue
+            previous = self._last_alpha.get(node.node_id)
+            if previous is not None and alpha < previous - self.tolerance:
+                self.report(
+                    simulator,
+                    entry.round_number,
+                    node_id=node.node_id,
+                    reason="dual_budget_decreased",
+                    previous=previous,
+                    current=alpha,
+                )
+            self._last_alpha[node.node_id] = alpha
+
+
+class CongestWatchdog(Watchdog):
+    """``max_message_bits`` must stay under the ``O(log N)`` envelope.
+
+    The effective budget is ``max(envelope, floor_bits)``: the message
+    encoding charges a flat 64 bits per float (see
+    :mod:`repro.net.message`), so on tiny networks the pure
+    ``constant * log2(N)`` line dips below what a *single* legitimate
+    payload costs and would false-positive. ``floor_bits`` (default 96:
+    one float, a short kind tag, sign/length overhead) keeps the check
+    meaningful at every size while still catching multi-value payloads.
+    """
+
+    name = "congest"
+
+    def __init__(
+        self,
+        constant: float = 16.0,
+        floor_bits: int = 96,
+        strict: bool = False,
+    ) -> None:
+        super().__init__(strict)
+        self.constant = float(constant)
+        self.floor_bits = int(floor_bits)
+        self._tripped = False
+
+    def check(self, simulator: "Simulator", entry: "RoundTimelineEntry") -> None:
+        if self._tripped:
+            return
+        budget = max(
+            message_bits_envelope(
+                max(simulator.topology.num_nodes, 2), constant=self.constant
+            ),
+            float(self.floor_bits),
+        )
+        observed = simulator.metrics.max_message_bits
+        if observed > budget:
+            self._tripped = True
+            self.report(
+                simulator,
+                entry.round_number,
+                reason="message_bits_over_envelope",
+                observed_bits=observed,
+                envelope_bits=budget,
+            )
+
+
+def default_watchdogs(strict: bool = False) -> tuple[Watchdog, ...]:
+    """The standard watchdog set (feasibility, dual monotonicity, CONGEST)."""
+    return (
+        FeasibilityWatchdog(strict=strict),
+        DualMonotonicityWatchdog(strict=strict),
+        CongestWatchdog(strict=strict),
+    )

@@ -75,6 +75,39 @@ class TestNetworkMetrics:
         metrics.record_drop()
         assert metrics.dropped_messages == 1
 
+    def test_drops_attributed_by_kind_and_round(self):
+        metrics = NetworkMetrics()
+        metrics.record_drop(Message(0, 1, "prp"), round_number=3)
+        metrics.record_drop(Message(1, 0, "prp"), round_number=4)
+        metrics.record_drop(Message(0, 1, "acc"), round_number=4)
+        assert metrics.dropped_messages == 3
+        assert metrics.drops_by_kind == {"prp": 2, "acc": 1}
+        summary = metrics.summary()
+        assert summary["drops_by_kind"] == {"prp": 2, "acc": 1}
+        assert summary["drops_by_round"] == {"3": 1, "4": 2}
+
+    def test_anonymous_drop_still_counts(self):
+        # The pre-existing call shape (no message) must keep working.
+        metrics = NetworkMetrics()
+        metrics.record_drop(None)
+        assert metrics.dropped_messages == 1
+        assert metrics.drops_by_kind == {}
+
+    def test_publish_to_registry(self):
+        from repro.obs.registry import MetricsRegistry
+
+        metrics = NetworkMetrics()
+        metrics.start_round()
+        metrics.record_message(Message(0, 1, "a", {"x": 1.0}))
+        metrics.record_drop(Message(1, 0, "b"), round_number=1)
+        registry = MetricsRegistry()
+        metrics.publish(registry)
+        scalars = registry.scalars()
+        assert scalars["net_messages_total"] == 1
+        assert scalars["net_dropped_messages"] == 1
+        assert scalars["net_messages_by_kind{kind=a}"] == 1
+        assert scalars["net_drops_by_kind{kind=b}"] == 1
+
 
 class TestTrace:
     def test_record_and_filter(self):

@@ -1,0 +1,147 @@
+"""Tests for repro.obs.bench: BENCH trajectory collection and writing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import ExperimentResult
+from repro.cli import main
+from repro.exceptions import ReproError
+from repro.obs.bench import (
+    bench_path_for,
+    collect_records,
+    load_bench,
+    write_bench,
+)
+
+
+def _experiment_record(tmp_path, experiment_id="E1"):
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title="demo",
+        headers=("k", "ratio", "label"),
+        rows=((1, 2.0, "a"), (4, 1.5, "b"), (9, float("nan"), "c")),
+        notes={"m": 20, "wall_seconds": 0.25},
+    )
+    record = result.to_record()
+    (tmp_path / f"{experiment_id}.json").write_text(json.dumps(record))
+    return record
+
+
+class TestExperimentRecord:
+    def test_to_record_shape(self, tmp_path):
+        record = _experiment_record(tmp_path)
+        assert record["type"] == "bench_record"
+        assert record["experiment_id"] == "E1"
+        assert record["wall_seconds"] == 0.25
+        assert record["params"] == {"m": 20}
+        # Column stats over finite numeric cells only; text columns skipped.
+        assert record["metrics"]["ratio_max"] == 2.0
+        assert record["metrics"]["ratio_mean"] == 1.75
+        assert record["metrics"]["k_max"] == 9
+        assert "label_max" not in record["metrics"]
+        json.dumps(record, allow_nan=False)  # strict JSON, no NaN leakage
+
+
+class TestCollectRecords:
+    def test_from_artifact_directory(self, tmp_path):
+        _experiment_record(tmp_path, "E1")
+        _experiment_record(tmp_path, "E2")
+        # A stale BENCH file in the directory must not be folded in.
+        (tmp_path / "BENCH_old.json").write_text(
+            json.dumps({"type": "bench", "records": {}})
+        )
+        (tmp_path / "notes.txt").write_text("ignored")
+        records = collect_records(tmp_path)
+        assert sorted(records) == ["E1", "E2"]
+        assert records["E1"]["source"] == "experiment"
+        assert records["E1"]["metrics"]["ratio_max"] == 2.0
+
+    def test_from_pytest_benchmark_export(self, tmp_path):
+        export = tmp_path / "export.json"
+        export.write_text(
+            json.dumps(
+                {
+                    "benchmarks": [
+                        {
+                            "name": "test_lp",
+                            "stats": {"mean": 0.5, "min": 0.4, "stddev": 0.1},
+                        }
+                    ]
+                }
+            )
+        )
+        records = collect_records(export)
+        assert records["test_lp"]["wall_seconds"] == 0.5
+        assert records["test_lp"]["metrics"]["min"] == 0.4
+
+    def test_from_manifest_sidecar(self, tmp_path, capsys):
+        code = main(
+            [
+                "solve",
+                "--family",
+                "uniform",
+                "-m",
+                "5",
+                "-n",
+                "12",
+                "-k",
+                "4",
+                "--trace",
+                str(tmp_path / "run.jsonl"),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        records = collect_records(tmp_path / "run.manifest.json")
+        (record,) = records.values()
+        assert record["source"] == "manifest"
+        assert record["metrics"]["rounds"] > 0
+
+    def test_empty_source_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="no benchmark records"):
+            collect_records(tmp_path)
+        with pytest.raises(ReproError, match="not found"):
+            collect_records(tmp_path / "absent")
+
+
+class TestWriteBench:
+    def test_roundtrip_and_determinism(self, tmp_path):
+        records = {"E1": {"wall_seconds": 1.0, "metrics": {"x": 2.0}}}
+        first = write_bench("micro", records, tmp_path)
+        assert first == bench_path_for("micro", tmp_path)
+        content_a = first.read_text()
+        write_bench("micro", records, tmp_path)
+        assert first.read_text() == content_a  # no timestamps, stable bytes
+        doc = load_bench(first)
+        assert doc["name"] == "micro"
+        assert doc["records"]["E1"]["metrics"]["x"] == 2.0
+
+    def test_name_is_sanitized(self, tmp_path):
+        target = write_bench("e2e/smoke test", {"r": {}}, tmp_path)
+        assert target.name == "BENCH_e2e_smoke_test.json"
+
+    def test_load_rejects_non_bench(self, tmp_path):
+        other = tmp_path / "x.json"
+        other.write_text("{}")
+        with pytest.raises(ReproError, match="not a BENCH"):
+            load_bench(other)
+        with pytest.raises(ReproError, match="not found"):
+            load_bench(tmp_path / "absent.json")
+
+
+class TestBenchCli:
+    def test_bench_then_compare(self, tmp_path, capsys):
+        _experiment_record(tmp_path, "E1")
+        out_dir = tmp_path / "baselines"
+        out_dir.mkdir()
+        assert main(["bench", str(tmp_path), "--name", "t", "-o", str(out_dir)]) == 0
+        bench_file = out_dir / "BENCH_t.json"
+        assert bench_file.exists()
+        capsys.readouterr()
+        code = main(
+            ["compare", str(bench_file), str(bench_file), "--default-threshold", "2"]
+        )
+        assert code == 0

@@ -1,0 +1,234 @@
+"""Tests for repro.obs.compare: thresholds, extraction, regression diffs."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import ReproError
+from repro.obs.compare import (
+    DEFAULT_THRESHOLDS,
+    ComparisonReport,
+    MetricDiff,
+    compare_metrics,
+    compare_paths,
+    extract_metrics,
+    parse_threshold,
+)
+
+
+class TestParseThreshold:
+    def test_parses_name_and_ratio(self):
+        assert parse_threshold("cost=1.05") == ("cost", 1.05)
+
+    @pytest.mark.parametrize("spec", ["cost", "=1.0", "cost=abc", "cost=-1"])
+    def test_rejects_bad_specs(self, spec):
+        with pytest.raises(ReproError):
+            parse_threshold(spec)
+
+
+class TestCompareMetrics:
+    def test_statuses(self):
+        report = compare_metrics(
+            {"cost": 10.0, "rounds": 8, "total_bits": 100, "extra_old": 1.0},
+            {"cost": 11.0, "rounds": 6, "total_bits": 100, "extra_new": 2.0},
+            thresholds={"cost": 1.05},
+        )
+        by_name = {d.name: d for d in report.diffs}
+        assert by_name["cost"].status == "regression"
+        assert by_name["rounds"].status == "improved"
+        assert by_name["total_bits"].status == "ok"
+        assert by_name["extra_old"].status == "missing"
+        assert by_name["extra_new"].status == "missing"
+        assert not report.ok
+        assert [d.name for d in report.regressions] == ["cost"]
+
+    def test_missing_side_never_fails(self):
+        report = compare_metrics({"only_old": 1.0}, {"only_new": 2.0})
+        assert report.ok
+
+    def test_default_threshold_checks_unknown_metrics(self):
+        old, new = {"custom": 1.0}, {"custom": 3.0}
+        assert compare_metrics(old, new).diffs[0].status == "unchecked"
+        report = compare_metrics(old, new, default_threshold=2.0)
+        assert report.diffs[0].status == "regression"
+
+    def test_zero_baseline(self):
+        report = compare_metrics(
+            {"drops": 0.0, "still_zero": 0.0},
+            {"drops": 1.0, "still_zero": 0.0},
+            thresholds={"drops": 1.5, "still_zero": 1.5},
+        )
+        by_name = {d.name: d for d in report.diffs}
+        # Anything appearing where the baseline had nothing is a regression.
+        assert by_name["drops"].status == "regression"
+        assert by_name["drops"].ratio == math.inf
+        assert by_name["still_zero"].status == "ok"
+
+    def test_defaults_are_lower_is_better_and_strict_on_rounds(self):
+        assert DEFAULT_THRESHOLDS["rounds"] == 1.0
+        assert DEFAULT_THRESHOLDS["max_message_bits"] == 1.0
+        report = compare_metrics({"rounds": 40}, {"rounds": 41})
+        assert not report.ok
+
+    def test_render_and_to_dict(self):
+        report = compare_metrics({"cost": 1.0}, {"cost": 2.0})
+        text = report.render()
+        assert "REGRESSION" in text and "cost" in text
+        payload = report.to_dict()
+        assert payload["ok"] is False
+        assert payload["metrics"][0]["name"] == "cost"
+        json.dumps(payload)  # must be strict-JSON serializable
+
+
+def _solve_with_trace(tmp_path, name, k=4):
+    trace = tmp_path / f"{name}.jsonl"
+    code = main(
+        [
+            "solve",
+            "--family",
+            "uniform",
+            "-m",
+            "6",
+            "-n",
+            "15",
+            "--seed",
+            "3",
+            "-k",
+            str(k),
+            "--trace",
+            str(trace),
+        ]
+    )
+    assert code == 0
+    return trace
+
+
+class TestExtractMetrics:
+    def test_from_manifest_and_trace(self, tmp_path, capsys):
+        trace = _solve_with_trace(tmp_path, "run")
+        capsys.readouterr()
+        from_trace = extract_metrics(trace)
+        from_manifest = extract_metrics(tmp_path / "run.manifest.json")
+        for flat in (from_trace, from_manifest):
+            assert flat["rounds"] > 0
+            assert flat["cost"] > 0
+            assert "ratio_vs_lp" in flat
+
+    def test_from_bench_record_document(self, tmp_path):
+        bench = tmp_path / "BENCH_x.json"
+        bench.write_text(
+            json.dumps(
+                {
+                    "type": "bench",
+                    "records": {
+                        "E1": {
+                            "wall_seconds": 2.0,
+                            "metrics": {"ratio_max": 1.4},
+                            "params": {"m": 20},
+                        }
+                    },
+                }
+            )
+        )
+        flat = extract_metrics(bench)
+        assert flat == {"E1.wall_seconds": 2.0, "E1.ratio_max": 1.4}
+
+    def test_from_pytest_benchmark_export(self, tmp_path):
+        export = tmp_path / "export.json"
+        export.write_text(
+            json.dumps(
+                {
+                    "benchmarks": [
+                        {"name": "test_lp", "stats": {"mean": 0.1, "stddev": 0.01}}
+                    ]
+                }
+            )
+        )
+        flat = extract_metrics(export)
+        assert flat["test_lp.mean"] == 0.1
+
+    def test_unknown_artifact_rejected(self, tmp_path):
+        bad = tmp_path / "x.json"
+        bad.write_text("{\"whatever\": 1}")
+        with pytest.raises(ReproError, match="unrecognized"):
+            extract_metrics(bad)
+        with pytest.raises(ReproError, match="not found"):
+            extract_metrics(tmp_path / "absent.json")
+
+
+class TestComparePaths:
+    def test_identical_traces_ok(self, tmp_path, capsys):
+        a = _solve_with_trace(tmp_path, "a")
+        b = _solve_with_trace(tmp_path, "b")
+        capsys.readouterr()
+        (report,) = compare_paths(a, b)
+        assert report.ok
+
+    def test_directory_mode_pairs_by_name(self, tmp_path, capsys):
+        old_dir, new_dir = tmp_path / "old", tmp_path / "new"
+        for directory in (old_dir, new_dir):
+            directory.mkdir()
+            _solve_with_trace(directory, "run")
+        capsys.readouterr()
+        reports = compare_paths(old_dir, new_dir)
+        # run.jsonl and run.manifest.json both exist on both sides.
+        assert len(reports) == 2
+        assert all(r.ok for r in reports)
+
+    def test_mixed_file_and_directory_rejected(self, tmp_path, capsys):
+        trace = _solve_with_trace(tmp_path, "a")
+        capsys.readouterr()
+        with pytest.raises(ReproError, match="not a mix"):
+            compare_paths(trace, tmp_path)
+
+    def test_disjoint_directories_rejected(self, tmp_path):
+        old_dir, new_dir = tmp_path / "old", tmp_path / "new"
+        old_dir.mkdir()
+        new_dir.mkdir()
+        (old_dir / "a.json").write_text('{"type": "manifest"}')
+        (new_dir / "b.json").write_text('{"type": "manifest"}')
+        with pytest.raises(ReproError, match="no artifact"):
+            compare_paths(old_dir, new_dir)
+
+
+class TestCompareCli:
+    """The acceptance criterion: injected regression -> non-zero exit."""
+
+    def test_injected_regression_fails(self, tmp_path, capsys):
+        trace = _solve_with_trace(tmp_path, "a")
+        manifest = json.loads((tmp_path / "a.manifest.json").read_text())
+        manifest["outcome"]["cost"] *= 1.5
+        regressed = tmp_path / "b.manifest.json"
+        regressed.write_text(json.dumps(manifest))
+        capsys.readouterr()
+        code = main(
+            [
+                "compare",
+                str(tmp_path / "a.manifest.json"),
+                str(regressed),
+                "--threshold",
+                "cost=1.05",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "regression" in captured.out
+        assert "regressed" in captured.err
+
+    def test_clean_compare_passes_with_json_output(self, tmp_path, capsys):
+        trace = _solve_with_trace(tmp_path, "a")
+        capsys.readouterr()
+        code = main(["compare", str(trace), str(trace), "--json"])
+        captured = capsys.readouterr()
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload[0]["ok"] is True
+
+    def test_threshold_spec_error_is_reported(self, tmp_path, capsys):
+        code = main(["compare", "x", "y", "--threshold", "nonsense"])
+        assert code == 1
+        assert "threshold" in capsys.readouterr().err

@@ -88,6 +88,36 @@ class TestLoadTraceFile:
         report = load_trace_file(path)
         assert report.manifest == manifest
 
+    def test_truncated_mid_round_falls_back_to_sidecar(
+        self, uniform_small, tmp_path
+    ):
+        # A run killed mid-write leaves a torn partial line at the end of the
+        # JSONL and no manifest line. The reader must keep the intact round
+        # prefix, count the torn tail as malformed, and recover the manifest
+        # from the sidecar file.
+        path = tmp_path / "t.jsonl"
+        result, manifest = _solve_with_trace(uniform_small, path)
+        lines = [
+            l
+            for l in path.read_text().splitlines()
+            if json.loads(l)["type"] != "manifest"
+        ]
+        last_round_idx = max(
+            i for i, l in enumerate(lines) if json.loads(l)["type"] == "round"
+        )
+        intact = lines[:last_round_idx]
+        torn = lines[last_round_idx][: len(lines[last_round_idx]) // 2]
+        path.write_text("\n".join(intact + [torn]))
+        manifest.write_json(manifest_path_for(path))
+
+        report = load_trace_file(path)
+        assert report.manifest == manifest
+        assert report.malformed_lines == 1
+        # All rounds before the torn one survive, in order.
+        assert len(report.timeline) == len(result.timeline) - 1
+        rounds = [entry.round_number for entry in report.timeline]
+        assert rounds == sorted(rounds)
+
     def test_malformed_lines_counted_not_fatal(self, tmp_path):
         path = tmp_path / "t.jsonl"
         path.write_text('{"type": "event", "round": 1, "node": 0, "event": "x"}\n'

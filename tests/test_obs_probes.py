@@ -1,0 +1,174 @@
+"""Tests for repro.obs.probes and their simulator/timeline/registry wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.lp import solve_lp
+from repro.core.algorithm import DistributedFacilityLocation, Variant
+from repro.obs.probes import PROBE_FIELDS, RoundProbe, SolutionQualityProbe
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timeline import RoundTimelineEntry
+
+
+class TestSolutionQualityProbe:
+    def test_final_round_reports_feasible_quality(self, uniform_small):
+        lp = solve_lp(uniform_small)
+        runner = DistributedFacilityLocation(
+            uniform_small, k=9, probe_quality=True, lower_bound=lp.value
+        )
+        result = runner.run()
+        last = result.timeline[len(result.timeline) - 1].probe
+        assert last is not None
+        assert last["primal_cost"] is not None
+        # The induced primal cost of the final open set equals the cost of
+        # assigning every client to its cheapest open facility; the actual
+        # protocol assignment can never beat that.
+        assert last["primal_cost"] <= result.cost + 1e-9
+        assert last["ratio_vs_bound"] >= 1.0 - 1e-9
+        assert last["num_frozen"] == uniform_small.num_clients
+
+    def test_dual_ascent_duals_climb(self, uniform_small):
+        runner = DistributedFacilityLocation(
+            uniform_small, k=9, variant=Variant.DUAL_ASCENT, probe_quality=True
+        )
+        result = runner.run()
+        dual_sums = [
+            entry.probe["dual_sum"] for entry in result.timeline if entry.probe
+        ]
+        assert dual_sums[-1] > 0.0
+        # Dual budgets only climb (the monotonicity invariant, seen end to end).
+        assert all(b >= a - 1e-9 for a, b in zip(dual_sums, dual_sums[1:]))
+        assert any(
+            entry.probe["num_tight"] > 0 for entry in result.timeline if entry.probe
+        )
+
+    def test_early_rounds_have_no_primal(self, uniform_small):
+        runner = DistributedFacilityLocation(
+            uniform_small, k=9, probe_quality=True
+        )
+        result = runner.run()
+        first = result.timeline[0].probe
+        assert first is not None
+        assert first["primal_cost"] is None
+        assert "ratio_vs_bound" not in first
+
+    def test_without_lower_bound_no_ratio(self, uniform_small):
+        runner = DistributedFacilityLocation(
+            uniform_small, k=9, probe_quality=True
+        )
+        result = runner.run()
+        last = result.timeline[len(result.timeline) - 1].probe
+        assert last["primal_cost"] is not None
+        assert "ratio_vs_bound" not in last
+
+
+class TestProbeWiring:
+    def test_multiple_probes_merge(self, uniform_small):
+        class ConstantProbe(RoundProbe):
+            def observe(self, simulator, round_number):
+                return {"custom_field": round_number}
+
+        runner = DistributedFacilityLocation(
+            uniform_small, k=4, probes=(ConstantProbe(),), probe_quality=True
+        )
+        result = runner.run()
+        entry = result.timeline[3]
+        assert entry.probe["custom_field"] == entry.round_number
+        assert "dual_sum" in entry.probe
+
+    def test_probe_survives_jsonl_round_trip(self):
+        entry = RoundTimelineEntry(
+            round_number=2,
+            wall_ms=1.0,
+            messages=3,
+            bits=24,
+            drops=0,
+            alive=5,
+            finished=0,
+            probe={"dual_sum": 1.5, "primal_cost": None},
+        )
+        data = entry.to_dict()
+        back = RoundTimelineEntry.from_dict(data)
+        assert back.probe == {"dual_sum": 1.5, "primal_cost": None}
+
+    def test_render_includes_probe_columns(self, uniform_small):
+        runner = DistributedFacilityLocation(
+            uniform_small, k=4, probe_quality=True, lower_bound=1.0
+        )
+        result = runner.run()
+        text = result.timeline.render()
+        for field in PROBE_FIELDS:
+            assert field in text
+
+
+class TestZeroOverheadWhenDisabled:
+    """The default path must never touch probe/registry code."""
+
+    def test_no_probe_data_without_probes(self, uniform_small):
+        result = DistributedFacilityLocation(uniform_small, k=4).run()
+        for entry in result.timeline:
+            assert entry.probe is None
+            assert "probe" not in entry.to_dict()
+
+    def test_probe_code_never_runs_when_not_attached(
+        self, uniform_small, monkeypatch
+    ):
+        def boom(self, simulator, round_number):  # pragma: no cover - must not run
+            raise AssertionError("probe executed on the probe-free path")
+
+        monkeypatch.setattr(SolutionQualityProbe, "observe", boom)
+        monkeypatch.setattr(RoundProbe, "observe", boom)
+        result = DistributedFacilityLocation(uniform_small, k=4).run()
+        assert result.feasible
+
+    def test_registry_code_never_runs_when_not_attached(
+        self, uniform_small, monkeypatch
+    ):
+        def boom(self, *args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("registry touched on the registry-free path")
+
+        monkeypatch.setattr(MetricsRegistry, "counter", boom)
+        monkeypatch.setattr(MetricsRegistry, "gauge", boom)
+        monkeypatch.setattr(MetricsRegistry, "histogram", boom)
+        result = DistributedFacilityLocation(uniform_small, k=4).run()
+        assert result.feasible
+
+
+class TestRegistryWiring:
+    def test_simulator_publishes_round_metrics(self, uniform_small):
+        registry = MetricsRegistry()
+        result = DistributedFacilityLocation(
+            uniform_small, k=9, registry=registry
+        ).run()
+        scalars = registry.scalars()
+        # One timeline entry per round plus the setup entry (round 0).
+        assert scalars["sim_rounds_total"] == len(result.timeline)
+        assert scalars["net_messages_total"] == result.metrics.total_messages
+        assert scalars["sim_round_messages.count"] == len(result.timeline)
+
+    def test_protocol_counters_greedy(self, uniform_small):
+        registry = MetricsRegistry()
+        result = DistributedFacilityLocation(
+            uniform_small, k=9, registry=registry
+        ).run()
+        opens = registry.counter("protocol_opens_total")
+        connects = registry.counter("protocol_connects_total")
+        forced = registry.counter("protocol_forced_opens_total")
+        assert opens.total + forced.total >= len(result.open_facilities)
+        assert connects.value(variant="greedy") == uniform_small.num_clients
+
+    def test_protocol_counters_dual_ascent(self, uniform_small):
+        registry = MetricsRegistry()
+        result = DistributedFacilityLocation(
+            uniform_small, k=9, variant=Variant.DUAL_ASCENT, registry=registry
+        ).run()
+        assert result.feasible
+        assert registry.counter("protocol_tight_total").total > 0
+        assert registry.counter("protocol_alpha_raises_total").total > 0
+        assert (
+            registry.counter("protocol_connects_total").value(
+                variant="dual_ascent"
+            )
+            == uniform_small.num_clients
+        )

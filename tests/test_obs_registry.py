@@ -1,0 +1,135 @@
+"""Unit tests for repro.obs.registry: counters, gauges, histograms, labels."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+        assert counter.total == 3.5
+
+    def test_labeled_series_are_independent(self):
+        counter = Counter("c")
+        counter.inc(variant="greedy")
+        counter.inc(3, variant="dual")
+        assert counter.value(variant="greedy") == 1
+        assert counter.value(variant="dual") == 3
+        assert counter.value() == 0
+        assert counter.total == 4
+
+    def test_label_order_is_canonical(self):
+        counter = Counter("c")
+        counter.inc(a="1", b="2")
+        counter.inc(b="2", a="1")
+        assert counter.value(a="1", b="2") == 2
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("c").inc(-1)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Counter("")
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value() == 2
+
+    def test_inc_may_go_negative(self):
+        gauge = Gauge("g")
+        gauge.inc(-3)
+        assert gauge.value() == -3
+
+    def test_unset_series_is_none(self):
+        assert Gauge("g").value() is None
+
+
+class TestHistogram:
+    def test_observations(self):
+        hist = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.count() == 3
+        assert hist.mean() == pytest.approx(55.5 / 3)
+
+    def test_cumulative_buckets(self):
+        hist = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        snap = hist.snapshot()["values"][0]
+        # <=1: one, <=10: two, +inf: all three (Prometheus cumulative).
+        assert snap["cumulative_buckets"] == [1, 2, 3]
+        assert snap["min"] == 0.5
+        assert snap["max"] == 50.0
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError, match="increasing"):
+            Histogram("h", buckets=(10.0, 1.0))
+
+    def test_default_buckets_cover_timings_and_counts(self):
+        assert DEFAULT_BUCKETS[0] <= 0.001
+        assert DEFAULT_BUCKETS[-1] >= 100_000
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("x")
+
+    def test_contains_len_names(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.gauge("a")
+        assert "a" in registry and "b" in registry and "c" not in registry
+        assert len(registry) == 2
+        assert registry.names() == ["a", "b"]
+
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2, kind="x")
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(3.0)
+        text = json.dumps(registry.snapshot())
+        assert '"total": 2' in text
+
+    def test_scalars_flatten_with_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2, kind="x", variant="g")
+        registry.gauge("g").set(7)
+        registry.histogram("h").observe(4.0)
+        registry.histogram("h").observe(6.0)
+        scalars = registry.scalars()
+        assert scalars["c{kind=x,variant=g}"] == 2
+        assert scalars["g"] == 7
+        assert scalars["h.count"] == 2
+        assert scalars["h.sum"] == 10.0
+        assert scalars["h.mean"] == 5.0

@@ -138,3 +138,73 @@ class TestMultiTrace:
     def test_requires_children(self):
         with pytest.raises(ValueError, match="at least one"):
             MultiTrace()
+
+
+class _OrderedChild(Trace):
+    """Child trace that journals flush/close calls into a shared log."""
+
+    def __init__(self, name: str, log: list, fail_on_close: bool = False):
+        super().__init__()
+        self.name = name
+        self.log = log
+        self.fail_on_close = fail_on_close
+
+    def flush(self) -> None:
+        self.log.append(("flush", self.name))
+
+    def close(self) -> None:
+        self.log.append(("close", self.name))
+        if self.fail_on_close:
+            raise OSError(f"{self.name} failed to close")
+
+
+class TestMultiTraceCloseAndFlushOrdering:
+    def test_flush_reaches_children_in_order(self):
+        log: list = []
+        multi = MultiTrace(_OrderedChild("a", log), _OrderedChild("b", log))
+        multi.flush()
+        assert log == [("flush", "a"), ("flush", "b")]
+
+    def test_flush_tolerates_children_without_flush(self, tmp_path):
+        # Plain Trace has no flush(); the multiplexer must skip it and still
+        # flush the streaming sink after it.
+        path = tmp_path / "t.jsonl"
+        sink = JsonlTraceSink(path, flush_on_round=False)
+        multi = MultiTrace(Trace(), sink)
+        multi.record(1, 0, "a", {})
+        multi.flush()
+        assert json.loads(path.read_text())["event"] == "a"
+        sink.close()
+
+    def test_failing_close_does_not_skip_later_children(self):
+        log: list = []
+        children = (
+            _OrderedChild("a", log),
+            _OrderedChild("boom", log, fail_on_close=True),
+            _OrderedChild("c", log),
+        )
+        with pytest.raises(OSError, match="boom failed"):
+            MultiTrace(*children).close()
+        assert log == [("close", "a"), ("close", "boom"), ("close", "c")]
+
+    def test_first_close_error_wins(self):
+        log: list = []
+        children = (
+            _OrderedChild("first", log, fail_on_close=True),
+            _OrderedChild("second", log, fail_on_close=True),
+        )
+        with pytest.raises(OSError, match="first failed"):
+            MultiTrace(*children).close()
+        assert [name for _, name in log] == ["first", "second"]
+
+    def test_streaming_sink_flushed_despite_earlier_failure(self, tmp_path):
+        # The scenario the sweep exists for: a failing child in front of a
+        # JSONL sink must not leave the sink's tail unflushed on disk.
+        log: list = []
+        path = tmp_path / "t.jsonl"
+        sink = JsonlTraceSink(path, flush_on_round=False)
+        multi = MultiTrace(_OrderedChild("boom", log, fail_on_close=True), sink)
+        multi.record(1, 0, "survivor", {})
+        with pytest.raises(OSError):
+            multi.close()
+        assert json.loads(path.read_text())["event"] == "survivor"

@@ -1,0 +1,158 @@
+"""Tests for repro.obs.watchdogs: invariant checks and violation reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm import DistributedFacilityLocation, Variant
+from repro.exceptions import InvariantViolationError
+from repro.net.node import Node
+from repro.net.simulator import Simulator
+from repro.net.topology import Topology
+from repro.net.trace import Trace
+from repro.obs.watchdogs import (
+    CongestWatchdog,
+    DualMonotonicityWatchdog,
+    FeasibilityWatchdog,
+    Watchdog,
+    default_watchdogs,
+)
+
+
+class _Idle(Node):
+    """Does nothing for a few rounds, then finishes."""
+
+    def on_round(self, ctx, inbox):
+        if ctx.round_number >= 3:
+            self.finished = True
+
+
+class _BadClient(Node):
+    """Claims to be served by a facility that never opened."""
+
+    def on_round(self, ctx, inbox):
+        self.connected_to = 0
+        self.finished = True
+
+
+class _ShrinkingDual(Node):
+    """Client whose dual budget illegally decreases."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.alpha = 0.0
+
+    def on_round(self, ctx, inbox):
+        self.alpha = 5.0 if ctx.round_number == 1 else 1.0
+        if ctx.round_number >= 3:
+            self.finished = True
+
+
+class _BigTalker(Node):
+    """Broadcasts a payload far beyond the CONGEST envelope."""
+
+    def on_round(self, ctx, inbox):
+        if ctx.round_number >= 3:
+            self.finished = True
+            return
+        ctx.broadcast("blob", text="x" * 64)  # 8 bits/char >> any budget here
+
+
+def _run(nodes, watchdogs, trace=None, num=2):
+    simulator = Simulator(
+        Topology.complete(num), nodes, watchdogs=watchdogs, trace=trace
+    )
+    simulator.run(max_rounds=6)
+    return simulator
+
+
+class TestFeasibilityWatchdog:
+    def test_clean_nodes_pass(self):
+        dog = FeasibilityWatchdog(strict=True)
+        _run([_Idle(0), _Idle(1)], [dog])
+        assert dog.violations == []
+
+    def test_unopened_assignment_reported(self):
+        dog = FeasibilityWatchdog()
+        _run([_Idle(0), _BadClient(1)], [dog])
+        assert dog.violations
+        first = dog.violations[0]
+        assert first["watchdog"] == "feasibility"
+        assert first["reason"] == "assigned_facility_not_open"
+        assert first["facility"] == 0
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(InvariantViolationError, match="feasibility"):
+            _run([_Idle(0), _BadClient(1)], [FeasibilityWatchdog(strict=True)])
+
+    def test_violation_becomes_trace_event(self):
+        trace = Trace()
+        dog = FeasibilityWatchdog()
+        _run([_Idle(0), _BadClient(1)], [dog], trace=trace)
+        events = trace.events(event="invariant_violation")
+        assert events
+        assert events[0].data["watchdog"] == "feasibility"
+        assert events[0].node_id == 1
+
+
+class TestDualMonotonicityWatchdog:
+    def test_decrease_reported_once_per_round(self):
+        dog = DualMonotonicityWatchdog()
+        _run([_ShrinkingDual(0), _ShrinkingDual(1)], [dog])
+        reasons = {v["reason"] for v in dog.violations}
+        assert reasons == {"dual_budget_decreased"}
+        # One drop per node (5.0 -> 1.0), then the budget stays flat.
+        assert len(dog.violations) == 2
+
+    def test_flat_budgets_pass(self):
+        dog = DualMonotonicityWatchdog(strict=True)
+        nodes = [_Idle(0), _Idle(1)]
+        nodes[1].alpha = 2.0
+        _run(nodes, [dog])
+        assert dog.violations == []
+
+
+class TestCongestWatchdog:
+    def test_oversized_message_trips_once(self):
+        dog = CongestWatchdog()
+        _run([_BigTalker(0), _Idle(1)], [dog])
+        assert len(dog.violations) == 1
+        record = dog.violations[0]
+        assert record["reason"] == "message_bits_over_envelope"
+        assert record["observed_bits"] > record["envelope_bits"]
+
+    def test_floor_absorbs_small_network_floats(self):
+        # A single float payload costs 88 bits; on tiny networks the pure
+        # c*log2(N) envelope dips below that, and only the floor keeps the
+        # watchdog from false-positiving on legitimate protocol traffic.
+        class _FloatTalker(Node):
+            def on_round(self, ctx, inbox):
+                if ctx.round_number >= 2:
+                    self.finished = True
+                    return
+                ctx.broadcast("v", value=1.0)
+
+        dog = CongestWatchdog(strict=True)
+        _run([_FloatTalker(0), _FloatTalker(1)], [dog])
+        assert dog.violations == []
+
+
+class TestEndToEnd:
+    def test_both_variants_satisfy_all_invariants(self, uniform_small):
+        for variant in (Variant.GREEDY, Variant.DUAL_ASCENT):
+            dogs = default_watchdogs(strict=True)
+            result = DistributedFacilityLocation(
+                uniform_small, k=9, variant=variant, watchdogs=dogs
+            ).run()
+            assert result.feasible
+            assert result.diagnostics["invariant_violations"] == 0
+
+    def test_default_watchdogs_strictness(self):
+        dogs = default_watchdogs(strict=True)
+        assert len(dogs) == 3
+        assert all(dog.strict for dog in dogs)
+        assert not any(dog.strict for dog in default_watchdogs())
+
+    def test_base_check_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Watchdog().check(None, None)
