@@ -1,9 +1,11 @@
-"""E11 (Fig 7): robustness under message loss (extension).
+"""E11/E17 (Fig 7): robustness under faults (extension).
 
-Regenerates the drop-probability sweep and asserts the extension's
-headline: fault-free runs are always complete, and moderate loss rates
-degrade completeness gracefully rather than catastrophically (the repaired
-solution stays within a bounded multiple of the LP bound).
+Regenerates the drop-probability sweep (E11) and the per-fault-family
+resilience comparison (E17), asserting the extensions' headlines:
+fault-free runs are always complete, moderate loss degrades completeness
+gracefully, and the resilience layer (reliable delivery + self-healing)
+completes at least as often as the plain protocol with self-healed cost
+no worse than a bounded multiple of the post-hoc repair.
 """
 
 from __future__ import annotations
@@ -11,10 +13,12 @@ from __future__ import annotations
 import math
 
 from benchmarks.conftest import save_result
-from repro.analysis.experiments import run_e11_faults
+from repro.analysis.experiments import run_e11_faults, run_e17_fault_families
 from repro.core.algorithm import DistributedFacilityLocation
+from repro.core.healing import SelfHealingPolicy
 from repro.fl.generators import uniform_instance
 from repro.net.faults import FaultPlan
+from repro.net.reliability import ReliabilityPolicy
 
 
 def test_e11_faults(benchmark, artifact_dir, quick):
@@ -32,5 +36,37 @@ def test_e11_faults(benchmark, artifact_dir, quick):
     benchmark(
         lambda: DistributedFacilityLocation(
             instance, k=9, seed=0, fault_plan=plan
+        ).run()
+    )
+
+
+def test_e17_fault_families(benchmark, artifact_dir, quick):
+    result = run_e17_fault_families(quick=quick)
+    save_result(artifact_dir, result)
+    complete_idx = result.headers.index("resilient_complete")
+    plain_idx = result.headers.index("plain_complete")
+    healed_idx = result.headers.index("healed_ratio")
+    retries_idx = result.headers.index("retries_mean")
+    for row in result.rows:
+        # Resilience must never complete less often than the plain run.
+        assert row[complete_idx] >= row[plain_idx], row
+        # Under these moderate intensities the stack should fully complete.
+        assert row[complete_idx] == 1.0, row
+        # Self-healed cost stays bounded relative to the LP lower bound.
+        if not math.isnan(row[healed_idx]):
+            assert row[healed_idx] <= 25.0, row
+        # The retransmit sublayer must actually have been exercised.
+        assert row[retries_idx] > 0.0, row
+
+    instance = uniform_instance(20, 60, seed=3)
+    plan = FaultPlan(drop_probability=0.05, seed=1)
+    benchmark(
+        lambda: DistributedFacilityLocation(
+            instance,
+            k=9,
+            seed=0,
+            fault_plan=plan,
+            reliability=ReliabilityPolicy(),
+            healing=SelfHealingPolicy(),
         ).run()
     )

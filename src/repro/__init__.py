@@ -46,9 +46,16 @@ from repro.exceptions import (
     SimulationError,
     SolverError,
 )
+from repro.core.healing import SelfHealingPolicy
 from repro.fl.instance import FacilityLocationInstance
 from repro.fl.solution import FacilityLocationSolution
-from repro.net.faults import FaultPlan
+from repro.net.faults import (
+    FaultPlan,
+    GilbertElliottLoss,
+    LinkFailure,
+    NetworkPartition,
+)
+from repro.net.reliability import ReliabilityPolicy, ReliabilityStats
 from repro.net.simulator import Simulator
 from repro.net.topology import Topology
 from repro.net.trace import NullTrace, Trace
@@ -60,6 +67,7 @@ from repro.obs import (
     RoundTimeline,
     RoundTimelineEntry,
     RunRecord,
+    ServiceGuaranteeWatchdog,
     SolutionQualityProbe,
     compare_metrics,
     compare_paths,
@@ -80,6 +88,7 @@ __all__ = [
     "RoundingPolicy",
     "run_sequential",
     "SequentialRunResult",
+    "SelfHealingPolicy",
     "approximation_envelope",
     "round_budget",
     "message_bits_envelope",
@@ -98,6 +107,11 @@ __all__ = [
     "Simulator",
     "Topology",
     "FaultPlan",
+    "GilbertElliottLoss",
+    "LinkFailure",
+    "NetworkPartition",
+    "ReliabilityPolicy",
+    "ReliabilityStats",
     "Trace",
     "NullTrace",
     # observability
@@ -110,6 +124,7 @@ __all__ = [
     "inspect_trace",
     "MetricsRegistry",
     "SolutionQualityProbe",
+    "ServiceGuaranteeWatchdog",
     "default_watchdogs",
     "compare_metrics",
     "compare_paths",

@@ -7,7 +7,11 @@
 * :mod:`~repro.analysis.tables` — fixed-width ASCII tables, the output
   format of every benchmark;
 * :mod:`~repro.analysis.experiments` — the canonical experiment
-  configurations E1–E13 shared by ``benchmarks/`` and EXPERIMENTS.md.
+  configurations E1–E17 shared by ``benchmarks/`` and EXPERIMENTS.md;
+* :mod:`~repro.analysis.chaos` — the chaos harness sweeping fault
+  families and intensities against feasibility/cost-inflation gates
+  (import it as a module; it is not re-exported here to keep this
+  package import-light and cycle-free).
 """
 
 from repro.analysis.aggregate import Aggregate, aggregate

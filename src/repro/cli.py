@@ -12,6 +12,7 @@ Everything the library does is reachable from the shell::
     repro bench benchmarks/_artifacts --name micro -o benchmarks/baselines
     repro baselines inst.json
     repro experiment E3 --quick
+    repro chaos --family uniform -m 6 -n 18 -k 9 --num-seeds 3 -o chaos.json
     repro report EXPERIMENTS.md --quick
 
 (Installed as the ``repro`` console script; also runnable as
@@ -68,6 +69,7 @@ _EXPERIMENTS = {
     "E14": exp.run_e14_anytime,
     "E15": exp.run_e15_concentration,
     "E16": exp.run_e16_opening_rule,
+    "E17": exp.run_e17_fault_families,
 }
 
 
@@ -183,13 +185,77 @@ def build_parser() -> argparse.ArgumentParser:
     base.add_argument("instance", nargs="?", help="instance JSON path")
     _add_instance_source(base, require_family=False)
 
-    expcmd = sub.add_parser("experiment", help="run one experiment E1..E16")
+    expcmd = sub.add_parser("experiment", help="run one experiment E1..E17")
     expcmd.add_argument("id", choices=sorted(_EXPERIMENTS, key=_experiment_key))
     expcmd.add_argument("--quick", action="store_true")
 
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("output", nargs="?", default="EXPERIMENTS.md")
     report.add_argument("--quick", action="store_true")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="sweep a fault-intensity grid and gate on feasibility and "
+        "bounded cost inflation",
+    )
+    chaos.add_argument("instance", nargs="?", help="instance JSON path")
+    _add_instance_source(chaos, require_family=False)
+    chaos.add_argument("-k", type=int, default=9, help="round-budget parameter")
+    chaos.add_argument(
+        "--variant",
+        choices=[v.value for v in Variant],
+        default=Variant.GREEDY.value,
+    )
+    chaos.add_argument(
+        "--families",
+        nargs="+",
+        default=None,
+        metavar="FAMILY",
+        help="fault families to sweep (default: all); see repro.analysis.chaos",
+    )
+    chaos.add_argument(
+        "--intensities",
+        nargs="+",
+        type=float,
+        default=None,
+        metavar="X",
+        help="intensity grid in (0, 1] (default: 0.05 0.15 0.3)",
+    )
+    chaos.add_argument(
+        "--num-seeds", type=int, default=3, help="seeds per grid cell"
+    )
+    chaos.add_argument(
+        "--no-reliability",
+        action="store_true",
+        help="disable the ACK/retransmit sublayer (measure the raw protocol)",
+    )
+    chaos.add_argument(
+        "--no-healing",
+        action="store_true",
+        help="disable in-protocol self-healing",
+    )
+    chaos.add_argument(
+        "--min-feasible-frac",
+        type=float,
+        default=0.8,
+        help="feasibility gate per grid cell (default 0.8)",
+    )
+    chaos.add_argument(
+        "--max-inflation",
+        type=float,
+        default=3.0,
+        help="mean cost-inflation gate per grid cell (default 3.0)",
+    )
+    chaos.add_argument(
+        "-o",
+        "--output",
+        metavar="PATH",
+        help="write the bench_record JSON artifact (repro bench / compare "
+        "compatible) to PATH",
+    )
+    chaos.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
     return parser
 
 
@@ -373,6 +439,62 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.analysis.chaos import (
+        DEFAULT_INTENSITIES,
+        FAULT_FAMILIES,
+        ChaosGates,
+        run_chaos,
+    )
+    from repro.core.healing import SelfHealingPolicy
+    from repro.net.reliability import ReliabilityPolicy
+
+    instance = _load_instance(args)
+    report = run_chaos(
+        instance,
+        k=args.k,
+        variant=args.variant,
+        families=tuple(args.families) if args.families else FAULT_FAMILIES,
+        intensities=(
+            tuple(args.intensities) if args.intensities else DEFAULT_INTENSITIES
+        ),
+        seeds=tuple(range(args.num_seeds)),
+        reliability=None if args.no_reliability else ReliabilityPolicy(),
+        healing=None if args.no_healing else SelfHealingPolicy(),
+        gates=ChaosGates(
+            min_feasible_frac=args.min_feasible_frac,
+            max_cost_inflation=args.max_inflation,
+        ),
+    )
+    result = report.to_experiment_result()
+    if args.output:
+        Path(args.output).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.output).write_text(json.dumps(result.to_record(), indent=2))
+    if args.json:
+        payload = {
+            "passed": report.passed,
+            "failures": report.failures(),
+            "baseline_cost": report.baseline_cost,
+            "record": result.to_record(),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(result.table)
+        if args.output:
+            print(f"wrote {args.output}")
+    if not report.passed:
+        for failure in report.failures():
+            print(
+                f"error: gate {failure['gate']} failed for "
+                f"family={failure['family']} intensity={failure['intensity']}: "
+                f"observed {failure['observed']:.3f} vs threshold "
+                f"{failure['threshold']:.3f}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import generate_report
 
@@ -389,6 +511,7 @@ _HANDLERS = {
     "bench": _cmd_bench,
     "baselines": _cmd_baselines,
     "experiment": _cmd_experiment,
+    "chaos": _cmd_chaos,
     "report": _cmd_report,
 }
 

@@ -20,6 +20,7 @@ from repro.core.algorithm import (
     DistributedRunResult,
     Variant,
 )
+from repro.core.healing import SelfHealingPolicy
 from repro.core.parameters import TradeoffParameters
 from repro.core.bounds import (
     approximation_envelope,
@@ -32,6 +33,7 @@ __all__ = [
     "DistributedRunResult",
     "Variant",
     "TradeoffParameters",
+    "SelfHealingPolicy",
     "approximation_envelope",
     "round_budget",
     "message_bits_envelope",

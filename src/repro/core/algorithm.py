@@ -34,12 +34,14 @@ from repro.core.greedy_nodes import (
     GreedyFacilityNode,
     schedule_length,
 )
+from repro.core.healing import SelfHealingPolicy, healing_round_budget
 from repro.core.parameters import TradeoffParameters
 from repro.exceptions import AlgorithmError
 from repro.fl.instance import FacilityLocationInstance
 from repro.fl.solution import FacilityLocationSolution
 from repro.net.faults import FaultPlan
 from repro.net.metrics import NetworkMetrics
+from repro.net.reliability import ReliabilityPolicy
 from repro.net.simulator import Simulator
 from repro.net.topology import Topology
 from repro.net.trace import Trace
@@ -135,6 +137,15 @@ class DistributedFacilityLocation:
         Rounding policy (dual-ascent variant only).
     fault_plan:
         Optional fault injection.
+    reliability:
+        Optional :class:`~repro.net.reliability.ReliabilityPolicy` turning
+        on the ACK/retransmit sublayer (zero overhead when no fault
+        fires); see :mod:`repro.net.reliability`.
+    healing:
+        Optional :class:`~repro.core.healing.SelfHealingPolicy` letting
+        unserved clients escalate to their cheapest responsive facility
+        instead of finishing unserved; see :mod:`repro.core.healing`.
+        The round budget grows by :func:`~repro.core.healing.healing_round_budget`.
     max_message_bits:
         Optional hard per-message bit budget (``None`` = measure only).
     trace:
@@ -172,6 +183,8 @@ class DistributedFacilityLocation:
         seed: int = 0,
         rounding: RoundingPolicy | None = None,
         fault_plan: FaultPlan | None = None,
+        reliability: ReliabilityPolicy | None = None,
+        healing: SelfHealingPolicy | None = None,
         max_message_bits: int | None = None,
         trace: Trace | None = None,
         params: TradeoffParameters | None = None,
@@ -187,6 +200,8 @@ class DistributedFacilityLocation:
         self.seed = int(seed)
         self.rounding = rounding or RoundingPolicy()
         self.fault_plan = fault_plan
+        self.reliability = reliability
+        self.healing = healing
         self.max_message_bits = max_message_bits
         self.trace = trace
         self.open_fraction = float(open_fraction)
@@ -243,14 +258,23 @@ class DistributedFacilityLocation:
                 for i in instance.facilities_of_client(j)
             }
             if self.variant is Variant.GREEDY:
-                nodes.append(GreedyClientNode(m + j, facility_costs, self.params))
+                nodes.append(
+                    GreedyClientNode(
+                        m + j, facility_costs, self.params, healing=self.healing
+                    )
+                )
             else:
-                nodes.append(DualClientNode(m + j, facility_costs, self.params))
+                nodes.append(
+                    DualClientNode(
+                        m + j, facility_costs, self.params, healing=self.healing
+                    )
+                )
         return Simulator(
             topology,
             nodes,
             seed=self.seed,
             fault_plan=self.fault_plan,
+            reliability=self.reliability,
             max_message_bits=self.max_message_bits,
             trace=self.trace,
             probes=self.probes,
@@ -264,11 +288,26 @@ class DistributedFacilityLocation:
             return schedule_length(self.params)
         return dual_schedule_length(self.params)
 
+    def round_budget(self) -> int:
+        """Total simulator round limit including resilience tails.
+
+        The protocol schedule plus two rounds of delivery slack, plus the
+        self-healing tail (probe/connect attempts) and the worst-case
+        retransmission backoff chain when the respective policy is on.
+        """
+        budget = self.schedule_rounds() + 2
+        if self.healing is not None:
+            budget += healing_round_budget(self.healing)
+        if self.reliability is not None:
+            r = self.reliability
+            budget += r.backoff * r.max_retries * (r.max_retries + 1) // 2 + 2
+        return budget
+
     def run(self) -> DistributedRunResult:
         """Execute the protocol and extract the solution and metrics."""
         simulator = self.build_simulator()
         start = time.perf_counter()
-        metrics = simulator.run(max_rounds=self.schedule_rounds() + 2)
+        metrics = simulator.run(max_rounds=self.round_budget())
         wall_seconds = time.perf_counter() - start
         return self._extract(simulator, metrics, wall_seconds)
 
@@ -285,7 +324,7 @@ class DistributedFacilityLocation:
         covers every client).
         """
         simulator = self.build_simulator()
-        budget = min(max_rounds, self.schedule_rounds() + 2)
+        budget = min(max_rounds, self.round_budget())
         start = time.perf_counter()
         metrics = simulator.run(max_rounds=budget, allow_truncation=True)
         wall_seconds = time.perf_counter() - start
@@ -323,6 +362,22 @@ class DistributedFacilityLocation:
             diagnostics["invariant_violations"] = sum(
                 len(w.violations) for w in self.watchdogs
             )
+        if self.healing is not None:
+            diagnostics["num_healed_clients"] = sum(
+                1
+                for c in clients
+                if getattr(c, "used_heal", False) and c.connected_to is not None
+            )
+            diagnostics["num_heal_gave_up"] = sum(
+                1 for c in clients if getattr(c, "heal_gave_up", False)
+            )
+            diagnostics["num_healed_opens"] = sum(
+                1 for f in facilities if getattr(f, "was_healed", False)
+            )
+        if self.reliability is not None:
+            diagnostics["reliability"] = simulator.reliability_stats.summary()
+        if simulator.fault_warnings:
+            diagnostics["fault_plan_warnings"] = list(simulator.fault_warnings)
         return DistributedRunResult(
             instance=self.instance,
             params=self.params,

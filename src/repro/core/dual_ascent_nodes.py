@@ -41,6 +41,11 @@ import math
 from dataclasses import dataclass
 from typing import Mapping
 
+from repro.core.healing import (
+    SelfHealingClientMixin,
+    SelfHealingPolicy,
+    answer_heal_messages,
+)
 from repro.core.parameters import TradeoffParameters
 from repro.exceptions import AlgorithmError
 from repro.net.message import Message
@@ -142,6 +147,7 @@ class DualFacilityNode(Node):
         self.tight_at_level: int | None = None
         self.is_open = False
         self.was_forced = False
+        self.was_healed = False
         self.served_clients: set[int] = set()
 
     @property
@@ -154,6 +160,12 @@ class DualFacilityNode(Node):
 
     def on_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
         phase, level = dual_phase_of_round(self.params, ctx.round_number)
+        # Budgets are folded in *every* phase, not only TIGHT: under the
+        # reliable-delivery sublayer a retransmitted ALPHA can arrive a
+        # round or two late, and discarding it would lose real payment.
+        for msg in inbox:
+            if msg.kind == ALPHA:
+                self.alphas[msg.sender] = float(msg["alpha"])
         if phase == "tight":
             self._update_payments(ctx, inbox, level)
         elif phase == "round2":
@@ -162,6 +174,10 @@ class DualFacilityNode(Node):
             self._handle_force(ctx, inbox)
             self.finished = True
         elif phase in ("round5", "done"):
+            # Retransmitted JOIN/FORCE arrive late and healing clients
+            # escalate here; keep answering both forever.
+            self._handle_force(ctx, inbox)
+            answer_heal_messages(self, ctx, inbox)
             self.finished = True
 
     def _update_payments(
@@ -236,7 +252,7 @@ class DualFacilityNode(Node):
                 ctx.send(msg.sender, SERVE)
 
 
-class DualClientNode(Node):
+class DualClientNode(SelfHealingClientMixin, Node):
     """A client in the dual-ascent protocol."""
 
     def __init__(
@@ -244,6 +260,7 @@ class DualClientNode(Node):
         node_id: int,
         facility_costs: Mapping[int, float],
         params: TradeoffParameters,
+        healing: SelfHealingPolicy | None = None,
     ) -> None:
         super().__init__(node_id)
         self.facility_costs = dict(facility_costs)
@@ -255,6 +272,7 @@ class DualClientNode(Node):
         self.witnesses: set[int] = set()
         self.connected_to: int | None = None
         self.used_force = False
+        self._init_healing(healing)
 
     @property
     def connected(self) -> bool:
@@ -276,7 +294,10 @@ class DualClientNode(Node):
             if not self.connected:
                 self._join_or_force(ctx, inbox)
         elif phase in ("round5", "done"):
-            self.finished = True
+            if self.healing is not None and not self.connected:
+                self._heal_tick(ctx, inbox)
+            else:
+                self.finished = True
         if self.connected:
             self.finished = True
 
@@ -298,6 +319,14 @@ class DualClientNode(Node):
 
     def _cheapest_witness(self) -> int:
         if not self.witnesses:
+            if self.healing is not None:
+                # Under faults every TIGHT announcement can be lost; with
+                # healing enabled the client degrades gracefully to its
+                # cheapest neighbor (healing will repair a bad pick).
+                return min(
+                    self.facility_costs,
+                    key=lambda i: (self.facility_costs[i], i),
+                )
             raise AlgorithmError(
                 f"client node {self.node_id} reached rounding with no witness; "
                 "the final ascent level should make this impossible"

@@ -42,6 +42,11 @@ from __future__ import annotations
 import math
 from typing import Mapping
 
+from repro.core.healing import (
+    SelfHealingClientMixin,
+    SelfHealingPolicy,
+    answer_heal_messages,
+)
 from repro.core.parameters import TradeoffParameters
 from repro.net.message import Message
 from repro.net.node import Node, RoundContext
@@ -130,8 +135,17 @@ class GreedyFacilityNode(Node):
         self.is_open = False
         self.opened_at_round: int | None = None
         self.was_forced = False
+        self.was_healed = False
         self.served_clients: set[int] = set()
         self._proposed_star: tuple[int, ...] = ()
+
+    def on_recover(self, ctx: RoundContext) -> None:
+        """Volatile reset: the in-flight proposal did not survive the crash.
+
+        Durable state — ``is_open``, ``served_clients`` — is journaled and
+        kept; a recovered open facility still serves late joiners.
+        """
+        self._proposed_star = ()
 
     # -- protocol ------------------------------------------------------
 
@@ -147,6 +161,10 @@ class GreedyFacilityNode(Node):
             self._handle_join_and_force(ctx, inbox)
             self.finished = True
         elif phase in ("force5", "done"):
+            # Under faults, retransmitted JOIN/FORCE can arrive late and
+            # healing clients may escalate; keep answering both forever.
+            self._handle_join_and_force(ctx, inbox)
+            answer_heal_messages(self, ctx, inbox)
             self.finished = True
         # "active", "accept", "force1", "force3" are client-talk rounds.
 
@@ -235,7 +253,7 @@ class GreedyFacilityNode(Node):
                 ctx.send(msg.sender, SERVE)
 
 
-class GreedyClientNode(Node):
+class GreedyClientNode(SelfHealingClientMixin, Node):
     """A client in the scaled parallel greedy protocol.
 
     Parameters
@@ -247,6 +265,10 @@ class GreedyClientNode(Node):
         local input.
     params:
         The globally known schedule.
+    healing:
+        Optional :class:`~repro.core.healing.SelfHealingPolicy`; when set,
+        an unserved client keeps running past the schedule and escalates
+        to its cheapest responsive facility instead of finishing unserved.
     """
 
     def __init__(
@@ -254,6 +276,7 @@ class GreedyClientNode(Node):
         node_id: int,
         facility_costs: Mapping[int, float],
         params: TradeoffParameters,
+        healing: SelfHealingPolicy | None = None,
     ) -> None:
         super().__init__(node_id)
         self.facility_costs = dict(facility_costs)
@@ -263,6 +286,11 @@ class GreedyClientNode(Node):
         self.failed_accepts = 0
         self.used_force = False
         self._accepted: int | None = None
+        self._init_healing(healing)
+
+    def on_recover(self, ctx: RoundContext) -> None:
+        """Volatile reset: a pending accept did not survive the crash."""
+        self._accepted = None
 
     @property
     def connected(self) -> bool:
@@ -286,9 +314,15 @@ class GreedyClientNode(Node):
         elif phase == "force3":
             self._join_or_force(ctx, inbox)
         elif phase in ("force5", "done"):
-            # A lost SERVE (fault injection) can leave a client unserved;
-            # it still terminates so the run can end and report the gap.
-            self.finished = True
+            if self.healing is not None:
+                # Self-healing: stay alive past the schedule and escalate
+                # until served or out of attempts.
+                self._heal_tick(ctx, inbox)
+            else:
+                # A lost SERVE (fault injection) can leave a client
+                # unserved; it still terminates so the run can end and
+                # report the gap.
+                self.finished = True
 
     # A SERVE confirmation is due exactly two rounds after the client sent
     # ACCEPT (or JOIN/FORCE): at the next "active" round, at "force1" after

@@ -1,0 +1,195 @@
+"""In-protocol self-healing: clients repair permanent message loss.
+
+The reliable-delivery sublayer (:mod:`repro.net.reliability`) masks
+*transient* loss; this module is the layer above, for losses that
+retransmission could not fix — a SERVE confirmation gone for good, a
+facility that crashed after confirming, a client whose entire force-phase
+handshake fell into a partition. Both protocol variants integrate the same
+mechanism: a client that reaches the end of its schedule without a
+confirmed serving facility does **not** finish; instead it escalates
+through a timeout-driven probe/connect state machine until it is served or
+exhausts its attempts.
+
+State machine (per healing attempt)
+-----------------------------------
+* **clock 0** — broadcast ``HEAL_PROBE`` to every neighbor facility.
+* **clock 2** (earliest) — responsive facilities' ``HEAL_PONG`` replies
+  (carrying their open/closed status) have arrived; the client picks the
+  cheapest responsive facility, preferring open ones, skipping
+  blacklisted ones, and sends ``HEAL_CONNECT``. A ``HEAL_CONNECT``
+  behaves like the force-phase FORCE: the facility opens if necessary
+  (``was_healed`` marks such openings) and confirms with SERVE.
+* **clock 2 + timeout_rounds** — if still unserved the attempt has timed
+  out; the chosen target (if any) is blacklisted as unresponsive and the
+  client starts over. After ``max_attempts`` timeouts it gives up
+  (``heal_gave_up``) and finishes unserved — the run then reports the gap
+  exactly as an unhealed faulty run would.
+
+The late choice point (any clock >= 2 while no target is chosen) matters
+under reliability: a pong delayed by retransmission backoff still gets
+used instead of silently missing the window.
+
+Self-healing costs nothing when nothing is broken: in a fault-free run
+every client is connected by the end of the schedule, the state machine is
+never entered, and not one healing message is sent — traffic stays
+byte-identical to a run without the policy (verified by test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import AlgorithmError
+from repro.net.message import Message
+from repro.net.node import RoundContext
+
+__all__ = [
+    "SelfHealingPolicy",
+    "SelfHealingClientMixin",
+    "answer_heal_messages",
+    "healing_round_budget",
+    "HEAL_PROBE",
+    "HEAL_PONG",
+    "HEAL_CONNECT",
+]
+
+# Healing message kinds (disjoint from both variants' protocol alphabets).
+HEAL_PROBE = "hprb"
+HEAL_PONG = "hpon"
+HEAL_CONNECT = "hfrc"
+
+#: SERVE confirmation kind — identical in both shipped variants.
+_SERVE = "srv"
+
+
+@dataclass(frozen=True)
+class SelfHealingPolicy:
+    """Opt-in configuration of client-side self-healing.
+
+    Parameters
+    ----------
+    timeout_rounds:
+        How many rounds past the earliest possible SERVE (probe clock 2)
+        a client waits before declaring the attempt dead. Must cover the
+        reliable-delivery retry tail to avoid blacklisting a facility
+        whose confirmation is merely slow.
+    max_attempts:
+        How many probe/connect attempts before the client gives up.
+    """
+
+    timeout_rounds: int = 6
+    max_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.timeout_rounds < 2:
+            raise AlgorithmError(
+                f"timeout_rounds must be >= 2, got {self.timeout_rounds}"
+            )
+        if self.max_attempts < 1:
+            raise AlgorithmError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+
+
+def healing_round_budget(policy: SelfHealingPolicy | None) -> int:
+    """Extra simulator rounds the healing tail may occupy.
+
+    Each attempt spans clocks ``0 .. 2 + timeout_rounds``; after the last
+    CONNECT a SERVE needs two more rounds to land, plus one round of
+    slack for the final bookkeeping tick.
+    """
+    if policy is None:
+        return 0
+    return policy.max_attempts * (policy.timeout_rounds + 3) + 3
+
+
+class SelfHealingClientMixin:
+    """Client-side healing state machine, shared by both variants.
+
+    The host class must provide ``facility_costs`` (mapping facility id ->
+    connection cost), ``connected_to``, ``finished`` and the usual node
+    attributes; it calls :meth:`_init_healing` from ``__init__`` and
+    :meth:`_heal_tick` once per round after its schedule has ended while
+    it is still unconnected.
+    """
+
+    def _init_healing(self, policy: SelfHealingPolicy | None) -> None:
+        self.healing = policy
+        self.used_heal = False
+        self.heal_gave_up = False
+        self._heal_clock = 0
+        self._heal_attempts = 0
+        self._heal_target: int | None = None
+        self._heal_pongs: dict[int, bool] = {}
+        self._heal_blacklist: set[int] = set()
+
+    def _heal_tick(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        """Advance the healing state machine by one round."""
+        for msg in inbox:
+            if msg.kind == HEAL_PONG:
+                self._heal_pongs[msg.sender] = bool(msg["open"])
+        clock = self._heal_clock
+        if clock == 0:
+            self._heal_pongs = {}
+            self._heal_target = None
+            ctx.broadcast(HEAL_PROBE)
+            ctx.log("heal_probe", attempt=self._heal_attempts + 1)
+            ctx.count("protocol_heal_probes_total")
+        elif clock >= 2 and self._heal_target is None and self._heal_pongs:
+            candidates = {
+                i: is_open
+                for i, is_open in self._heal_pongs.items()
+                if i not in self._heal_blacklist
+            }
+            if candidates:
+                open_ids = [i for i, is_open in candidates.items() if is_open]
+                pool = open_ids if open_ids else list(candidates)
+                target = min(pool, key=lambda i: (self.facility_costs[i], i))
+                self._heal_target = target
+                self.used_heal = True
+                ctx.send(target, HEAL_CONNECT)
+                ctx.log("heal_connect", facility=target)
+                ctx.count("protocol_heal_connects_total")
+        if clock >= 2 + self.healing.timeout_rounds:
+            self._heal_attempts += 1
+            if self._heal_target is not None:
+                self._heal_blacklist.add(self._heal_target)
+            if self._heal_attempts >= self.healing.max_attempts:
+                self.heal_gave_up = True
+                self.finished = True
+                ctx.log("heal_gave_up", attempts=self._heal_attempts)
+                return
+            self._heal_clock = 0
+            ctx.log("heal_retry", attempt=self._heal_attempts + 1)
+            return
+        self._heal_clock = clock + 1
+
+
+def answer_heal_messages(
+    facility, ctx: RoundContext, inbox: list[Message], serve_kind: str = _SERVE
+) -> None:
+    """Facility-side healing: answer probes, honor escalated connects.
+
+    Called by both variants' facility nodes in their post-schedule rounds.
+    A ``HEAL_CONNECT`` acts like a force-phase FORCE — the facility opens
+    if it was closed (flagging ``was_healed``) and confirms with SERVE.
+    Replies are deduplicated per round so fault-injected duplicate
+    deliveries cannot multiply traffic.
+    """
+    ponged: set[int] = set()
+    served: set[int] = set()
+    for msg in inbox:
+        if msg.kind == HEAL_PROBE and msg.sender not in ponged:
+            ponged.add(msg.sender)
+            ctx.send(msg.sender, HEAL_PONG, open=int(facility.is_open))
+        elif msg.kind == HEAL_CONNECT and msg.sender not in served:
+            served.add(msg.sender)
+            if not facility.is_open:
+                facility.is_open = True
+                facility.was_healed = True
+                if getattr(facility, "opened_at_round", False) is None:
+                    facility.opened_at_round = ctx.round_number
+                ctx.log("healed_open", by=msg.sender)
+                ctx.count("protocol_healed_opens_total")
+            facility.served_clients.add(msg.sender)
+            ctx.send(msg.sender, serve_kind)

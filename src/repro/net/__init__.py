@@ -19,7 +19,13 @@ from repro.net.metrics import NetworkMetrics
 from repro.net.node import Node, RoundContext
 from repro.net.simulator import Simulator
 from repro.net.topology import Topology
-from repro.net.faults import FaultPlan
+from repro.net.faults import (
+    FaultPlan,
+    GilbertElliottLoss,
+    LinkFailure,
+    NetworkPartition,
+)
+from repro.net.reliability import ReliabilityPolicy, ReliabilityStats
 
 __all__ = [
     "Message",
@@ -29,4 +35,9 @@ __all__ = [
     "Simulator",
     "Topology",
     "FaultPlan",
+    "GilbertElliottLoss",
+    "LinkFailure",
+    "NetworkPartition",
+    "ReliabilityPolicy",
+    "ReliabilityStats",
 ]

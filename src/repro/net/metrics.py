@@ -40,6 +40,11 @@ class NetworkMetrics:
     max_message_bits: int = 0
     max_messages_per_round: int = 0
     dropped_messages: int = 0
+    retransmitted_messages: int = 0
+    retransmitted_bits: int = 0
+    ack_messages: int = 0
+    ack_bits: int = 0
+    duplicated_messages: int = 0
     messages_by_kind: Counter = field(default_factory=Counter)
     drops_by_kind: Counter = field(default_factory=Counter)
     drops_by_round: Counter = field(default_factory=Counter)
@@ -78,6 +83,29 @@ class NetworkMetrics:
         if round_number is not None:
             self.drops_by_round[int(round_number)] += 1
 
+    def record_retransmit(self, message: Message) -> None:
+        """Account one retransmitted copy (reliable-delivery sublayer).
+
+        A retransmission is real traffic: it is charged into the message
+        and bit totals exactly like a fresh send (so the CONGEST envelope
+        sees it), *and* tracked separately so the bandwidth price of
+        reliability stays visible.
+        """
+        self.record_message(message)
+        self.retransmitted_messages += 1
+        self.retransmitted_bits += message.bits
+
+    def record_ack(self, message: Message) -> None:
+        """Account one explicit ACK of a retransmitted copy (charged)."""
+        self.record_message(message)
+        self.ack_messages += 1
+        self.ack_bits += message.bits
+
+    def record_duplicate(self, message: Message) -> None:
+        """Account one fault-injected duplicate delivery (not charged:
+        the network copied the message, the sender paid only once)."""
+        self.duplicated_messages += 1
+
     @property
     def mean_message_bits(self) -> float:
         """Average bits per message (0 when no message was sent)."""
@@ -100,6 +128,11 @@ class NetworkMetrics:
             "mean_message_bits": self.mean_message_bits,
             "max_messages_per_round": self.max_messages_per_round,
             "dropped_messages": self.dropped_messages,
+            "retransmitted_messages": self.retransmitted_messages,
+            "retransmitted_bits": self.retransmitted_bits,
+            "ack_messages": self.ack_messages,
+            "ack_bits": self.ack_bits,
+            "duplicated_messages": self.duplicated_messages,
             "messages_by_kind": dict(self.messages_by_kind),
             "drops_by_kind": dict(self.drops_by_kind),
             "drops_by_round": {
@@ -120,6 +153,11 @@ class NetworkMetrics:
         registry.gauge("net_max_message_bits").set(self.max_message_bits)
         registry.gauge("net_max_messages_per_round").set(self.max_messages_per_round)
         registry.gauge("net_dropped_messages").set(self.dropped_messages)
+        registry.gauge("net_retransmitted_messages").set(self.retransmitted_messages)
+        registry.gauge("net_retransmitted_bits").set(self.retransmitted_bits)
+        registry.gauge("net_ack_messages").set(self.ack_messages)
+        registry.gauge("net_ack_bits").set(self.ack_bits)
+        registry.gauge("net_duplicated_messages").set(self.duplicated_messages)
         for kind, count in self.messages_by_kind.items():
             registry.gauge("net_messages_by_kind").set(count, kind=kind)
         for kind, count in self.drops_by_kind.items():

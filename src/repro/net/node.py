@@ -51,8 +51,11 @@ class Node:
         Set to ``True`` by the node itself when its part of the protocol is
         complete.
     ``crashed``
-        Set by the simulator's fault injection; a crashed node is never
-        invoked again and its outgoing messages are discarded.
+        Set by the simulator's fault injection; a crashed node is not
+        invoked and its outgoing messages are discarded. A node with a
+        scheduled recovery round rejoins later: the simulator clears the
+        flag and calls :meth:`on_recover` so the node can reset its
+        volatile state.
     """
 
     def __init__(self, node_id: int) -> None:
@@ -68,6 +71,17 @@ class Node:
     def on_round(self, ctx: "RoundContext", inbox: list[Message]) -> None:
         """Per-round hook. Override in protocol implementations."""
         raise NotImplementedError
+
+    def on_recover(self, ctx: "RoundContext") -> None:
+        """Crash-recovery hook: the node rejoins with volatile state reset.
+
+        Called by the simulator at the start of the node's scheduled
+        recovery round, before :meth:`on_round` runs again. Override to
+        clear whatever in-protocol scratch state would not have survived a
+        real crash (durable decisions — e.g. a facility's committed
+        opening — are assumed journaled and survive). The default keeps
+        everything, which models a node that merely paused.
+        """
 
     def __repr__(self) -> str:
         state = "finished" if self.finished else "running"

@@ -29,6 +29,12 @@ from repro.net.faults import FaultPlan
 from repro.net.message import Message
 from repro.net.metrics import NetworkMetrics
 from repro.net.node import Node, RoundContext
+from repro.net.reliability import (
+    ACK_KIND,
+    PendingRetry,
+    ReliabilityPolicy,
+    ReliabilityStats,
+)
 from repro.net.rng import spawn_node_rngs
 from repro.net.topology import Topology
 from repro.net.trace import NullTrace, Trace
@@ -54,7 +60,17 @@ class Simulator:
         Experiment seed; per-node independent random streams are derived
         from it.
     fault_plan:
-        Optional fault injection (message drops / crashes).
+        Optional fault injection (drops, bursts, partitions, link cuts,
+        duplication, crashes with optional recovery — see
+        :mod:`repro.net.faults`). The plan's random streams are reset at
+        setup, so one plan object can be reused across runs.
+    reliability:
+        Optional :class:`~repro.net.reliability.ReliabilityPolicy`
+        enabling the ACK/retransmit sublayer: deliveries lost to fault
+        injection are retransmitted with bounded retries and per-round
+        backoff, retransmissions and ACKs are charged into the metrics,
+        and the ``reliability_stats`` attribute accumulates
+        retries/acks/gave-up totals. Zero overhead when no fault fires.
     max_message_bits:
         When set, any message exceeding this many bits raises
         :class:`~repro.exceptions.MessageSizeError` at send time. Leave
@@ -88,6 +104,7 @@ class Simulator:
         nodes: Sequence[Node] | Mapping[int, Node],
         seed: int = 0,
         fault_plan: FaultPlan | None = None,
+        reliability: ReliabilityPolicy | None = None,
         max_message_bits: int | None = None,
         enforce_single_message_per_edge: bool = False,
         trace: Trace | None = None,
@@ -99,6 +116,10 @@ class Simulator:
         self._nodes = _normalize_nodes(topology, nodes)
         self._seed = int(seed)
         self._fault_plan = fault_plan or FaultPlan()
+        self.reliability = reliability
+        self.reliability_stats = ReliabilityStats()
+        self.fault_warnings: list[dict] = []
+        self._retransmits: list[PendingRetry] = []
         self.max_message_bits = max_message_bits
         self.enforce_single_message_per_edge = enforce_single_message_per_edge
         self.trace: Trace = trace if trace is not None else NullTrace()
@@ -159,6 +180,9 @@ class Simulator:
         if self._started:
             raise SimulationError("setup() may only run once")
         self._started = True
+        # Fresh fault streams per run: a plan reused across simulators
+        # must make identical decisions in each (coin-for-coin contract).
+        self._fault_plan.reset()
         start = time.perf_counter()
         for node in self._nodes:
             ctx = RoundContext(self, node, round_number=0)
@@ -185,20 +209,9 @@ class Simulator:
         drops_before = self.metrics.dropped_messages
         self._round += 1
         self.metrics.start_round()
-        inboxes: dict[int, list[Message]] = defaultdict(list)
-        for message in self._pending:
-            if self._nodes[message.sender].crashed:
-                # A node that crashed before delivery never really sent.
-                self.metrics.record_drop(message, self._round)
-                continue
-            if self._fault_plan.should_drop(message):
-                self.metrics.record_drop(message, self._round)
-                continue
-            inboxes[message.receiver].append(message)
-        self._pending = []
+        self._apply_fault_lifecycle()
+        inboxes = self._deliver()
         for node in self._nodes:
-            if self._fault_plan.crashes_at(node.node_id, self._round):
-                node.crashed = True
             if node.crashed:
                 continue
             inbox = inboxes.get(node.node_id, [])
@@ -214,6 +227,148 @@ class Simulator:
             bits=self.metrics.total_bits - bits_before,
             drops=self.metrics.dropped_messages - drops_before,
         )
+
+    def _apply_fault_lifecycle(self) -> None:
+        """Apply scheduled crashes and recoveries at the round boundary.
+
+        Crashes take effect *before* delivery: a node that crashes at the
+        beginning of round ``r`` neither receives nor — retroactively —
+        sends in round ``r`` (its in-flight messages are accounted as
+        drops). A recovering node rejoins before delivery, so it receives
+        from this round on; :meth:`~repro.net.node.Node.on_recover` runs
+        first so the node can reset its volatile state.
+        """
+        if self._fault_plan.is_trivial:
+            return
+        for node in self._nodes:
+            if not node.crashed and self._fault_plan.crashes_at(
+                node.node_id, self._round
+            ):
+                node.crashed = True
+                if self.trace.enabled:
+                    self.trace.record(
+                        self._round, node.node_id, "node_crashed", {}
+                    )
+            elif node.crashed and self._fault_plan.recovers_at(
+                node.node_id, self._round
+            ):
+                node.crashed = False
+                ctx = RoundContext(self, node, round_number=self._round)
+                node.on_recover(ctx)
+                if self.trace.enabled:
+                    self.trace.record(
+                        self._round, node.node_id, "node_recovered", {}
+                    )
+
+    def _deliver(self) -> dict[int, list[Message]]:
+        """Route pending traffic and due retransmissions through the faults.
+
+        Returns per-node inboxes. The fast path — trivial fault plan, no
+        reliability sublayer — routes without consulting any fault model,
+        so fault-free runs pay nothing for the resilience machinery.
+        """
+        inboxes: dict[int, list[Message]] = defaultdict(list)
+        trivial = self._fault_plan.is_trivial
+        if trivial and not self._retransmits:
+            for message in self._pending:
+                inboxes[message.receiver].append(message)
+            self._pending = []
+            return inboxes
+        deliverable: list[tuple[Message, int]] = [
+            (message, 0) for message in self._pending
+        ]
+        self._pending = []
+        if self._retransmits:
+            still_waiting: list[PendingRetry] = []
+            for retry in self._retransmits:
+                if retry.due_round > self._round:
+                    still_waiting.append(retry)
+                    continue
+                if self._nodes[retry.message.sender].crashed:
+                    continue  # a dead sender retransmits nothing
+                self.metrics.record_retransmit(retry.message)
+                self.reliability_stats.retries += 1
+                if self.registry is not None:
+                    self.registry.counter("reliable_retries_total").inc(
+                        kind=retry.message.kind
+                    )
+                deliverable.append((retry.message, retry.attempts))
+            self._retransmits = still_waiting
+        for message, attempts in deliverable:
+            if self._nodes[message.sender].crashed:
+                # A node that crashed before delivery never really sent.
+                self.metrics.record_drop(message, self._round)
+                continue
+            if self._nodes[message.receiver].crashed:
+                # Delivered into a dead node: lost, but (unlike a dead
+                # sender) worth retrying — the receiver may recover.
+                self.metrics.record_drop(message, self._round)
+                self._schedule_retry(message, attempts)
+                continue
+            if not trivial and self._fault_plan.should_drop(message, self._round):
+                self.metrics.record_drop(message, self._round)
+                self._schedule_retry(message, attempts)
+                continue
+            inboxes[message.receiver].append(message)
+            if not trivial and self._fault_plan.should_duplicate(message):
+                inboxes[message.receiver].append(message)
+                self.metrics.record_duplicate(message)
+            if attempts > 0:
+                self._acknowledge(message, attempts)
+        return inboxes
+
+    def _schedule_retry(self, message: Message, attempts: int) -> None:
+        """Queue the next retransmission, or give the message up for dead."""
+        if self.reliability is None:
+            return
+        if attempts >= self.reliability.max_retries:
+            self.reliability_stats.gave_up += 1
+            if self.registry is not None:
+                self.registry.counter("reliable_gave_up_total").inc(
+                    kind=message.kind
+                )
+            if self.trace.enabled:
+                self.trace.record(
+                    self._round,
+                    message.sender,
+                    "reliable_gave_up",
+                    {"kind": message.kind, "receiver": message.receiver},
+                )
+            return
+        next_attempt = attempts + 1
+        self._retransmits.append(
+            PendingRetry(
+                message=message,
+                attempts=next_attempt,
+                due_round=self._round + self.reliability.backoff * next_attempt,
+            )
+        )
+
+    def _acknowledge(self, message: Message, attempts: int) -> None:
+        """Explicitly ACK a delivered retransmission (charged traffic).
+
+        The ACK itself crosses the faulty network: if it is lost the
+        sender, none the wiser, retransmits once more and the receiver
+        sees a duplicate — exactly the at-least-once semantics real
+        retransmit protocols give, which is why the protocol layers must
+        stay idempotent.
+        """
+        if self.reliability is None:
+            return
+        ack = Message(
+            sender=message.receiver,
+            receiver=message.sender,
+            kind=ACK_KIND,
+            round_sent=self._round,
+        )
+        self.metrics.record_ack(ack)
+        self.reliability_stats.acks += 1
+        if self.registry is not None:
+            self.registry.counter("reliable_acks_total").inc()
+        if self._fault_plan.should_drop(ack, self._round + 1):
+            self.metrics.record_drop(ack, self._round)
+            self.reliability_stats.duplicates += 1
+            self._schedule_retry(message, attempts)
 
     def _record_timeline_entry(
         self, round_number: int, wall_ms: float, messages: int, bits: int, drops: int
@@ -262,9 +417,13 @@ class Simulator:
         """
         if max_rounds < 0:
             raise SimulationError(f"max_rounds must be >= 0, got {max_rounds}")
+        self.fault_warnings = self._fault_plan.validate(max_rounds)
+        if self.fault_warnings and self.trace.enabled:
+            for warning in self.fault_warnings:
+                self.trace.record(0, -1, "fault_plan_warning", warning)
         if not self._started:
             self.setup()
-        while not (self.all_finished and not self._pending):
+        while not (self.all_finished and not self._pending and not self._retransmits):
             if self._round >= max_rounds:
                 if allow_truncation:
                     if self.registry is not None:
@@ -279,6 +438,8 @@ class Simulator:
                     f"(first few: {unfinished[:5]})"
                 )
             self.step()
+        for watchdog in self.watchdogs:
+            watchdog.finalize(self)
         if self.registry is not None:
             self.metrics.publish(self.registry)
         return self.metrics

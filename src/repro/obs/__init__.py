@@ -59,6 +59,7 @@ from repro.obs.watchdogs import (
     CongestWatchdog,
     DualMonotonicityWatchdog,
     FeasibilityWatchdog,
+    ServiceGuaranteeWatchdog,
     Watchdog,
     default_watchdogs,
 )
@@ -87,6 +88,7 @@ __all__ = [
     "FeasibilityWatchdog",
     "DualMonotonicityWatchdog",
     "CongestWatchdog",
+    "ServiceGuaranteeWatchdog",
     "default_watchdogs",
     # comparison
     "ComparisonReport",

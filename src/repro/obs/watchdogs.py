@@ -21,6 +21,13 @@ Shipped watchdogs:
   under the ``O(log N)`` envelope of
   :func:`repro.core.bounds.message_bits_envelope`. Reports once per run
   (the first round in which the envelope is pierced).
+* :class:`ServiceGuaranteeWatchdog` — a *finished*, alive client must not
+  sit unserved while an alive facility is adjacent to it. Clients are
+  legitimately unconnected mid-protocol, so the check only fires once a
+  client has declared itself done, and a grace window after fault
+  activity avoids blaming the protocol for a loss it is still healing
+  from; the end-of-run :meth:`Watchdog.finalize` pass ignores the grace.
+
 
 Like probes, watchdogs are strictly opt-in: a simulator constructed
 without watchdogs never executes any watchdog code.
@@ -42,6 +49,7 @@ __all__ = [
     "FeasibilityWatchdog",
     "DualMonotonicityWatchdog",
     "CongestWatchdog",
+    "ServiceGuaranteeWatchdog",
     "default_watchdogs",
 ]
 
@@ -66,6 +74,16 @@ class Watchdog:
         """Inspect the simulator state after a round; report violations."""
         raise NotImplementedError
 
+    def finalize(self, simulator: "Simulator") -> None:
+        """End-of-run hook, called once on clean termination.
+
+        Most invariants are per-round and need nothing here; override for
+        checks that are only meaningful once the protocol has fully
+        stopped (e.g. "no client may *end* the run unserved"). Not called
+        on truncated runs — a cut-short protocol legitimately violates
+        end-state invariants.
+        """
+
     def report(
         self,
         simulator: "Simulator",
@@ -74,7 +92,12 @@ class Watchdog:
         **data: Any,
     ) -> None:
         """Record one violation (trace event + local log; raise if strict)."""
-        record = {"watchdog": self.name, "round": round_number, **data}
+        record = {
+            "watchdog": self.name,
+            "round": round_number,
+            "node_id": node_id,
+            **data,
+        }
         self.violations.append(record)
         trace = simulator.trace
         if trace.enabled:
@@ -205,10 +228,83 @@ class CongestWatchdog(Watchdog):
             )
 
 
+class ServiceGuaranteeWatchdog(Watchdog):
+    """Finished, alive clients with a reachable facility must be served.
+
+    ``grace`` rounds after the most recent fault activity (a drop, crash
+    or recovery) the check stays quiet: reliable delivery and self-healing
+    need a few rounds to repair a loss, and flagging mid-repair states
+    would make every faulty run noisy. :meth:`finalize` re-runs the check
+    without the grace, so a client that *ends* the run unserved is always
+    reported. Strictness is per-instance as usual, but note that
+    :func:`default_watchdogs` keeps this one non-strict even in strict
+    mode: under heavy fault plans an unserved client is an expected
+    outcome to *measure*, not an algorithm bug to crash on.
+    """
+
+    name = "service_guarantee"
+
+    def __init__(self, grace: int = 8, strict: bool = False) -> None:
+        super().__init__(strict)
+        self.grace = int(grace)
+        self._last_fault_round = -(10**9)
+
+    def _unserved(self, simulator: "Simulator") -> list[int]:
+        nodes = simulator.nodes
+        flagged: list[int] = []
+        for client in nodes:
+            if not hasattr(client, "connected_to"):
+                continue  # not a client node
+            if client.crashed or not client.finished:
+                continue
+            if client.connected_to is not None:
+                continue
+            if getattr(client, "heal_gave_up", False):
+                continue  # healing exhausted its attempts: recorded elsewhere
+            has_candidate = any(
+                getattr(nodes[f], "opening_cost", None) is not None
+                and not nodes[f].crashed
+                for f in client.neighbors
+            )
+            if has_candidate:
+                flagged.append(client.node_id)
+        return flagged
+
+    def check(self, simulator: "Simulator", entry: "RoundTimelineEntry") -> None:
+        if entry.drops or entry.alive < len(simulator.nodes):
+            self._last_fault_round = entry.round_number
+        if entry.round_number - self._last_fault_round < self.grace:
+            return
+        for node_id in self._unserved(simulator):
+            self.report(
+                simulator,
+                entry.round_number,
+                node_id=node_id,
+                reason="finished_client_unserved",
+            )
+
+    def finalize(self, simulator: "Simulator") -> None:
+        reported = {v.get("node_id") for v in self.violations}
+        for node_id in self._unserved(simulator):
+            if node_id in reported:
+                continue
+            self.report(
+                simulator,
+                simulator.current_round,
+                node_id=node_id,
+                reason="run_ended_with_client_unserved",
+            )
+
+
 def default_watchdogs(strict: bool = False) -> tuple[Watchdog, ...]:
-    """The standard watchdog set (feasibility, dual monotonicity, CONGEST)."""
+    """The standard watchdog set.
+
+    Feasibility, dual monotonicity and CONGEST honor ``strict``; the
+    service guarantee stays report-only (see its docstring).
+    """
     return (
         FeasibilityWatchdog(strict=strict),
         DualMonotonicityWatchdog(strict=strict),
         CongestWatchdog(strict=strict),
+        ServiceGuaranteeWatchdog(strict=False),
     )

@@ -149,8 +149,11 @@ class TestEndToEnd:
 
     def test_default_watchdogs_strictness(self):
         dogs = default_watchdogs(strict=True)
-        assert len(dogs) == 3
-        assert all(dog.strict for dog in dogs)
+        assert len(dogs) == 4
+        # The service guarantee stays report-only even in strict mode: an
+        # unserved client under faults is an outcome to measure, not a bug.
+        assert all(dog.strict for dog in dogs[:3])
+        assert not dogs[3].strict
         assert not any(dog.strict for dog in default_watchdogs())
 
     def test_base_check_is_abstract(self):

@@ -1,0 +1,216 @@
+"""Tests for in-protocol self-healing and the service-guarantee watchdog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm import DistributedFacilityLocation
+from repro.core.healing import SelfHealingPolicy, healing_round_budget
+from repro.exceptions import AlgorithmError
+from repro.fl.generators import uniform_instance
+from repro.net.faults import FaultPlan, NetworkPartition
+from repro.net.node import Node
+from repro.net.reliability import ReliabilityPolicy
+from repro.net.simulator import Simulator
+from repro.net.topology import Topology
+from repro.obs.watchdogs import ServiceGuaranteeWatchdog
+
+VARIANTS = ("greedy", "dual_ascent")
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return uniform_instance(num_facilities=6, num_clients=15, seed=2)
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(AlgorithmError, match="timeout_rounds"):
+            SelfHealingPolicy(timeout_rounds=1)
+        with pytest.raises(AlgorithmError, match="max_attempts"):
+            SelfHealingPolicy(max_attempts=0)
+
+    def test_round_budget(self):
+        assert healing_round_budget(None) == 0
+        policy = SelfHealingPolicy(timeout_rounds=6, max_attempts=3)
+        assert healing_round_budget(policy) == 3 * 9 + 3
+
+
+class TestHealingEndToEnd:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_client_isolated_for_whole_schedule_heals(self, instance, variant):
+        # Client 0's node is partitioned away for every schedule round, so
+        # the protocol proper cannot serve it; once the partition lifts the
+        # healing state machine probes and connects it.
+        algo = DistributedFacilityLocation(
+            instance,
+            k=4,
+            variant=variant,
+            reliability=ReliabilityPolicy(),
+            healing=SelfHealingPolicy(),
+        )
+        client_node = instance.num_facilities + 0
+        plan = FaultPlan(
+            partitions=[
+                NetworkPartition(
+                    groups=[[client_node]],
+                    start_round=1,
+                    end_round=algo.schedule_rounds(),
+                )
+            ],
+            seed=3,
+        )
+        result = DistributedFacilityLocation(
+            instance,
+            k=4,
+            variant=variant,
+            fault_plan=plan,
+            reliability=ReliabilityPolicy(),
+            healing=SelfHealingPolicy(),
+        ).run()
+        assert result.feasible
+        assert result.diagnostics["num_healed_clients"] == 1
+        assert result.diagnostics["num_heal_gave_up"] == 0
+        assert not result.unserved_clients
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_permanently_isolated_client_gives_up_cleanly(
+        self, instance, variant
+    ):
+        # The partition never lifts: healing must exhaust its attempts,
+        # mark the client as given up, and let the run terminate instead
+        # of spinning until the round budget trips.
+        client_node = instance.num_facilities + 0
+        plan = FaultPlan(
+            partitions=[
+                NetworkPartition(
+                    groups=[[client_node]], start_round=1, end_round=10_000
+                )
+            ],
+            seed=3,
+        )
+        result = DistributedFacilityLocation(
+            instance,
+            k=4,
+            variant=variant,
+            fault_plan=plan,
+            reliability=ReliabilityPolicy(),
+            healing=SelfHealingPolicy(timeout_rounds=3, max_attempts=2),
+        ).run()
+        assert not result.feasible
+        assert len(result.unserved_clients) == 1
+        assert result.diagnostics["num_heal_gave_up"] == 1
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_feasible_under_heavy_iid_loss(self, instance, variant):
+        # drop 0.2 is the acceptance bar: with reliable delivery and
+        # healing enabled the protocol must still serve every client.
+        for seed in range(3):
+            result = DistributedFacilityLocation(
+                instance,
+                k=4,
+                variant=variant,
+                seed=seed,
+                fault_plan=FaultPlan(drop_probability=0.2, seed=100 + seed),
+                reliability=ReliabilityPolicy(),
+                healing=SelfHealingPolicy(),
+            ).run()
+            assert result.feasible, (variant, seed)
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_zero_overhead_when_nothing_is_broken(self, instance, variant):
+        # Fault-free, the resilient stack must not send a single extra
+        # byte: identical traffic, kind for kind, to the plain protocol.
+        plain = DistributedFacilityLocation(
+            instance, k=4, variant=variant, seed=1
+        ).run()
+        resilient = DistributedFacilityLocation(
+            instance,
+            k=4,
+            variant=variant,
+            seed=1,
+            reliability=ReliabilityPolicy(),
+            healing=SelfHealingPolicy(),
+        ).run()
+        assert resilient.metrics.total_messages == plain.metrics.total_messages
+        assert resilient.metrics.total_bits == plain.metrics.total_bits
+        assert (
+            resilient.metrics.messages_by_kind == plain.metrics.messages_by_kind
+        )
+        assert resilient.diagnostics["num_healed_clients"] == 0
+        assert resilient.diagnostics["reliability"]["retries"] == 0
+        assert resilient.cost == plain.cost
+
+
+class StubFacility(Node):
+    opening_cost = 1.0
+
+    def on_round(self, ctx, inbox):
+        self.finished = True
+
+
+class StubClient(Node):
+    def __init__(self, node_id, connected=None):
+        super().__init__(node_id)
+        self.connected_to = connected
+
+    def on_round(self, ctx, inbox):
+        self.finished = True
+
+
+def _run_watchdog(client, watchdog, fault_plan=None, max_rounds=5):
+    simulator = Simulator(
+        Topology.path(2),
+        [StubFacility(0), client],
+        fault_plan=fault_plan,
+        watchdogs=[watchdog],
+    )
+    simulator.run(max_rounds=max_rounds)
+    return simulator
+
+
+class TestServiceGuaranteeWatchdog:
+    def test_flags_finished_unserved_client(self):
+        watchdog = ServiceGuaranteeWatchdog()
+        _run_watchdog(StubClient(1), watchdog)
+        reasons = {v["reason"] for v in watchdog.violations}
+        assert reasons == {"finished_client_unserved"}
+        # finalize() deduplicates against already-reported clients.
+        assert len(watchdog.violations) == len(
+            {v["node_id"] for v in watchdog.violations}
+        )
+
+    def test_connected_client_passes(self):
+        watchdog = ServiceGuaranteeWatchdog()
+        _run_watchdog(StubClient(1, connected=0), watchdog)
+        assert watchdog.violations == []
+
+    def test_heal_gave_up_client_is_not_double_reported(self):
+        client = StubClient(1)
+        client.heal_gave_up = True
+        watchdog = ServiceGuaranteeWatchdog()
+        _run_watchdog(client, watchdog)
+        assert watchdog.violations == []
+
+    def test_grace_window_defers_to_finalize(self):
+        class SendingClient(StubClient):
+            def on_round(self, ctx, inbox):
+                if ctx.round_number == 1:
+                    ctx.send(0, "x")
+                else:
+                    # Finish only after the drop has registered, so the
+                    # per-round check is inside the grace window.
+                    self.finished = True
+
+        # drop everything: fault activity in round 2 arms the grace
+        # window, so the per-round check stays silent — but the end-of-run
+        # pass still reports the unserved client.
+        watchdog = ServiceGuaranteeWatchdog(grace=50)
+        _run_watchdog(
+            SendingClient(1),
+            watchdog,
+            fault_plan=FaultPlan(drop_probability=1.0),
+            max_rounds=10,
+        )
+        reasons = [v["reason"] for v in watchdog.violations]
+        assert reasons == ["run_ended_with_client_unserved"]

@@ -197,6 +197,106 @@ def test_crashed_node_stops_participating():
     assert nodes[3].heard_at is None
 
 
+def test_crash_at_round_one_retracts_in_flight_messages():
+    # Node 0 broadcasts at setup and dies before round 1 delivers: a node
+    # that crashed before delivery never really sent, so its in-flight
+    # traffic is accounted as dropped and nobody hears the token.
+    nodes = [Flooder(i) for i in range(3)]
+    plan = FaultPlan(crash_rounds={0: 1})
+    simulator = Simulator(Topology.star(2), nodes, fault_plan=plan)
+    simulator.run(max_rounds=5, allow_truncation=True)
+    assert nodes[1].heard_at is None
+    assert nodes[2].heard_at is None
+    assert simulator.metrics.dropped_messages == 2
+    assert simulator.metrics.drops_by_kind["token"] == 2
+
+
+def test_crash_after_finished_still_terminates():
+    plan = FaultPlan(crash_rounds={0: 2})
+    simulator = Simulator(
+        Topology.path(2), [PingPong(0), PingPong(1)], fault_plan=plan
+    )
+    metrics = simulator.run(max_rounds=10)
+    # Node 0 dies at the start of round 2, so the pong lands in a dead
+    # node (one drop) — but a crashed node counts as terminated.
+    assert simulator.all_finished
+    assert simulator.node(0).crashed
+    assert metrics.dropped_messages == 1
+
+
+def test_recovery_invokes_on_recover_and_node_rejoins():
+    class Beacon(Node):
+        """Node 0 re-broadcasts every round; others remember receipt."""
+
+        def __init__(self, node_id):
+            super().__init__(node_id)
+            self.heard_at: int | None = None
+            self.recoveries = 0
+
+        def on_recover(self, ctx):
+            self.recoveries += 1
+            self.heard_at = None  # volatile state resets on rejoin
+
+        def on_round(self, ctx, inbox):
+            if self.node_id == 0:
+                if ctx.round_number <= 4:
+                    ctx.broadcast("beep")
+                else:
+                    self.finished = True
+                return
+            if self.heard_at is None and any(m.kind == "beep" for m in inbox):
+                self.heard_at = ctx.round_number
+            if ctx.round_number > 4:
+                self.finished = True
+
+    nodes = [Beacon(0), Beacon(1)]
+    plan = FaultPlan(crash_rounds={1: 1}, recovery_rounds={1: 3})
+    simulator = Simulator(Topology.path(2), nodes, fault_plan=plan)
+    simulator.run(max_rounds=10)
+    assert nodes[1].recoveries == 1
+    assert not nodes[1].crashed
+    # The round-1 beacon fell into the dead node; recovery applies before
+    # delivery, so the round-2 beacon lands right as the node rejoins.
+    assert nodes[1].heard_at == 3
+    assert simulator.metrics.dropped_messages == 1
+
+
+def test_crash_and_recovery_trace_events():
+    trace = Trace()
+    nodes = [IdleNode(0), IdleNode(1)]
+    plan = FaultPlan(crash_rounds={1: 1}, recovery_rounds={1: 2})
+    simulator = Simulator(Topology.path(2), nodes, fault_plan=plan, trace=trace)
+    simulator.run(max_rounds=4, allow_truncation=True)
+    crashed = trace.events(event="node_crashed")
+    recovered = trace.events(event="node_recovered")
+    assert [e.round_number for e in crashed] == [1]
+    assert [e.round_number for e in recovered] == [2]
+
+
+def test_duplicate_delivery_counted_and_idempotent():
+    nodes = [Flooder(i) for i in range(2)]
+    plan = FaultPlan(duplicate_probability=1.0)
+    simulator = Simulator(Topology.path(2), nodes, fault_plan=plan)
+    simulator.run(max_rounds=6)
+    assert nodes[1].heard_at == 1
+    assert simulator.metrics.duplicated_messages > 0
+    # Duplicates are injected copies, not charged sends.
+    assert simulator.metrics.total_messages == 2
+
+
+def test_fault_plan_warnings_surface_on_run():
+    trace = Trace()
+    nodes = [PingPong(0), PingPong(1)]
+    plan = FaultPlan(crash_rounds={0: 50})
+    simulator = Simulator(Topology.path(2), nodes, fault_plan=plan, trace=trace)
+    simulator.run(max_rounds=10)
+    assert [w["issue"] for w in simulator.fault_warnings] == [
+        "crash_after_horizon"
+    ]
+    events = trace.events(event="fault_plan_warning")
+    assert len(events) == 1
+
+
 def test_determinism_across_runs():
     def run_once():
         nodes = [Flooder(i) for i in range(5)]
