@@ -52,6 +52,8 @@ from repro.net.faults import (
     NetworkPartition,
 )
 from repro.net.reliability import ReliabilityPolicy
+from repro.perf.cells import SolveCell, run_solve_cell
+from repro.perf.executor import SweepExecutor
 
 __all__ = [
     "FAULT_FAMILIES",
@@ -317,6 +319,7 @@ def run_chaos(
     reliability: ReliabilityPolicy | None = None,
     healing: SelfHealingPolicy | None = None,
     gates: ChaosGates | None = None,
+    executor: SweepExecutor | None = None,
 ) -> ChaosReport:
     """Sweep the fault grid and gate every cell.
 
@@ -348,51 +351,51 @@ def run_chaos(
     schedule_rounds = DistributedFacilityLocation(
         instance, k=k, variant=variant
     ).schedule_rounds()
+    grid = [
+        (family, intensity, seed)
+        for family in families
+        for intensity in intensities
+        for seed in seeds
+    ]
+    solve_cells = [
+        SolveCell(
+            instance=instance,
+            k=k,
+            variant=variant.value,
+            seed=seed,
+            fault_plan=build_fault_plan(
+                family, intensity, instance, schedule_rounds, seed=10_000 + seed
+            ),
+            reliability=reliability,
+            healing=healing,
+        )
+        for family, intensity, seed in grid
+    ]
+    outcomes = (executor or SweepExecutor()).map_cells(run_solve_cell, solve_cells)
     cells: list[ChaosCell] = []
-    for family in families:
-        for intensity in intensities:
-            for seed in seeds:
-                runner = DistributedFacilityLocation(
-                    instance,
-                    k=k,
-                    variant=variant,
-                    seed=seed,
-                    fault_plan=build_fault_plan(
-                        family,
-                        intensity,
-                        instance,
-                        schedule_rounds,
-                        seed=10_000 + seed,
-                    ),
-                    reliability=reliability,
-                    healing=healing,
-                )
-                result = runner.run()
-                if result.feasible:
-                    inflation = result.cost / baseline_cost
-                else:
-                    try:
-                        inflation = (
-                            result.repaired_solution().cost / baseline_cost
-                        )
-                    except Exception:
-                        inflation = float("nan")
-                diag = result.diagnostics
-                reliability_stats = diag.get("reliability", {})
-                cells.append(
-                    ChaosCell(
-                        family=family,
-                        intensity=float(intensity),
-                        seed=int(seed),
-                        feasible=result.feasible,
-                        cost_inflation=float(inflation),
-                        healed_clients=int(diag.get("num_healed_clients", 0)),
-                        heal_gave_up=int(diag.get("num_heal_gave_up", 0)),
-                        retries=int(reliability_stats.get("retries", 0)),
-                        gave_up_messages=int(reliability_stats.get("gave_up", 0)),
-                        unserved=len(result.unserved_clients),
-                    )
-                )
+    for (family, intensity, seed), outcome in zip(grid, outcomes):
+        if outcome.feasible:
+            inflation = outcome.cost / baseline_cost
+        else:
+            # repaired_cost is NaN when no repair exists, so the NaN
+            # inflation of an unrepairable run falls out directly.
+            inflation = outcome.repaired_cost / baseline_cost
+        diag = outcome.diagnostics
+        reliability_stats = diag.get("reliability", {})
+        cells.append(
+            ChaosCell(
+                family=family,
+                intensity=float(intensity),
+                seed=int(seed),
+                feasible=outcome.feasible,
+                cost_inflation=float(inflation),
+                healed_clients=int(diag.get("num_healed_clients", 0)),
+                heal_gave_up=int(diag.get("num_heal_gave_up", 0)),
+                retries=int(reliability_stats.get("retries", 0)),
+                gave_up_messages=int(reliability_stats.get("gave_up", 0)),
+                unserved=len(outcome.unserved),
+            )
+        )
     config = {
         "m": instance.num_facilities,
         "n": instance.num_clients,
@@ -403,6 +406,7 @@ def run_chaos(
         "num_seeds": len(seeds),
         "reliability": reliability is not None,
         "healing": healing is not None,
+        "workers": executor.workers if executor is not None else 1,
         "wall_seconds": time.perf_counter() - start,
     }
     return ChaosReport(

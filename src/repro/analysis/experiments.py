@@ -42,6 +42,15 @@ from repro.core.parameters import TradeoffParameters
 from repro.core.sequential_sim import run_sequential
 from repro.fl.generators import decoy_instance, high_spread_instance, make_instance
 from repro.net.faults import FaultPlan
+from repro.perf.cache import cached_instance, cached_lp_value
+from repro.perf.cells import (
+    CellOutcome,
+    SequentialCell,
+    SolveCell,
+    run_sequential_cell,
+    run_solve_cell,
+)
+from repro.perf.executor import SweepExecutor
 
 __all__ = [
     "ExperimentResult",
@@ -171,6 +180,28 @@ def _timed(
     return wrapper
 
 
+#: In-process fallback used whenever a sweep gets no explicit executor.
+_SERIAL = SweepExecutor()
+
+
+def _sweep(
+    cells: Sequence[SolveCell], executor: SweepExecutor | None
+) -> list[CellOutcome]:
+    """Run distributed-solve cells, serially or fanned out, in cell order.
+
+    The ordered merge is what keeps parallel experiments byte-identical
+    to serial ones: every aggregation below consumes results positionally.
+    """
+    return (executor or _SERIAL).map_cells(run_solve_cell, cells)
+
+
+def _sweep_sequential(
+    cells: Sequence[SequentialCell], executor: SweepExecutor | None
+) -> list[CellOutcome]:
+    """Run sequential-emulation cells, serially or fanned out, in order."""
+    return (executor or _SERIAL).map_cells(run_sequential_cell, cells)
+
+
 def _ratio_sweep(
     family: str,
     m: int,
@@ -178,17 +209,19 @@ def _ratio_sweep(
     k_values: Sequence[int],
     seeds: Sequence[int],
     instance_seed: int = 3,
-) -> tuple[dict[int, list[float]], float, Any]:
-    """Measured distributed ratios per k over seeds, plus instance context."""
-    instance = make_instance(family, m, n, instance_seed)
-    lp = solve_lp(instance)
+    executor: SweepExecutor | None = None,
+) -> tuple[dict[int, list[float]], float]:
+    """Measured distributed ratios per k over seeds, plus the cost spread."""
+    instance = cached_instance(family, m, n, instance_seed)
+    bound = max(cached_lp_value(instance), 1e-12)
+    cells = [
+        SolveCell(instance=instance, k=k, seed=s) for k in k_values for s in seeds
+    ]
+    outcomes = _sweep(cells, executor)
     ratios: dict[int, list[float]] = {}
-    metrics_by_k: dict[int, Any] = {}
-    for k in k_values:
-        runs = [solve_distributed(instance, k=k, seed=s) for s in seeds]
-        ratios[k] = [r.cost / max(lp.value, 1e-12) for r in runs]
-        metrics_by_k[k] = runs[0].metrics
-    return ratios, instance.rho, metrics_by_k
+    for cell, outcome in zip(cells, outcomes):
+        ratios.setdefault(cell.k, []).append(outcome.cost / bound)
+    return ratios, instance.rho
 
 
 # ----------------------------------------------------------------------
@@ -204,6 +237,7 @@ def run_e1_tradeoff_table(
     families: Sequence[str] | None = None,
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
     quick: bool = False,
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
     """Measured ratio vs the analytic envelope for every ``k`` and family.
 
@@ -223,7 +257,9 @@ def run_e1_tradeoff_table(
     rows: list[tuple[Any, ...]] = []
     max_constant = 0.0
     for family in families:
-        ratios, rho, _metrics = _ratio_sweep(family, m, n, k_values, seeds)
+        ratios, rho = _ratio_sweep(
+            family, m, n, k_values, seeds, executor=executor
+        )
         for k in k_values:
             agg = aggregate(ratios[k])
             envelope = approximation_envelope(k, m, n, rho)
@@ -262,6 +298,7 @@ def run_e2_ratio_vs_k(
     family: str = "euclidean",
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
     quick: bool = False,
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
     """The trade-off curve: measured ratio falls with ``k`` toward greedy.
 
@@ -274,13 +311,17 @@ def run_e2_ratio_vs_k(
         seeds = seeds[:2]
     else:
         k_values = k_values or DEFAULT_K_VALUES
-    instance = make_instance(family, m, n, 3)
-    lp = solve_lp(instance)
-    greedy_ratio = greedy_solve(instance).cost / max(lp.value, 1e-12)
+    instance = cached_instance(family, m, n, 3)
+    bound = max(cached_lp_value(instance), 1e-12)
+    greedy_ratio = greedy_solve(instance).cost / bound
+    cells = [
+        SolveCell(instance=instance, k=k, seed=s) for k in k_values for s in seeds
+    ]
+    outcomes = _sweep(cells, executor)
     rows: list[tuple[Any, ...]] = []
-    for k in k_values:
-        runs = [solve_distributed(instance, k=k, seed=s) for s in seeds]
-        agg = aggregate([r.cost / max(lp.value, 1e-12) for r in runs])
+    for idx, k in enumerate(k_values):
+        batch = outcomes[idx * len(seeds) : (idx + 1) * len(seeds)]
+        agg = aggregate([o.cost / bound for o in batch])
         envelope = approximation_envelope(k, m, n, instance.rho)
         rows.append((k, agg.mean, agg.ci95_half_width, envelope, greedy_ratio))
     return ExperimentResult(
@@ -312,7 +353,7 @@ def run_e3_rounds_vs_k(
     small residuals.
     """
     k_values = k_values or (QUICK_K_VALUES if quick else DEFAULT_K_VALUES)
-    instance = make_instance(family, m, n, 3)
+    instance = cached_instance(family, m, n, 3)
     rows: list[tuple[Any, ...]] = []
     measured: list[float] = []
     for k in k_values:
@@ -355,7 +396,7 @@ def run_e4_message_bits(
         )
     rows: list[tuple[Any, ...]] = []
     for m, n in sizes:
-        instance = make_instance(family, m, n, 3)
+        instance = cached_instance(family, m, n, 3)
         result = solve_distributed(instance, k=k, seed=0)
         total = m + n
         from repro.core.bounds import message_bits_envelope
@@ -390,6 +431,7 @@ def run_e5_baselines_table(
     k: int = 25,
     seeds: Sequence[int] = (0, 1, 2),
     quick: bool = False,
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
     """Distributed@k against every sequential baseline, per family.
 
@@ -402,21 +444,26 @@ def run_e5_baselines_table(
         seeds = seeds[:1]
     else:
         families = families or DEFAULT_FAMILIES
+    instances = {
+        family: cached_instance(family, m, n, 3) for family in families
+    }
+    cells = [
+        SolveCell(instance=instances[family], k=k, seed=s)
+        for family in families
+        for s in seeds
+    ]
+    outcomes = _sweep(cells, executor)
     rows: list[tuple[Any, ...]] = []
-    for family in families:
-        instance = make_instance(family, m, n, 3)
+    for idx, family in enumerate(families):
+        instance = instances[family]
         lp = solve_lp(instance)
         bound = max(lp.value, 1e-12)
 
         def ratio(cost: float) -> float:
             return cost / bound
 
-        dist = aggregate(
-            [
-                solve_distributed(instance, k=k, seed=s).cost / bound
-                for s in seeds
-            ]
-        )
+        batch = outcomes[idx * len(seeds) : (idx + 1) * len(seeds)]
+        dist = aggregate([o.cost / bound for o in batch])
         greedy_r = ratio(greedy_solve(instance).cost)
         jv_r = ratio(jain_vazirani_solve(instance).cost)
         mp_r = ratio(mettu_plaxton_solve(instance).cost)
@@ -464,6 +511,7 @@ def run_e6_rounding_ablation(
     c_rounds: Sequence[float] = (0.25, 0.5, 1.0, 2.0),
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
     quick: bool = False,
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
     """Ablation of the rounding step (dual-ascent variant).
 
@@ -476,9 +524,8 @@ def run_e6_rounding_ablation(
     if quick:
         c_rounds = c_rounds[:2]
         seeds = seeds[:2]
-    instance = make_instance(family, m, n, 3)
-    lp = solve_lp(instance)
-    bound = max(lp.value, 1e-12)
+    instance = cached_instance(family, m, n, 3)
+    bound = max(cached_lp_value(instance), 1e-12)
     rows: list[tuple[Any, ...]] = []
     policies: list[tuple[str, RoundingPolicy]] = [
         ("select_all", RoundingPolicy(mode="select_all"))
@@ -487,16 +534,23 @@ def run_e6_rounding_ablation(
         (f"randomized(c={c:g})", RoundingPolicy(mode="randomized", c_round=c))
         for c in c_rounds
     )
-    for label, policy in policies:
-        runs = [
-            solve_distributed(
-                instance, k=k, variant=Variant.DUAL_ASCENT, seed=s, rounding=policy
-            )
-            for s in seeds
-        ]
-        agg = aggregate([r.cost / bound for r in runs])
+    cells = [
+        SolveCell(
+            instance=instance,
+            k=k,
+            variant=Variant.DUAL_ASCENT.value,
+            seed=s,
+            rounding=policy,
+        )
+        for _label, policy in policies
+        for s in seeds
+    ]
+    outcomes = _sweep(cells, executor)
+    for idx, (label, _policy) in enumerate(policies):
+        batch = outcomes[idx * len(seeds) : (idx + 1) * len(seeds)]
+        agg = aggregate([o.cost / bound for o in batch])
         fallbacks = aggregate(
-            [float(r.diagnostics["num_forced_clients"]) for r in runs]
+            [float(o.diagnostics["num_forced_clients"]) for o in batch]
         )
         rows.append((label, agg.mean, agg.maximum, fallbacks.mean))
     return ExperimentResult(
@@ -521,6 +575,7 @@ def run_e7_rho_sensitivity(
     rhos: Sequence[float] = (2.0, 10.0, 100.0, 1000.0),
     seeds: Sequence[int] = (0, 1, 2),
     quick: bool = False,
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
     """Measured ratio vs the instance cost spread ``rho`` at fixed ``k``.
 
@@ -531,13 +586,21 @@ def run_e7_rho_sensitivity(
     if quick:
         rhos = rhos[:2]
         seeds = seeds[:2]
+    instances = [
+        high_spread_instance(m, n, seed=3, target_rho=target_rho)
+        for target_rho in rhos
+    ]
+    cells = [
+        SolveCell(instance=instance, k=k, seed=s)
+        for instance in instances
+        for s in seeds
+    ]
+    outcomes = _sweep(cells, executor)
     rows: list[tuple[Any, ...]] = []
-    for target_rho in rhos:
-        instance = high_spread_instance(m, n, seed=3, target_rho=target_rho)
-        lp = solve_lp(instance)
-        bound = max(lp.value, 1e-12)
-        runs = [solve_distributed(instance, k=k, seed=s) for s in seeds]
-        agg = aggregate([r.cost / bound for r in runs])
+    for idx, (target_rho, instance) in enumerate(zip(rhos, instances)):
+        bound = max(cached_lp_value(instance), 1e-12)
+        batch = outcomes[idx * len(seeds) : (idx + 1) * len(seeds)]
+        agg = aggregate([o.cost / bound for o in batch])
         envelope = approximation_envelope(k, m, n, instance.rho)
         rows.append((target_rho, instance.rho, agg.mean, agg.maximum, envelope))
     return ExperimentResult(
@@ -562,6 +625,7 @@ def run_e8_families_table(
     families: Sequence[str] | None = None,
     seeds: Sequence[int] = (0, 1, 2),
     quick: bool = False,
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
     """Behaviour across metric and non-metric families at fixed ``k``.
 
@@ -581,13 +645,21 @@ def run_e8_families_table(
             "set_cover",
             "sparse",
         )
+    instances = {
+        family: cached_instance(family, m, n, 3) for family in families
+    }
+    cells = [
+        SolveCell(instance=instances[family], k=k, seed=s)
+        for family in families
+        for s in seeds
+    ]
+    outcomes = _sweep(cells, executor)
     rows: list[tuple[Any, ...]] = []
-    for family in families:
-        instance = make_instance(family, m, n, 3)
-        lp = solve_lp(instance)
-        bound = max(lp.value, 1e-12)
-        runs = [solve_distributed(instance, k=k, seed=s) for s in seeds]
-        agg = aggregate([r.cost / bound for r in runs])
+    for idx, family in enumerate(families):
+        instance = instances[family]
+        bound = max(cached_lp_value(instance), 1e-12)
+        batch = outcomes[idx * len(seeds) : (idx + 1) * len(seeds)]
+        agg = aggregate([o.cost / bound for o in batch])
         rows.append(
             (
                 family,
@@ -632,7 +704,7 @@ def run_e9_scalability(
         )
     rows: list[tuple[Any, ...]] = []
     for m, n in sizes:
-        instance = make_instance(family, m, n, 3)
+        instance = cached_instance(family, m, n, 3)
         start = time.perf_counter()
         dist = solve_distributed(instance, k=k, seed=0)
         sim_seconds = time.perf_counter() - start
@@ -674,6 +746,7 @@ def run_e10_variants_table(
     family: str = "uniform",
     seeds: Sequence[int] = (0, 1, 2),
     quick: bool = False,
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
     """Flagship scaled greedy vs the dual-ascent variant, same ``k``.
 
@@ -684,20 +757,24 @@ def run_e10_variants_table(
     if quick:
         k_values = k_values[:2]
         seeds = seeds[:2]
-    instance = make_instance(family, m, n, 3)
-    lp = solve_lp(instance)
-    bound = max(lp.value, 1e-12)
+    instance = cached_instance(family, m, n, 3)
+    bound = max(cached_lp_value(instance), 1e-12)
+    grid = [
+        (k, variant)
+        for k in k_values
+        for variant in (Variant.GREEDY, Variant.DUAL_ASCENT)
+    ]
+    cells = [
+        SolveCell(instance=instance, k=k, variant=variant.value, seed=s)
+        for k, variant in grid
+        for s in seeds
+    ]
+    outcomes = _sweep(cells, executor)
     rows: list[tuple[Any, ...]] = []
-    for k in k_values:
-        for variant in (Variant.GREEDY, Variant.DUAL_ASCENT):
-            runs = [
-                solve_distributed(instance, k=k, variant=variant, seed=s)
-                for s in seeds
-            ]
-            agg = aggregate([r.cost / bound for r in runs])
-            rows.append(
-                (k, variant.value, agg.mean, agg.maximum, runs[0].metrics.rounds)
-            )
+    for idx, (k, variant) in enumerate(grid):
+        batch = outcomes[idx * len(seeds) : (idx + 1) * len(seeds)]
+        agg = aggregate([o.cost / bound for o in batch])
+        rows.append((k, variant.value, agg.mean, agg.maximum, batch[0].rounds))
     return ExperimentResult(
         experiment_id="E10",
         title=f"variant comparison on {family}",
@@ -721,6 +798,7 @@ def run_e11_faults(
     drop_probabilities: Sequence[float] = (0.0, 0.01, 0.05, 0.1),
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
     quick: bool = False,
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
     """Behaviour under message loss (extension; the paper assumes
     reliable links).
@@ -731,26 +809,25 @@ def run_e11_faults(
     if quick:
         drop_probabilities = drop_probabilities[:2]
         seeds = seeds[:2]
-    instance = make_instance(family, m, n, 3)
-    lp = solve_lp(instance)
-    bound = max(lp.value, 1e-12)
+    instance = cached_instance(family, m, n, 3)
+    bound = max(cached_lp_value(instance), 1e-12)
+    cells = [
+        SolveCell(
+            instance=instance,
+            k=k,
+            seed=s,
+            fault_plan=FaultPlan(drop_probability=p, seed=1000 + s),
+        )
+        for p in drop_probabilities
+        for s in seeds
+    ]
+    outcomes = _sweep(cells, executor)
     rows: list[tuple[Any, ...]] = []
-    for p in drop_probabilities:
-        complete = 0
-        unserved_counts: list[float] = []
-        repaired_ratios: list[float] = []
-        for s in seeds:
-            plan = FaultPlan(drop_probability=p, seed=1000 + s)
-            result = solve_distributed(
-                instance, k=k, seed=s, fault_plan=plan
-            )
-            if result.feasible:
-                complete += 1
-            unserved_counts.append(float(len(result.unserved_clients)))
-            try:
-                repaired_ratios.append(result.repaired_solution().cost / bound)
-            except Exception:
-                repaired_ratios.append(float("nan"))
+    for idx, p in enumerate(drop_probabilities):
+        batch = outcomes[idx * len(seeds) : (idx + 1) * len(seeds)]
+        complete = sum(o.feasible for o in batch)
+        unserved_counts = [float(len(o.unserved)) for o in batch]
+        repaired_ratios = [o.repaired_cost / bound for o in batch]
         finite = [r for r in repaired_ratios if r == r]
         rows.append(
             (
@@ -782,6 +859,7 @@ def run_e12_ladder_necessity(
     k_values: Sequence[int] = (1, 4, 9, 16),
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
     quick: bool = False,
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
     """The decoy instance: a single scale is provably lured by decoys.
 
@@ -800,12 +878,17 @@ def run_e12_ladder_necessity(
         k_values = k_values[:3]
         seeds = seeds[:2]
     instance = decoy_instance(m, n, seed=3, gap=gap)
-    lp = solve_lp(instance)
-    bound = max(lp.value, 1e-12)
+    bound = max(cached_lp_value(instance), 1e-12)
+    cells = [
+        SolveCell(instance=instance, k=k, seed=s)
+        for k in k_values
+        for s in seeds
+    ]
+    outcomes = _sweep(cells, executor)
     rows: list[tuple[Any, ...]] = []
-    for k in k_values:
-        runs = [solve_distributed(instance, k=k, seed=s) for s in seeds]
-        agg = aggregate([r.cost / bound for r in runs])
+    for idx, k in enumerate(k_values):
+        batch = outcomes[idx * len(seeds) : (idx + 1) * len(seeds)]
+        agg = aggregate([o.cost / bound for o in batch])
         rows.append((k, agg.mean, agg.minimum, agg.maximum))
     return ExperimentResult(
         experiment_id="E12",
@@ -830,6 +913,7 @@ def run_e13_settle_ablation(
     settle_values: Sequence[int] = (1, 2, 4, 8),
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
     quick: bool = False,
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
     """Pin the scales, sweep the settle iterations (the sqrt(k) x sqrt(k)
     design choice).
@@ -848,26 +932,29 @@ def run_e13_settle_ablation(
         # noise-dominated, so quick mode trims the sweep but keeps seeds.
         settle_values = settle_values[:3]
         seeds = seeds[:4]
-    instance = make_instance(family, m, n, 3)
-    lp = solve_lp(instance)
-    bound = max(lp.value, 1e-12)
+    instance = cached_instance(family, m, n, 3)
+    bound = max(cached_lp_value(instance), 1e-12)
+    schedules = [
+        TradeoffParameters.custom(instance, num_scales, settle)
+        for settle in settle_values
+    ]
+    cells = [
+        SolveCell(instance=instance, k=params.k, seed=s, params=params)
+        for params in schedules
+        for s in seeds
+    ]
+    outcomes = _sweep(cells, executor)
     rows: list[tuple[Any, ...]] = []
-    for settle in settle_values:
-        params = TradeoffParameters.custom(instance, num_scales, settle)
-        runs = [
-            DistributedFacilityLocation(
-                instance, k=params.k, seed=s, params=params
-            ).run()
-            for s in seeds
-        ]
-        agg = aggregate([r.cost / bound for r in runs])
+    for idx, settle in enumerate(settle_values):
+        batch = outcomes[idx * len(seeds) : (idx + 1) * len(seeds)]
+        agg = aggregate([o.cost / bound for o in batch])
         failed = aggregate(
-            [float(r.diagnostics["total_failed_accepts"]) for r in runs]
+            [float(o.diagnostics["total_failed_accepts"]) for o in batch]
         )
         rows.append(
             (
                 f"{num_scales}x{settle}",
-                runs[0].metrics.rounds,
+                batch[0].rounds,
                 agg.mean,
                 agg.maximum,
                 failed.mean,
@@ -896,6 +983,7 @@ def run_e14_anytime(
     fractions: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
     seeds: Sequence[int] = (0, 1, 2),
     quick: bool = False,
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
     """What a network that stops early gets (extension).
 
@@ -911,29 +999,31 @@ def run_e14_anytime(
     if quick:
         fractions = fractions[1::2] + (1.0,)
         seeds = seeds[:2]
-    instance = make_instance(family, m, n, 3)
-    lp = solve_lp(instance)
-    bound = max(lp.value, 1e-12)
+    instance = cached_instance(family, m, n, 3)
+    bound = max(cached_lp_value(instance), 1e-12)
     runner_schedule = DistributedFacilityLocation(instance, k=k).schedule_rounds()
+    budgets = [
+        max(1, int(round(fraction * runner_schedule))) for fraction in fractions
+    ]
+    cells = [
+        SolveCell(instance=instance, k=k, seed=s, truncate_rounds=budget)
+        for budget in budgets
+        for s in seeds
+    ]
+    outcomes = _sweep(cells, executor)
     rows: list[tuple[Any, ...]] = []
-    for fraction in fractions:
-        budget = max(1, int(round(fraction * runner_schedule)))
-        served_fracs: list[float] = []
-        repaired: list[float] = []
-        open_counts: list[float] = []
-        repairable = 0
-        for s in seeds:
-            result = DistributedFacilityLocation(
-                instance, k=k, seed=s
-            ).run_truncated(budget)
-            served = instance.num_clients - len(result.unserved_clients)
-            served_fracs.append(served / instance.num_clients)
-            open_counts.append(float(len(result.open_facilities)))
-            try:
-                repaired.append(result.repaired_solution().cost / bound)
-                repairable += 1
-            except Exception:
-                pass
+    for idx, fraction in enumerate(fractions):
+        budget = budgets[idx]
+        batch = outcomes[idx * len(seeds) : (idx + 1) * len(seeds)]
+        served_fracs = [
+            (instance.num_clients - len(o.unserved)) / instance.num_clients
+            for o in batch
+        ]
+        open_counts = [float(len(o.open_facilities)) for o in batch]
+        repaired = [
+            o.repaired_cost / bound for o in batch if o.repaired_cost == o.repaired_cost
+        ]
+        repairable = len(repaired)
         rows.append(
             (
                 fraction,
@@ -973,6 +1063,7 @@ def run_e15_concentration(
     k_values: Sequence[int] = (4, 16, 49),
     num_seeds: int = 200,
     quick: bool = False,
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
     """Ratio distribution over many seeds: the w.h.p. claim, measured.
 
@@ -987,15 +1078,18 @@ def run_e15_concentration(
     if quick:
         k_values = k_values[:2]
         num_seeds = 40
-    instance = make_instance(family, m, n, 3)
-    lp = solve_lp(instance)
-    bound = max(lp.value, 1e-12)
+    instance = cached_instance(family, m, n, 3)
+    bound = max(cached_lp_value(instance), 1e-12)
+    cells = [
+        SequentialCell(instance=instance, k=k, seed=s)
+        for k in k_values
+        for s in range(num_seeds)
+    ]
+    outcomes = _sweep_sequential(cells, executor)
     rows: list[tuple[Any, ...]] = []
-    for k in k_values:
-        ratios = sorted(
-            run_sequential(instance, k=k, seed=s).cost / bound
-            for s in range(num_seeds)
-        )
+    for idx, k in enumerate(k_values):
+        batch = outcomes[idx * num_seeds : (idx + 1) * num_seeds]
+        ratios = sorted(o.cost / bound for o in batch)
 
         def quantile(q: float) -> float:
             return ratios[min(len(ratios) - 1, int(q * len(ratios)))]
@@ -1034,6 +1128,7 @@ def run_e16_opening_rule(
     fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
     quick: bool = False,
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
     """Sweep the fraction of a star that must accept before opening.
 
@@ -1048,21 +1143,21 @@ def run_e16_opening_rule(
     if quick:
         fractions = (0.0, 0.5, 1.0)
         seeds = seeds[:3]
-    instance = make_instance(family, m, n, 3)
-    lp = solve_lp(instance)
-    bound = max(lp.value, 1e-12)
+    instance = cached_instance(family, m, n, 3)
+    bound = max(cached_lp_value(instance), 1e-12)
+    cells = [
+        SolveCell(instance=instance, k=k, seed=s, open_fraction=fraction)
+        for fraction in fractions
+        for s in seeds
+    ]
+    outcomes = _sweep(cells, executor)
     rows: list[tuple[Any, ...]] = []
-    for fraction in fractions:
-        runs = [
-            solve_distributed(
-                instance, k=k, seed=s, open_fraction=fraction
-            )
-            for s in seeds
-        ]
-        agg = aggregate([r.cost / bound for r in runs])
-        opens = aggregate([float(len(r.open_facilities)) for r in runs])
+    for idx, fraction in enumerate(fractions):
+        batch = outcomes[idx * len(seeds) : (idx + 1) * len(seeds)]
+        agg = aggregate([o.cost / bound for o in batch])
+        opens = aggregate([float(len(o.open_facilities)) for o in batch])
         forced = aggregate(
-            [float(r.diagnostics["num_forced_clients"]) for r in runs]
+            [float(o.diagnostics["num_forced_clients"]) for o in batch]
         )
         rows.append((fraction, agg.mean, agg.maximum, opens.mean, forced.mean))
     return ExperimentResult(
@@ -1095,6 +1190,7 @@ def run_e17_fault_families(
     intensity: float = 0.15,
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
     quick: bool = False,
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
     """The resilience layer's value, per fault family (extension).
 
@@ -1113,48 +1209,45 @@ def run_e17_fault_families(
     if quick:
         fault_families = fault_families[:2]
         seeds = seeds[:2]
-    instance = make_instance(family, m, n, 3)
-    lp = solve_lp(instance)
-    bound = max(lp.value, 1e-12)
+    instance = cached_instance(family, m, n, 3)
+    bound = max(cached_lp_value(instance), 1e-12)
     schedule = DistributedFacilityLocation(instance, k=k).schedule_rounds()
-    rows: list[tuple[Any, ...]] = []
+    cells: list[SolveCell] = []
     for fault_family in fault_families:
-        plain_complete = 0
-        resilient_complete = 0
-        repaired_ratios: list[float] = []
-        healed_ratios: list[float] = []
-        retries: list[float] = []
         for s in seeds:
             plan_seed = 1000 + s
-            plain = solve_distributed(
-                instance,
-                k=k,
-                seed=s,
-                fault_plan=build_fault_plan(
-                    fault_family, intensity, instance, schedule, plan_seed
-                ),
+            plan = build_fault_plan(
+                fault_family, intensity, instance, schedule, plan_seed
             )
-            resilient = solve_distributed(
-                instance,
-                k=k,
-                seed=s,
-                fault_plan=build_fault_plan(
-                    fault_family, intensity, instance, schedule, plan_seed
-                ),
-                reliability=ReliabilityPolicy(),
-                healing=SelfHealingPolicy(),
+            cells.append(
+                SolveCell(instance=instance, k=k, seed=s, fault_plan=plan)
             )
-            plain_complete += plain.feasible
-            resilient_complete += resilient.feasible
-            try:
-                repaired_ratios.append(plain.repaired_solution().cost / bound)
-            except Exception:
-                repaired_ratios.append(float("nan"))
-            if resilient.feasible:
-                healed_ratios.append(resilient.cost / bound)
-            retries.append(
-                float(resilient.diagnostics["reliability"]["retries"])
+            cells.append(
+                SolveCell(
+                    instance=instance,
+                    k=k,
+                    seed=s,
+                    fault_plan=plan,
+                    reliability=ReliabilityPolicy(),
+                    healing=SelfHealingPolicy(),
+                )
             )
+    outcomes = _sweep(cells, executor)
+    rows: list[tuple[Any, ...]] = []
+    for idx, fault_family in enumerate(fault_families):
+        batch = outcomes[idx * 2 * len(seeds) : (idx + 1) * 2 * len(seeds)]
+        plain_runs = batch[0::2]
+        resilient_runs = batch[1::2]
+        plain_complete = sum(o.feasible for o in plain_runs)
+        resilient_complete = sum(o.feasible for o in resilient_runs)
+        repaired_ratios = [o.repaired_cost / bound for o in plain_runs]
+        healed_ratios = [
+            o.cost / bound for o in resilient_runs if o.feasible
+        ]
+        retries = [
+            float(o.diagnostics["reliability"]["retries"])
+            for o in resilient_runs
+        ]
         finite = [r for r in repaired_ratios if r == r]
         rows.append(
             (

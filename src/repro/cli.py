@@ -10,6 +10,8 @@ Everything the library does is reachable from the shell::
     repro inspect run.jsonl
     repro compare old.manifest.json new.manifest.json --threshold cost=1.05
     repro bench benchmarks/_artifacts --name micro -o benchmarks/baselines
+    repro bench --suite micro --workers 2 -o benchmarks/baselines
+    repro bench --suite macro --workers 4 -o .
     repro baselines inst.json
     repro experiment E3 --quick
     repro chaos --family uniform -m 6 -n 18 -k 9 --num-seeds 3 -o chaos.json
@@ -25,6 +27,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
+from typing import Any
 
 from repro.analysis import experiments as exp
 from repro.analysis.tables import render_table
@@ -166,14 +169,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="fold benchmark artifacts into a versioned BENCH_<name>.json",
+        help="fold benchmark artifacts into a versioned BENCH_<name>.json, "
+        "or run a perf suite (--suite) and emit its trajectory point",
     )
     bench.add_argument(
         "source",
+        nargs="?",
         help="artifact directory (benchmarks/_artifacts), a pytest-benchmark "
-        "JSON export, or a single record/manifest file",
+        "JSON export, or a single record/manifest file (omit with --suite)",
     )
-    bench.add_argument("--name", required=True, help="trajectory name")
+    bench.add_argument(
+        "--suite",
+        choices=["micro", "macro"],
+        help="run the named perf suite instead of folding artifacts "
+        "(see docs/PERFORMANCE.md)",
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the suite's parallel sweeps (default 1)",
+    )
+    bench.add_argument(
+        "--name",
+        help="trajectory name (required without --suite; defaults to the "
+        "suite's canonical name with it)",
+    )
     bench.add_argument(
         "-o",
         "--output",
@@ -188,6 +209,13 @@ def build_parser() -> argparse.ArgumentParser:
     expcmd = sub.add_parser("experiment", help="run one experiment E1..E17")
     expcmd.add_argument("id", choices=sorted(_EXPERIMENTS, key=_experiment_key))
     expcmd.add_argument("--quick", action="store_true")
+    expcmd.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the experiment's sweep cells (default 1; "
+        "output is identical whatever the value)",
+    )
 
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("output", nargs="?", default="EXPERIMENTS.md")
@@ -223,6 +251,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--num-seeds", type=int, default=3, help="seeds per grid cell"
+    )
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the fault grid (default 1; the report "
+        "is identical whatever the value)",
     )
     chaos.add_argument(
         "--no-reliability",
@@ -399,6 +434,20 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.suite:
+        from repro.perf.suite import run_perf_suite
+
+        target = run_perf_suite(
+            args.suite, workers=args.workers, out=args.output, name=args.name
+        )
+        print(f"wrote {target} (suite={args.suite}, workers={args.workers})")
+        return 0
+    if not args.source:
+        print("error: give an artifact source or --suite", file=sys.stderr)
+        return 2
+    if not args.name:
+        print("error: --name is required without --suite", file=sys.stderr)
+        return 2
     records = collect_records(args.source)
     target = write_bench(args.name, records, args.output)
     print(f"wrote {target}: {len(records)} record(s)")
@@ -434,7 +483,23 @@ def _cmd_baselines(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    result = _EXPERIMENTS[args.id](quick=args.quick)
+    import inspect
+
+    from repro.perf.executor import SweepExecutor
+
+    runner = _EXPERIMENTS[args.id]
+    kwargs: dict[str, Any] = {"quick": args.quick}
+    if args.workers > 1:
+        # The timing experiments (E3/E4/E9) measure the serial protocol
+        # itself and take no executor; --workers is a no-op for them.
+        if "executor" in inspect.signature(runner).parameters:
+            kwargs["executor"] = SweepExecutor(workers=args.workers)
+        else:
+            print(
+                f"note: {args.id} has no parallel sweep; ignoring --workers",
+                file=sys.stderr,
+            )
+    result = runner(**kwargs)
     print(result.table)
     return 0
 
@@ -448,6 +513,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     from repro.core.healing import SelfHealingPolicy
     from repro.net.reliability import ReliabilityPolicy
+    from repro.perf.executor import SweepExecutor
 
     instance = _load_instance(args)
     report = run_chaos(
@@ -465,6 +531,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             min_feasible_frac=args.min_feasible_frac,
             max_cost_inflation=args.max_inflation,
         ),
+        executor=SweepExecutor(workers=args.workers),
     )
     result = report.to_experiment_result()
     if args.output:

@@ -208,6 +208,15 @@ class TradeoffParameters:
         """Threshold test with the schedule's float tolerance."""
         return efficiency <= self.threshold(scale) * (1.0 + _THRESHOLD_RTOL)
 
+    def qualifies_many(self, efficiencies: np.ndarray, scale: int) -> np.ndarray:
+        """Vectorized :meth:`qualifies` over an array of efficiencies.
+
+        Elementwise identical to the scalar test (same threshold float,
+        same tolerance factor), so batched engines reproduce the scalar
+        engines' qualification decisions exactly.
+        """
+        return efficiencies <= self.threshold(scale) * (1.0 + _THRESHOLD_RTOL)
+
     def describe(self) -> str:
         """One-line human-readable summary for logs and tables."""
         return (

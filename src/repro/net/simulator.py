@@ -20,6 +20,7 @@ optional tracing. Its contract:
 
 from __future__ import annotations
 
+import operator
 import time
 from collections import defaultdict
 from typing import Mapping, Sequence
@@ -44,6 +45,17 @@ from repro.obs.timeline import RoundTimeline, RoundTimelineEntry
 from repro.obs.watchdogs import Watchdog
 
 __all__ = ["Simulator"]
+
+# Deterministic inbox order, hoisted out of the hot loop: attrgetter
+# builds the (sender, kind) sort key in C instead of a per-comparison
+# Python lambda.
+_INBOX_ORDER = operator.attrgetter("sender", "kind")
+
+# Shared inbox for nodes that received nothing this round. Handing every
+# such node the same list avoids one allocation per silent node per
+# round; protocol hooks treat their inbox as read-only (and the engine
+# never sorts a list of fewer than two messages), so sharing is safe.
+_EMPTY_INBOX: list[Message] = []
 
 
 class Simulator:
@@ -131,6 +143,10 @@ class Simulator:
         self._round = 0
         self._pending: list[Message] = []  # sent this round, delivered next
         self._started = False
+        # One context object for the whole run, rebound per invocation
+        # (see RoundContext.rebind) instead of allocated per node per
+        # round — cuts the dominant allocation churn of the round loop.
+        self._context = RoundContext(self, self._nodes[0], 0)
         for node, rng in zip(self._nodes, spawn_node_rngs(seed, len(self._nodes))):
             node.neighbors = topology.neighbors(node.node_id)
             node.rng = rng
@@ -184,8 +200,9 @@ class Simulator:
         # must make identical decisions in each (coin-for-coin contract).
         self._fault_plan.reset()
         start = time.perf_counter()
+        ctx = self._context
         for node in self._nodes:
-            ctx = RoundContext(self, node, round_number=0)
+            ctx.rebind(node, round_number=0)
             node.on_setup(ctx)
         for message in self._pending:
             self.metrics.record_message(message)
@@ -211,12 +228,23 @@ class Simulator:
         self.metrics.start_round()
         self._apply_fault_lifecycle()
         inboxes = self._deliver()
+        ctx = self._context
+        round_number = self._round
         for node in self._nodes:
             if node.crashed:
                 continue
-            inbox = inboxes.get(node.node_id, [])
-            inbox.sort(key=lambda msg: (msg.sender, msg.kind))
-            ctx = RoundContext(self, node, round_number=self._round)
+            inbox = inboxes.get(node.node_id)
+            if inbox is None:
+                # A finished node with nothing delivered has nothing to
+                # react to: skipping its invocation is observationally
+                # identical (its hooks are no-ops on an empty inbox) and
+                # removes the bulk of the tail-phase per-round cost.
+                if node.finished:
+                    continue
+                inbox = _EMPTY_INBOX
+            elif len(inbox) > 1:
+                inbox.sort(key=_INBOX_ORDER)
+            ctx.rebind(node, round_number)
             node.on_round(ctx, inbox)
         for message in self._pending:
             self.metrics.record_message(message)
@@ -253,7 +281,8 @@ class Simulator:
                 node.node_id, self._round
             ):
                 node.crashed = False
-                ctx = RoundContext(self, node, round_number=self._round)
+                ctx = self._context
+                ctx.rebind(node, self._round)
                 node.on_recover(ctx)
                 if self.trace.enabled:
                     self.trace.record(

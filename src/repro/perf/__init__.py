@@ -1,0 +1,47 @@
+"""Performance layer: parallel sweeps, memo caches, perf suites.
+
+``repro.perf`` is the harness that makes large evaluation campaigns
+cheap (see docs/PERFORMANCE.md):
+
+* :class:`~repro.perf.executor.SweepExecutor` — deterministic
+  process-pool fan-out of (instance, k, seed, fault) grid cells whose
+  merged output is byte-identical to a serial run;
+* :mod:`~repro.perf.cells` — picklable cell payloads and module-level
+  worker functions the executor can ship to spawned interpreters;
+* :mod:`~repro.perf.cache` — instance and LP-lower-bound memo caches
+  keyed by the run manifest's instance digest, so repeated sweep cells
+  skip regeneration and LP re-solves;
+* :mod:`~repro.perf.suite` — the ``repro bench --suite micro|macro``
+  perf suites emitting ``BENCH_*.json`` trajectory files that the
+  ``repro compare`` regression gate consumes.
+"""
+
+from repro.perf.cache import (
+    cache_stats,
+    cached_instance,
+    cached_lp_value,
+    clear_caches,
+)
+from repro.perf.cells import (
+    CellOutcome,
+    SequentialCell,
+    SolveCell,
+    run_sequential_cell,
+    run_solve_cell,
+)
+from repro.perf.executor import SweepExecutor
+from repro.perf.suite import run_perf_suite
+
+__all__ = [
+    "CellOutcome",
+    "SequentialCell",
+    "SolveCell",
+    "SweepExecutor",
+    "cache_stats",
+    "cached_instance",
+    "cached_lp_value",
+    "clear_caches",
+    "run_perf_suite",
+    "run_sequential_cell",
+    "run_solve_cell",
+]

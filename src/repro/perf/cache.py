@@ -1,0 +1,109 @@
+"""Memo caches for the expensive per-sweep-cell setup work.
+
+A sweep over (k, seed) grids re-uses one instance across dozens of
+cells, and most experiments divide every measured cost by the *same* LP
+lower bound. Before this layer each experiment regenerated and re-solved
+those on every call; the caches here make repeated cells pay only for
+the protocol run itself.
+
+Keys follow the observability layer's identity notions:
+
+* **instances** are keyed by their generation recipe
+  ``(family, m, n, seed)`` — :func:`~repro.fl.generators.make_instance`
+  is deterministic, and instances are immutable (read-only arrays), so a
+  cached object is safe to share between runs, threads and forked
+  workers;
+* **LP bounds** are keyed by :func:`~repro.obs.manifest.instance_digest`
+  — the same content hash run manifests record — so any equal-content
+  instance hits, however it was constructed (generated, loaded from
+  JSON, or unpickled in a worker).
+
+Both caches are bounded FIFO (oldest entry evicted) so unbounded sweeps
+cannot grow memory without limit, and both count hits/misses for the
+perf suite and tests. Forked pool workers inherit a snapshot of the
+parent's caches and keep their own copies from then on — memoization is
+per-process, which is correct because cached values are pure functions
+of their keys.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from repro.baselines import solve_lp
+from repro.fl.generators import make_instance
+from repro.fl.instance import FacilityLocationInstance
+from repro.obs.manifest import instance_digest
+
+__all__ = [
+    "cache_stats",
+    "cached_instance",
+    "cached_lp_value",
+    "clear_caches",
+]
+
+#: Bound on each cache; at experiment sizes an instance is ~100 KB, so
+#: the worst case stays well under typical worker memory budgets.
+MAX_ENTRIES = 128
+
+_instances: OrderedDict[tuple[str, int, int, int], FacilityLocationInstance]
+_instances = OrderedDict()
+_lp_values: OrderedDict[str, float] = OrderedDict()
+_stats = {
+    "instance_hits": 0,
+    "instance_misses": 0,
+    "lp_hits": 0,
+    "lp_misses": 0,
+}
+
+
+def cached_instance(
+    family: str, m: int, n: int, seed: int
+) -> FacilityLocationInstance:
+    """Memoized :func:`~repro.fl.generators.make_instance`."""
+    key = (str(family), int(m), int(n), int(seed))
+    hit = _instances.get(key)
+    if hit is not None:
+        _stats["instance_hits"] += 1
+        return hit
+    _stats["instance_misses"] += 1
+    instance = make_instance(family, m, n, seed)
+    _remember(_instances, key, instance)
+    return instance
+
+
+def cached_lp_value(instance: FacilityLocationInstance) -> float:
+    """Memoized LP lower bound, keyed by the instance's content digest."""
+    key = instance_digest(instance)
+    hit = _lp_values.get(key)
+    if hit is not None:
+        _stats["lp_hits"] += 1
+        return hit
+    _stats["lp_misses"] += 1
+    value = float(solve_lp(instance).value)
+    _remember(_lp_values, key, value)
+    return value
+
+
+def cache_stats() -> dict[str, int]:
+    """Hit/miss counters plus current sizes (for tests and the suite)."""
+    return {
+        **_stats,
+        "instance_entries": len(_instances),
+        "lp_entries": len(_lp_values),
+    }
+
+
+def clear_caches() -> None:
+    """Drop every cached entry and reset the counters."""
+    _instances.clear()
+    _lp_values.clear()
+    for key in _stats:
+        _stats[key] = 0
+
+
+def _remember(cache: OrderedDict, key: Any, value: Any) -> None:
+    cache[key] = value
+    while len(cache) > MAX_ENTRIES:
+        cache.popitem(last=False)

@@ -1,0 +1,330 @@
+"""The ``repro bench --suite micro|macro`` perf suites.
+
+Each suite measures the same three things at a different scale and
+writes one deterministic-by-construction ``BENCH_<name>.json``
+trajectory point (see :mod:`repro.obs.bench`) that ``repro compare``
+can gate in CI:
+
+* ``emulator_greedy`` / ``emulator_dual`` — single-core speedup of the
+  vectorized sequential emulation over the pure-Python loop engine, with
+  the two engines cross-checked for identical open sets and assignments
+  on every timed run;
+* ``sweep_emulation`` — a (family, k, seed) grid of sequential cells run
+  the **legacy** way (loop engine, no memo caches, in-process) and the
+  **optimized** way (vectorized engine, warm caches,
+  :class:`~repro.perf.executor.SweepExecutor` fan-out), with the
+  parallel output compared element-for-element against a serial
+  optimized run;
+* ``sweep_distributed`` — a (k, seed) grid on the message-passing
+  simulator, serial vs parallel, reporting cells/sec and rounds/sec.
+
+Every record carries ``inverse_speedup`` style ratios (lower is better)
+alongside raw wall-clock so the CI gate can use machine-independent
+thresholds; ``byte_identical``/``identical`` are 1.0/0.0 flags that a
+threshold of 1.0 turns into hard correctness gates.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.baselines import solve_lp
+from repro.core.algorithm import Variant
+from repro.exceptions import ReproError
+from repro.fl.generators import make_instance
+from repro.obs.bench import write_bench
+from repro.perf.cache import cache_stats, cached_instance, cached_lp_value, clear_caches
+from repro.perf.cells import (
+    SequentialCell,
+    SolveCell,
+    run_sequential_cell,
+    run_solve_cell,
+)
+from repro.perf.executor import SweepExecutor
+
+__all__ = ["SUITES", "run_perf_suite"]
+
+SUITES = ("micro", "macro")
+
+#: Per-suite sizing. ``micro`` is the CI gate (seconds); ``macro`` is the
+#: committed trajectory point backing docs/PERFORMANCE.md (a minute or two).
+_CONFIGS: dict[str, dict[str, Any]] = {
+    "micro": {
+        "emulator": {"m": 30, "n": 150, "k": 16, "repeats": 2},
+        "sweep": {
+            "families": ("uniform", "euclidean"),
+            "m": 20,
+            "n": 80,
+            "k_values": (4, 9),
+            "seeds": (0, 1, 2),
+        },
+        "solve": {"family": "euclidean", "m": 12, "n": 36, "k": 9, "seeds": (0, 1)},
+        "lp_repeats": 3,
+    },
+    "macro": {
+        "emulator": {"m": 60, "n": 300, "k": 25, "repeats": 3},
+        "sweep": {
+            "families": ("uniform", "euclidean", "clustered", "set_cover"),
+            "m": 30,
+            "n": 120,
+            "k_values": (4, 16, 49),
+            "seeds": (0, 1, 2, 3, 4),
+        },
+        "solve": {"family": "euclidean", "m": 20, "n": 60, "k": 16, "seeds": (0, 1, 2)},
+        "lp_repeats": 5,
+    },
+}
+
+
+def run_perf_suite(
+    suite: str,
+    workers: int = 1,
+    out: str | Path = ".",
+    name: str | None = None,
+) -> Path:
+    """Run one perf suite and write its ``BENCH_<name>.json``.
+
+    ``name`` defaults to the suite name for ``macro`` (the committed
+    repo-root trajectory file is ``BENCH_macro.json``) and to
+    ``perf_micro`` for ``micro`` (matching the committed CI baseline
+    under ``benchmarks/baselines/``). Raises :class:`ReproError` if any
+    cross-engine or serial/parallel equivalence check fails — a suite
+    that measured a *wrong* fast path must not emit a trajectory point.
+    """
+    if suite not in SUITES:
+        raise ReproError(f"unknown perf suite {suite!r}; expected one of {SUITES}")
+    if name is None:
+        name = suite if suite == "macro" else "perf_micro"
+    config = _CONFIGS[suite]
+    records: dict[str, dict[str, Any]] = {}
+    for variant in (Variant.GREEDY, Variant.DUAL_ASCENT):
+        key = f"emulator_{'greedy' if variant is Variant.GREEDY else 'dual'}"
+        records[key] = _emulator_record(variant, workers=workers, **config["emulator"])
+    records["sweep_emulation"] = _sweep_emulation_record(
+        workers=workers, **config["sweep"]
+    )
+    records["sweep_distributed"] = _sweep_distributed_record(
+        workers=workers, **config["solve"]
+    )
+    records["bound_cache"] = _bound_cache_record(
+        repeats=config["lp_repeats"], **{
+            key: config["solve"][key] for key in ("family", "m", "n")
+        }
+    )
+    return write_bench(name, records, out)
+
+
+def _timed(fn: Callable[[], Any]) -> tuple[float, Any]:
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value
+
+
+def _emulator_record(
+    variant: Variant, m: int, n: int, k: int, repeats: int, workers: int
+) -> dict[str, Any]:
+    """Loop vs vectorized engine on one instance; engines must agree."""
+    from repro.core.sequential_sim import run_sequential
+
+    instance = cached_instance("euclidean", m, n, 3)
+    loop_seconds = 0.0
+    vec_seconds = 0.0
+    identical = True
+    for seed in range(repeats):
+        elapsed, loop = _timed(
+            lambda: run_sequential(instance, k=k, seed=seed, variant=variant, engine="loop")
+        )
+        loop_seconds += elapsed
+        elapsed, vec = _timed(
+            lambda: run_sequential(
+                instance, k=k, seed=seed, variant=variant, engine="vectorized"
+            )
+        )
+        vec_seconds += elapsed
+        identical = identical and (
+            loop.open_facilities == vec.open_facilities
+            and loop.assignment == vec.assignment
+        )
+    return {
+        "source": "perf-suite",
+        "wall_seconds": vec_seconds,
+        "params": {"m": m, "n": n, "k": k, "repeats": repeats, "workers": workers},
+        "metrics": {
+            "loop_seconds": loop_seconds,
+            "vectorized_seconds": vec_seconds,
+            "speedup": loop_seconds / max(vec_seconds, 1e-9),
+            "inverse_speedup": vec_seconds / max(loop_seconds, 1e-9),
+            "identical": float(identical),
+        },
+    }
+
+
+def _sweep_emulation_record(
+    families: tuple[str, ...],
+    m: int,
+    n: int,
+    k_values: tuple[int, ...],
+    seeds: tuple[int, ...],
+    workers: int,
+) -> dict[str, Any]:
+    """The headline macro number: legacy serial sweep vs optimized parallel.
+
+    *Legacy* reproduces the pre-perf-layer path cell for cell: regenerate
+    the instance, re-solve the LP bound, and emulate with the loop
+    engine, all in-process. *Optimized* is the shipped path: memo caches,
+    vectorized engine, executor fan-out.
+    """
+
+    def legacy() -> list[tuple[Any, ...]]:
+        results = []
+        for family in families:
+            for k in k_values:
+                for seed in seeds:
+                    instance = make_instance(family, m, n, 3)
+                    bound = max(float(solve_lp(instance).value), 1e-12)
+                    cell = SequentialCell(instance=instance, k=k, seed=seed, engine="loop")
+                    outcome = run_sequential_cell(cell)
+                    results.append((outcome.cost / bound, outcome.open_facilities))
+        return results
+
+    def optimized(executor: SweepExecutor) -> list[tuple[Any, ...]]:
+        cells = []
+        bounds = []
+        for family in families:
+            instance = cached_instance(family, m, n, 3)
+            bound = max(cached_lp_value(instance), 1e-12)
+            for k in k_values:
+                for seed in seeds:
+                    cells.append(SequentialCell(instance=instance, k=k, seed=seed))
+                    bounds.append(bound)
+        outcomes = executor.map_cells(run_sequential_cell, cells)
+        return [
+            (outcome.cost / bound, outcome.open_facilities)
+            for outcome, bound in zip(outcomes, bounds)
+        ]
+
+    clear_caches()
+    legacy_seconds, legacy_results = _timed(legacy)
+    clear_caches()
+    serial_seconds, serial_results = _timed(lambda: optimized(SweepExecutor()))
+    clear_caches()
+    parallel_seconds, parallel_results = _timed(
+        lambda: optimized(SweepExecutor(workers=workers))
+    )
+    if parallel_results != serial_results:
+        raise ReproError(
+            "perf suite: parallel sweep output diverged from the serial run"
+        )
+    if legacy_results != serial_results:
+        raise ReproError(
+            "perf suite: vectorized sweep output diverged from the loop engine"
+        )
+    cells = len(legacy_results)
+    return {
+        "source": "perf-suite",
+        "wall_seconds": parallel_seconds,
+        "params": {
+            "families": list(families),
+            "m": m,
+            "n": n,
+            "k_values": list(k_values),
+            "seeds": list(seeds),
+            "workers": workers,
+        },
+        "metrics": {
+            "cells": float(cells),
+            "legacy_serial_seconds": legacy_seconds,
+            "optimized_serial_seconds": serial_seconds,
+            "optimized_parallel_seconds": parallel_seconds,
+            "cells_per_second": cells / max(parallel_seconds, 1e-9),
+            # The headline: the shipped configuration (vectorized engine,
+            # warm caches, `workers` processes) against the pre-perf-layer
+            # serial path, on the same grid.
+            "speedup": legacy_seconds / max(parallel_seconds, 1e-9),
+            "speedup_serial": legacy_seconds / max(serial_seconds, 1e-9),
+            "inverse_speedup": parallel_seconds / max(legacy_seconds, 1e-9),
+            "byte_identical": 1.0,
+        },
+    }
+
+
+def _sweep_distributed_record(
+    family: str, m: int, n: int, k: int, seeds: tuple[int, ...], workers: int
+) -> dict[str, Any]:
+    """Message-simulator grid, serial vs parallel, rounds/sec throughput."""
+    instance = cached_instance(family, m, n, 3)
+    cells = [
+        SolveCell(instance=instance, k=k, variant=variant, seed=seed)
+        for variant in (Variant.GREEDY.value, Variant.DUAL_ASCENT.value)
+        for seed in seeds
+    ]
+    serial_seconds, serial_outcomes = _timed(
+        lambda: SweepExecutor().map_cells(run_solve_cell, cells)
+    )
+    parallel_seconds, parallel_outcomes = _timed(
+        lambda: SweepExecutor(workers=workers).map_cells(run_solve_cell, cells)
+    )
+    if parallel_outcomes != serial_outcomes:
+        raise ReproError(
+            "perf suite: parallel distributed sweep diverged from the serial run"
+        )
+    total_rounds = sum(outcome.rounds for outcome in serial_outcomes)
+    best_seconds = min(serial_seconds, parallel_seconds)
+    return {
+        "source": "perf-suite",
+        "wall_seconds": parallel_seconds,
+        "params": {
+            "family": family,
+            "m": m,
+            "n": n,
+            "k": k,
+            "seeds": list(seeds),
+            "workers": workers,
+        },
+        "metrics": {
+            "cells": float(len(cells)),
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "cells_per_second": len(cells) / max(best_seconds, 1e-9),
+            "rounds_per_second": total_rounds / max(best_seconds, 1e-9),
+            "byte_identical": 1.0,
+        },
+    }
+
+
+def _bound_cache_record(family: str, m: int, n: int, repeats: int) -> dict[str, Any]:
+    """What the LP memo cache saves on repeated same-instance cells."""
+    clear_caches()
+    instance = cached_instance(family, m, n, 3)
+
+    def uncached() -> float:
+        value = 0.0
+        for _ in range(repeats):
+            value = float(solve_lp(instance).value)
+        return value
+
+    def cached() -> float:
+        value = 0.0
+        for _ in range(repeats):
+            value = cached_lp_value(instance)
+        return value
+
+    uncached_seconds, uncached_value = _timed(uncached)
+    cached_seconds, cached_value = _timed(cached)
+    if cached_value != uncached_value:
+        raise ReproError("perf suite: cached LP bound diverged from solve_lp")
+    stats = cache_stats()
+    return {
+        "source": "perf-suite",
+        "wall_seconds": cached_seconds,
+        "params": {"family": family, "m": m, "n": n, "repeats": repeats},
+        "metrics": {
+            "uncached_seconds": uncached_seconds,
+            "cached_seconds": cached_seconds,
+            "speedup": uncached_seconds / max(cached_seconds, 1e-9),
+            "lp_hits": float(stats["lp_hits"]),
+            "lp_misses": float(stats["lp_misses"]),
+        },
+    }

@@ -1,0 +1,77 @@
+"""Instance / LP-bound memo caches: keying, hits, eviction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import solve_lp
+from repro.fl.generators import make_instance
+from repro.perf import cache
+from repro.perf.cache import (
+    cache_stats,
+    cached_instance,
+    cached_lp_value,
+    clear_caches,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def test_instance_cache_hits_on_same_recipe():
+    first = cached_instance("uniform", 8, 20, 3)
+    second = cached_instance("uniform", 8, 20, 3)
+    assert second is first
+    stats = cache_stats()
+    assert stats["instance_misses"] == 1
+    assert stats["instance_hits"] == 1
+
+
+def test_instance_cache_matches_generator():
+    cached = cached_instance("euclidean", 8, 20, 3)
+    fresh = make_instance("euclidean", 8, 20, 3)
+    assert np.array_equal(cached.connection_costs, fresh.connection_costs)
+    assert np.array_equal(cached.opening_costs, fresh.opening_costs)
+
+
+def test_instance_cache_distinguishes_recipes():
+    a = cached_instance("uniform", 8, 20, 3)
+    b = cached_instance("uniform", 8, 20, 4)
+    assert a is not b
+    assert cache_stats()["instance_misses"] == 2
+
+
+def test_lp_cache_is_keyed_by_content():
+    instance = cached_instance("uniform", 8, 20, 3)
+    value = cached_lp_value(instance)
+    assert value == float(solve_lp(instance).value)
+    # An equal-content instance built through a different path still hits.
+    clone = make_instance("uniform", 8, 20, 3)
+    assert cached_lp_value(clone) == value
+    stats = cache_stats()
+    assert stats["lp_misses"] == 1
+    assert stats["lp_hits"] == 1
+
+
+def test_fifo_eviction_bounds_the_cache(monkeypatch):
+    monkeypatch.setattr(cache, "MAX_ENTRIES", 3)
+    for seed in range(5):
+        cached_instance("uniform", 6, 15, seed)
+    stats = cache_stats()
+    assert stats["instance_entries"] == 3
+    # Oldest recipe was evicted, so re-requesting it is a miss again.
+    cached_instance("uniform", 6, 15, 0)
+    assert cache_stats()["instance_misses"] == 6
+
+
+def test_clear_caches_resets_everything():
+    cached_instance("uniform", 6, 15, 0)
+    cached_lp_value(cached_instance("uniform", 6, 15, 0))
+    clear_caches()
+    stats = cache_stats()
+    assert all(value == 0 for value in stats.values())

@@ -1,0 +1,77 @@
+"""SweepExecutor: ordering, fallback, and spawn-safety validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.perf.executor import SweepExecutor
+
+# Module-level on purpose: parallel map_cells ships workers by qualified
+# name, so the test workers must be importable from spawned interpreters.
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def flaky(x: int) -> int:
+    if x == 3:
+        raise ValueError("boom")
+    return x
+
+
+def test_serial_map_preserves_order():
+    assert SweepExecutor().map_cells(square, range(7)) == [
+        0, 1, 4, 9, 16, 25, 36,
+    ]
+
+
+def test_parallel_map_matches_serial():
+    cells = list(range(20))
+    serial = SweepExecutor().map_cells(square, cells)
+    parallel = SweepExecutor(workers=4).map_cells(square, cells)
+    assert parallel == serial
+
+
+def test_parallel_map_with_chunksize():
+    cells = list(range(11))
+    parallel = SweepExecutor(workers=3, chunksize=4).map_cells(square, cells)
+    assert parallel == [x * x for x in cells]
+
+
+def test_single_cell_stays_in_process():
+    # len <= 1 short-circuits the pool even with workers > 1; a lambda
+    # (unshippable) proves no pool was involved.
+    assert SweepExecutor(workers=4).map_cells(lambda x: x + 1, [41]) == [42]
+
+
+def test_empty_cells():
+    assert SweepExecutor(workers=4).map_cells(square, []) == []
+
+
+def test_worker_exception_propagates():
+    with pytest.raises(ValueError, match="boom"):
+        SweepExecutor().map_cells(flaky, range(5))
+    with pytest.raises(ValueError, match="boom"):
+        SweepExecutor(workers=2).map_cells(flaky, range(5))
+
+
+def test_rejects_invalid_workers():
+    with pytest.raises(ReproError, match="workers"):
+        SweepExecutor(workers=0)
+    with pytest.raises(ReproError, match="chunksize"):
+        SweepExecutor(chunksize=0)
+
+
+def test_rejects_local_function_for_parallel_runs():
+    def local(x):
+        return x
+
+    with pytest.raises(ReproError, match="not spawn-safe"):
+        SweepExecutor(workers=2).map_cells(local, [1, 2])
+
+
+def test_rejects_unpicklable_cells():
+    with pytest.raises(ReproError, match="not picklable"):
+        SweepExecutor(workers=2).map_cells(square, [lambda: 1, lambda: 2])

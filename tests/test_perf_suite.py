@@ -1,0 +1,71 @@
+"""The micro perf suite: record shape, gates, and compare integration."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.obs.compare import compare_paths
+from repro.perf import clear_caches
+from repro.perf.suite import SUITES, run_perf_suite
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def test_unknown_suite_rejected(tmp_path):
+    with pytest.raises(ReproError, match="unknown perf suite"):
+        run_perf_suite("mega", out=tmp_path)
+
+
+def test_suite_names():
+    assert SUITES == ("micro", "macro")
+
+
+def test_micro_suite_emits_gateable_bench(tmp_path):
+    path = run_perf_suite("micro", workers=2, out=tmp_path)
+    assert path.name == "BENCH_perf_micro.json"
+    doc = json.loads(path.read_text())
+    assert doc["type"] == "bench"
+    records = doc["records"]
+    assert set(records) == {
+        "bound_cache",
+        "emulator_greedy",
+        "emulator_dual",
+        "sweep_emulation",
+        "sweep_distributed",
+    }
+    # Every correctness flag must be exactly 1.0 — the suite refuses to
+    # emit a trajectory point for a fast path that changed answers.
+    assert records["emulator_greedy"]["metrics"]["identical"] == 1.0
+    assert records["emulator_dual"]["metrics"]["identical"] == 1.0
+    assert records["sweep_emulation"]["metrics"]["byte_identical"] == 1.0
+    assert records["sweep_distributed"]["metrics"]["byte_identical"] == 1.0
+    assert records["sweep_emulation"]["metrics"]["cells"] == 12.0
+    for record in records.values():
+        assert record["wall_seconds"] >= 0.0
+
+    # The emitted file feeds the repro-compare regression gate: identical
+    # trajectory points never regress, and the correctness flags gate at
+    # threshold 1.0.
+    reports = compare_paths(
+        path,
+        path,
+        thresholds={
+            "sweep_emulation.byte_identical": 1.0,
+            "emulator_greedy.identical": 1.0,
+        },
+        default_threshold=100.0,
+    )
+    assert all(report.ok for report in reports)
+
+
+def test_suite_name_override(tmp_path):
+    path = run_perf_suite("micro", out=tmp_path, name="nightly")
+    assert path.name == "BENCH_nightly.json"
