@@ -1,7 +1,7 @@
 # Developer entry points. Offline environments without the `wheel`
 # package can use `make develop` instead of `pip install -e .`.
 
-.PHONY: install develop test bench bench-full report examples clean
+.PHONY: install develop test bench bench-full report docs docs-check examples clean
 
 install:
 	pip install -e ".[test]"
@@ -21,9 +21,20 @@ bench-full:
 report:
 	python -m repro.analysis.report
 
+# API reference into docs/api/ (pdoc when installed, stdlib fallback
+# otherwise), then the doc-quality gates: relative-link checker and the
+# public-docstring coverage floor.
+docs:
+	python tools/gen_api_docs.py
+
+docs-check:
+	python tools/gen_api_docs.py --check
+	python tools/check_links.py
+	python tools/check_docstrings.py
+
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
 
 clean:
-	rm -rf benchmarks/_artifacts .pytest_cache src/repro.egg-info
+	rm -rf benchmarks/_artifacts .pytest_cache src/repro.egg-info docs/api
 	find . -name __pycache__ -type d -exec rm -rf {} +

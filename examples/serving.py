@@ -1,0 +1,112 @@
+"""Serving: batch a mixed request stream through the solve service.
+
+Feeds a mixed batch of solve requests — different families, round
+budgets and variants, with deliberate duplicates — through the
+``repro.service`` pipeline: admission queue, dedup batcher, parallel
+executor, result store. Duplicates are solved once and answered
+together; repeated recipes hit the instance/LP caches; the metrics
+summary at the end shows the whole story in numbers.
+
+Run:  python examples/serving.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.perf.cache import clear_caches
+from repro.service import (
+    InstanceRecipe,
+    ServiceClient,
+    ServiceConfig,
+    SolveRequest,
+    SolveService,
+)
+
+#: (request id, family, m, n, instance seed, k, variant). The stream
+#: mixes two families and two round budgets, and repeats two recipes
+#: verbatim — the repeats are what the batcher dedups.
+WORKLOAD = (
+    ("uni-k4-a", "uniform", 12, 36, 3, 4, "greedy"),
+    ("euc-k9-a", "euclidean", 12, 36, 5, 9, "greedy"),
+    ("uni-k4-b", "uniform", 12, 36, 3, 4, "greedy"),      # duplicate of uni-k4-a
+    ("uni-k9-a", "uniform", 12, 36, 3, 9, "greedy"),      # same instance, new k
+    ("euc-k9-b", "euclidean", 12, 36, 5, 9, "greedy"),    # duplicate of euc-k9-a
+    ("uni-k9-da", "uniform", 12, 36, 3, 9, "dual_ascent"),
+)
+
+
+def build_requests() -> list[SolveRequest]:
+    """The demo workload as wire-ready request objects."""
+    requests = []
+    for request_id, family, m, n, seed, k, variant in WORKLOAD:
+        recipe = InstanceRecipe(family=family, num_facilities=m, num_clients=n, seed=seed)
+        requests.append(
+            SolveRequest(
+                request_id=request_id,
+                recipe=recipe,
+                k=k,
+                variant=variant,
+                compute_lp=True,  # adds ratio_vs_lp; repeats hit the LP cache
+            )
+        )
+    return requests
+
+
+def main() -> None:
+    clear_caches()  # start cold so the cache numbers below are the demo's own
+    service = SolveService(ServiceConfig(max_batch_size=8))
+    client = ServiceClient(service)
+
+    print("mixed batch through the solve service")
+    print(f"submitting {len(WORKLOAD)} requests "
+          f"({len({w[1:] for w in WORKLOAD})} unique work keys)\n")
+
+    responses = client.solve_many(build_requests())
+
+    rows = []
+    for response in responses:
+        result = response.result or {}
+        rows.append(
+            (
+                response.request_id,
+                response.status,
+                "hit" if response.dedup else "miss",
+                response.batch_index,
+                f"{result.get('cost', float('nan')):.3f}",
+                f"{result.get('ratio_vs_lp', float('nan')):.3f}",
+                result.get("rounds", "-"),
+            )
+        )
+    print(
+        render_table(
+            ("request", "status", "dedup", "batch", "cost", "ratio_vs_lp", "rounds"),
+            rows,
+            title="responses (duplicates share their leader's bytes)",
+        )
+    )
+
+    metrics = service.metrics_summary()
+    print("\nservice metrics:")
+    for key in (
+        "responses_ok",
+        "batches",
+        "batch_size_mean",
+        "batch_unique_mean",
+        "dedup_hits",
+        "cache_hits_instance",
+        "cache_hits_lp",
+        "latency_p50_s",
+    ):
+        print(f"  {key:>20} = {metrics[key]:.3f}")
+
+    print(
+        "\nSix requests, four unique work keys: the two duplicates were "
+        "never solved — they were answered from their leader's slot "
+        "(dedup=hit), and the repeated recipes re-used the cached "
+        "instance and LP bound. Every response is byte-identical to a "
+        "direct solve_distributed call with the same parameters."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -68,6 +68,7 @@ def solve_k_median(
     base = _connection_only(instance)
 
     def solve_at(z: float) -> FacilityLocationSolution:
+        """JV solution at uniform facility price ``z``, costed unpriced."""
         priced = base.with_opening_costs([z] * m)
         solution = jain_vazirani_solve(priced)
         # Report costs in the unpriced world.
@@ -78,6 +79,7 @@ def solve_k_median(
     best: FacilityLocationSolution | None = None
 
     def consider(solution: FacilityLocationSolution) -> None:
+        """Keep ``solution`` as the incumbent if feasible and cheaper."""
         nonlocal best
         if solution.num_open > p:
             return

@@ -16,6 +16,8 @@ Everything the library does is reachable from the shell::
     repro experiment E3 --quick
     repro chaos --family uniform -m 6 -n 18 -k 9 --num-seeds 3 -o chaos.json
     repro report EXPERIMENTS.md --quick
+    cat requests.jsonl | repro serve --batch-size 16 --metrics
+    repro serve --socket /tmp/repro.sock --workers 4
 
 (Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.)
@@ -220,6 +222,54 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("output", nargs="?", default="EXPERIMENTS.md")
     report.add_argument("--quick", action="store_true")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the batched solve service (JSONL on stdin/stdout, or a "
+        "Unix socket with --socket); see docs/ARCHITECTURE.md",
+    )
+    serve.add_argument(
+        "--socket",
+        metavar="PATH",
+        help="bind a Unix domain socket at PATH instead of serving stdin",
+    )
+    serve.add_argument(
+        "--max-depth",
+        type=int,
+        default=256,
+        help="admission-queue capacity; offers beyond it are rejected "
+        "(default 256)",
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=32,
+        help="most live requests per executed batch (default 32)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes per batch (default 1; responses are "
+        "identical whatever the value)",
+    )
+    serve.add_argument(
+        "--ttl",
+        type=float,
+        default=300.0,
+        help="seconds a completed response stays fetchable (default 300)",
+    )
+    serve.add_argument(
+        "--max-results",
+        type=int,
+        default=1024,
+        help="result-store capacity (default 1024)",
+    )
+    serve.add_argument(
+        "--metrics",
+        action="store_true",
+        help="append one metrics-summary line at EOF (stdin mode only)",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -562,6 +612,26 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig, SolveService, serve_jsonl, serve_socket
+
+    service = SolveService(
+        config=ServiceConfig(
+            max_queue_depth=args.max_depth,
+            max_batch_size=args.batch_size,
+            workers=args.workers,
+            result_ttl_s=args.ttl if args.ttl > 0 else None,
+            max_results=args.max_results,
+        )
+    )
+    if args.socket:
+        print(f"serving on unix socket {args.socket}", file=sys.stderr)
+        serve_socket(service, args.socket)
+        return 0
+    serve_jsonl(service, sys.stdin, sys.stdout, emit_metrics=args.metrics)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import generate_report
 
@@ -580,6 +650,7 @@ _HANDLERS = {
     "experiment": _cmd_experiment,
     "chaos": _cmd_chaos,
     "report": _cmd_report,
+    "serve": _cmd_serve,
 }
 
 

@@ -152,6 +152,7 @@ def instance_from_orlib(text: str, name: str = "orlib") -> FacilityLocationInsta
     pos = 0
 
     def take() -> str:
+        """Consume and return the next whitespace token."""
         nonlocal pos
         if pos >= len(tokens):
             raise InvalidInstanceError("unexpected end of ORLIB text")

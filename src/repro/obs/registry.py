@@ -67,6 +67,7 @@ class _Instrument:
         self.description = description
 
     def snapshot(self) -> dict[str, Any]:
+        """JSON-serializable dump of every labeled series this instrument holds."""
         raise NotImplementedError
 
 
@@ -204,6 +205,37 @@ class Histogram(_Instrument):
         if series is None or series.count == 0:
             return 0.0
         return series.total / series.count
+
+    def quantile(self, q: float, **labels: Any) -> float:
+        """Estimate the ``q``-quantile (0 < q <= 1) of the labeled series.
+
+        Standard bucketed estimation (the Prometheus ``histogram_quantile``
+        scheme): find the bucket holding the target rank and interpolate
+        linearly inside it, clamping the answer to the observed
+        ``[min, max]`` so coarse buckets cannot report values outside the
+        data. Returns 0.0 for an empty series.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        series = self._series.get(_label_key(labels))
+        if series is None or series.count == 0:
+            return 0.0
+        rank = q * series.count
+        running = 0
+        for index, count in enumerate(series.bucket_counts):
+            running += count
+            if running >= rank:
+                if index >= len(self.buckets):
+                    # Overflow bucket: the max observed is the best bound.
+                    return series.maximum
+                upper = self.buckets[index]
+                lower = self.buckets[index - 1] if index > 0 else 0.0
+                fraction = (
+                    (rank - (running - count)) / count if count else 0.0
+                )
+                estimate = lower + (upper - lower) * fraction
+                return min(max(estimate, series.minimum), series.maximum)
+        return series.maximum
 
     def snapshot(self) -> dict[str, Any]:
         values = []

@@ -1,0 +1,78 @@
+"""Batched solve serving layer (``repro.service``).
+
+This package turns the repo's one-shot ``solve`` entry points into a
+throughput-oriented service front-end, the shape a deployment that
+"serves heavy traffic" needs:
+
+* :class:`~repro.service.request.SolveRequest` — one unit of client
+  work: an instance *recipe* (generator family + sizes + seed) or an
+  inline instance, the algorithm knobs (k, variant, seed, rounding) and
+  per-request options (LP ratio, event capture, timeout).
+* :class:`~repro.service.queue.AdmissionQueue` — bounded FIFO admission
+  with backpressure (full queue rejects instead of buffering without
+  limit) and per-request deadlines checked at drain time.
+* :class:`~repro.service.batcher.Batcher` — coalesces queued requests
+  into deterministic batches, collapses duplicate work units so each is
+  solved exactly once per batch, and fans the unique cells out through
+  :class:`~repro.perf.executor.SweepExecutor`; batched results are
+  byte-identical to direct :func:`~repro.core.algorithm.solve_distributed`
+  calls (the equivalence suite asserts it).
+* :class:`~repro.service.store.ResultStore` — completed responses
+  addressable by request id with TTL + capacity eviction.
+* :class:`~repro.service.service.SolveService` — the orchestrator wiring
+  the above together and publishing queue depth, batch size, dedup and
+  cache hits, latency quantiles, timeout and rejection counts into a
+  :class:`~repro.obs.registry.MetricsRegistry`.
+* :class:`~repro.service.client.ServiceClient` — the in-process helper
+  used by tests, examples and the ``repro serve`` CLI; plus the JSONL
+  wire codec and a Unix-socket client for the socket transport.
+
+See ``docs/ARCHITECTURE.md`` ("Serving layer") for the data flow and
+``examples/serving.py`` for a worked mixed-batch session.
+"""
+
+from repro.service.batcher import Batch, Batcher, WorkUnit
+from repro.service.client import (
+    ServiceClient,
+    SocketServiceClient,
+    decode_line,
+    encode_line,
+)
+from repro.service.queue import AdmissionQueue, AdmissionResult
+from repro.service.request import (
+    InstanceRecipe,
+    SolveRequest,
+    SolveResponse,
+)
+from repro.service.server import ServiceProtocol, serve_jsonl, serve_socket
+from repro.service.service import ServiceConfig, SolveService
+from repro.service.store import ResultStore
+from repro.service.worker import (
+    ServiceCell,
+    run_service_cell,
+    run_service_cell_guarded,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "AdmissionResult",
+    "Batch",
+    "Batcher",
+    "InstanceRecipe",
+    "ResultStore",
+    "ServiceCell",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceProtocol",
+    "SocketServiceClient",
+    "SolveRequest",
+    "SolveResponse",
+    "SolveService",
+    "WorkUnit",
+    "decode_line",
+    "encode_line",
+    "run_service_cell",
+    "run_service_cell_guarded",
+    "serve_jsonl",
+    "serve_socket",
+]

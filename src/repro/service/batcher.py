@@ -1,0 +1,123 @@
+"""Deterministic batch formation with duplicate-work collapse.
+
+The batcher's job is purely structural: given the drained queue slice,
+group requests by :meth:`~repro.service.request.SolveRequest.work_key`
+into :class:`WorkUnit`\\ s (first arrival wins the slot; later
+duplicates ride along as ``followers``), preserve arrival order among
+unique units, and execute the unique cells through a
+:class:`~repro.perf.executor.SweepExecutor`.
+
+Determinism falls out of two properties: unit order is arrival order
+(no hashing, no racing), and the executor's ordered merge returns
+results in cell order whatever the worker count. So a batch's responses
+are a pure function of its requests — the same batch replayed yields
+the same bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.exceptions import ReproError
+from repro.perf.executor import SweepExecutor
+from repro.service.queue import QueuedRequest
+from repro.service.worker import ServiceCell, run_service_cell_guarded
+
+__all__ = ["Batch", "Batcher", "WorkUnit"]
+
+
+@dataclass
+class WorkUnit:
+    """One unique work key and every queued request that maps onto it."""
+
+    leader: QueuedRequest
+    followers: list[QueuedRequest] = field(default_factory=list)
+
+    @property
+    def requests(self) -> list[QueuedRequest]:
+        """Leader first, then followers, in arrival order."""
+        return [self.leader, *self.followers]
+
+    def cell(self) -> ServiceCell:
+        """The executable form of this unit."""
+        request = self.leader.request
+        return ServiceCell(
+            recipe=request.recipe,
+            instance=request.instance,
+            k=request.k,
+            variant=request.variant,
+            seed=request.seed,
+            rounding=request.rounding,
+            c_round=request.c_round,
+            compute_lp=request.compute_lp,
+            capture_events=request.capture_events,
+        )
+
+
+@dataclass
+class Batch:
+    """One formed batch: unique units in arrival order, plus counts."""
+
+    units: list[WorkUnit]
+
+    @property
+    def num_requests(self) -> int:
+        """Total requests covered, duplicates included."""
+        return sum(len(unit.requests) for unit in self.units)
+
+    @property
+    def num_unique(self) -> int:
+        """Number of distinct work units (actual solves)."""
+        return len(self.units)
+
+    @property
+    def dedup_hits(self) -> int:
+        """Requests served by another request's solve."""
+        return self.num_requests - self.num_unique
+
+
+class Batcher:
+    """Forms batches and runs their unique cells through an executor."""
+
+    def __init__(self, executor: SweepExecutor | None = None) -> None:
+        self.executor = executor if executor is not None else SweepExecutor()
+
+    @staticmethod
+    def form(queued: Sequence[QueuedRequest]) -> Batch:
+        """Group a drained queue slice into a deterministic batch.
+
+        Requests with equal work keys collapse onto one
+        :class:`WorkUnit`; unit order is the arrival order of each
+        key's first request.
+        """
+        units: dict[tuple[Any, ...], WorkUnit] = {}
+        order: list[tuple[Any, ...]] = []
+        for item in queued:
+            key = item.request.work_key()
+            unit = units.get(key)
+            if unit is None:
+                units[key] = WorkUnit(leader=item)
+                order.append(key)
+            else:
+                unit.followers.append(item)
+        return Batch(units=[units[key] for key in order])
+
+    def execute(self, batch: Batch) -> list[dict[str, Any]]:
+        """Solve the batch's unique cells, one result dict per unit.
+
+        Results come back in unit (arrival) order regardless of the
+        executor's worker count — see
+        :meth:`repro.perf.executor.SweepExecutor.map_cells`. A failing
+        cell yields an ``{"error": ...}`` dict in its slot instead of
+        aborting the batch.
+        """
+        if not batch.units:
+            return []
+        cells = [unit.cell() for unit in batch.units]
+        for cell in cells:
+            # Inline instances submitted in-process may be arbitrary
+            # objects; recipes always ship. Validate before the pool does.
+            if cell.recipe is None and cell.instance is None:
+                raise ReproError("work unit lost its instance source")
+        return self.executor.map_cells(run_service_cell_guarded, cells)

@@ -1,0 +1,187 @@
+"""Clients of the solve service, plus the JSONL wire codec.
+
+Two clients share one mental model — submit requests, flush, collect
+responses by request id:
+
+* :class:`ServiceClient` wraps an in-process
+  :class:`~repro.service.service.SolveService`; tests, examples and the
+  stdin transport use it.
+* :class:`SocketServiceClient` speaks the same line protocol over a
+  Unix domain socket to a ``repro serve --socket PATH`` process; every
+  sent line yields at least one reply line, so the client stays a
+  simple synchronous request/response loop (see
+  :mod:`repro.service.server` for the protocol table).
+
+The codec pair :func:`encode_line` / :func:`decode_line` defines the
+wire format both transports use: one compact, key-sorted JSON object per
+line. Key sorting makes encoded bytes deterministic, which the
+equivalence tests rely on when diffing served against direct results.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Iterable, Mapping
+
+from repro.exceptions import ReproError
+from repro.service.request import SolveRequest, SolveResponse
+from repro.service.service import SolveService
+
+__all__ = [
+    "ServiceClient",
+    "SocketServiceClient",
+    "decode_line",
+    "encode_line",
+]
+
+
+def encode_line(payload: Mapping[str, Any]) -> str:
+    """One wire line: compact key-sorted JSON plus the newline."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def decode_line(line: str) -> dict[str, Any]:
+    """Inverse of :func:`encode_line`; raises ``ReproError`` on junk."""
+    stripped = line.strip()
+    if not stripped:
+        raise ReproError("empty wire line")
+    try:
+        payload = json.loads(stripped)
+    except json.JSONDecodeError as error:
+        raise ReproError(f"undecodable wire line: {error}") from error
+    if not isinstance(payload, dict):
+        raise ReproError(
+            f"wire line must decode to an object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+class ServiceClient:
+    """In-process convenience wrapper around a :class:`SolveService`."""
+
+    def __init__(self, service: SolveService | None = None) -> None:
+        self.service = service if service is not None else SolveService()
+
+    def submit(self, request: SolveRequest) -> bool:
+        """Offer one request; True when admitted."""
+        return self.service.submit(request).accepted
+
+    def flush(self) -> list[SolveResponse]:
+        """Process every queued request; responses in arrival order."""
+        return self.service.run_until_drained()
+
+    def fetch(self, request_id: str) -> SolveResponse | None:
+        """Retained response for ``request_id``, or ``None``."""
+        return self.service.fetch(request_id)
+
+    def metrics(self) -> dict[str, Any]:
+        """The service's flat metrics summary."""
+        return self.service.metrics_summary()
+
+    def solve(self, request: SolveRequest) -> SolveResponse:
+        """Submit one request and drive it to completion."""
+        return self.solve_many([request])[0]
+
+    def solve_many(self, requests: Iterable[SolveRequest]) -> list[SolveResponse]:
+        """Submit a batch and drive it to completion.
+
+        Responses come back in submission order; rejected requests are
+        answered in place (``status="rejected"``) rather than raising,
+        so one overloaded moment doesn't discard the whole batch.
+        """
+        submitted = list(requests)
+        for request in submitted:
+            self.service.submit(request)
+        self.service.run_until_drained()
+        out: list[SolveResponse] = []
+        for request in submitted:
+            response = self.service.fetch(request.request_id)
+            if response is None:  # store evicted it already: tiny TTLs only
+                response = SolveResponse(
+                    request_id=request.request_id,
+                    status="error",
+                    error="response evicted before fetch",
+                )
+            out.append(response)
+        return out
+
+
+class SocketServiceClient:
+    """Synchronous client for the ``repro serve --socket`` transport.
+
+    Usable as a context manager; :meth:`close` just drops the
+    connection (the server keeps running), while :meth:`shutdown` asks
+    the server process to exit.
+    """
+
+    def __init__(self, path: str, timeout_s: float = 30.0) -> None:
+        self.path = str(path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout_s)
+        self._sock.connect(self.path)
+        self._file = self._sock.makefile("rw", encoding="utf-8", newline="\n")
+
+    def __enter__(self) -> "SocketServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Drop the connection (the server keeps serving others)."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def _send(self, payload: Mapping[str, Any]) -> None:
+        self._file.write(encode_line(payload))
+        self._file.flush()
+
+    def _recv(self) -> dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            raise ReproError("service closed the connection")
+        return decode_line(line)
+
+    def submit(self, request: SolveRequest) -> bool:
+        """Send one solve request; True when the server admitted it."""
+        self._send(request.to_wire())
+        ack = self._recv()
+        return bool(ack.get("accepted", False))
+
+    def flush(self) -> list[SolveResponse]:
+        """Ask the server to process everything queued.
+
+        The server answers with one response line per completed request
+        followed by a ``flush_done`` line carrying the count, so the
+        client knows exactly how many lines to read.
+        """
+        self._send({"type": "flush"})
+        responses: list[SolveResponse] = []
+        while True:
+            payload = self._recv()
+            if payload.get("type") == "flush_done":
+                break
+            responses.append(SolveResponse.from_wire(payload))
+        return responses
+
+    def fetch(self, request_id: str) -> SolveResponse | None:
+        """Re-fetch a retained response by id (``None`` when unknown)."""
+        self._send({"type": "fetch", "request_id": request_id})
+        payload = self._recv()
+        if payload.get("type") == "error":
+            return None
+        return SolveResponse.from_wire(payload)
+
+    def metrics(self) -> dict[str, Any]:
+        """The server's flat metrics summary."""
+        self._send({"type": "metrics"})
+        payload = self._recv()
+        return dict(payload.get("metrics", {}))
+
+    def shutdown(self) -> None:
+        """Ask the server process to stop accepting and exit."""
+        self._send({"type": "shutdown"})
+        self._recv()  # the "bye" line

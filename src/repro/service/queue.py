@@ -1,0 +1,122 @@
+"""Bounded admission queue with backpressure and deadline accounting.
+
+The queue is the service's pressure valve: when producers outrun the
+solver, :meth:`AdmissionQueue.offer` starts *rejecting* instead of
+letting the backlog (and its memory) grow without bound — the classic
+load-shedding trade that keeps latency for admitted work predictable.
+Per-request deadlines are stamped at admission and checked at drain
+time, so a request that waited past its ``timeout_s`` is surfaced as a
+timeout rather than solved late.
+
+Time is injected (any monotonic ``clock`` callable) so tests drive the
+deadline machinery deterministically; production uses
+``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import ReproError
+from repro.service.request import SolveRequest
+
+__all__ = ["AdmissionQueue", "AdmissionResult", "QueuedRequest"]
+
+
+@dataclass(frozen=True)
+class AdmissionResult:
+    """Outcome of one :meth:`AdmissionQueue.offer` call."""
+
+    accepted: bool
+    reason: str = ""  # "queue_full" when rejected
+
+
+@dataclass(frozen=True)
+class QueuedRequest:
+    """A request plus its admission bookkeeping (arrival, seq, deadline).
+
+    ``seq`` is the queue's admission counter — a total order over every
+    admitted request that, unlike ``arrival``, stays strict even under a
+    frozen test clock; batch responses are ordered by it.
+    """
+
+    request: SolveRequest
+    arrival: float
+    seq: int
+    deadline: float | None  # absolute clock value; None = no timeout
+
+    def expired(self, now: float) -> bool:
+        """True once ``now`` has passed the request's deadline."""
+        return self.deadline is not None and now > self.deadline
+
+
+class AdmissionQueue:
+    """Bounded FIFO of pending requests.
+
+    Parameters
+    ----------
+    max_depth:
+        Capacity; an offer beyond it is rejected (backpressure).
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 256,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_depth < 1:
+            raise ReproError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = int(max_depth)
+        self._clock = clock
+        self._pending: deque[QueuedRequest] = deque()
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def depth(self) -> int:
+        """Current number of queued requests."""
+        return len(self._pending)
+
+    def offer(self, request: SolveRequest) -> AdmissionResult:
+        """Admit ``request`` or reject it when the queue is full."""
+        if len(self._pending) >= self.max_depth:
+            return AdmissionResult(accepted=False, reason="queue_full")
+        now = self._clock()
+        deadline = (
+            now + request.timeout_s if request.timeout_s is not None else None
+        )
+        self._pending.append(
+            QueuedRequest(
+                request=request, arrival=now, seq=self._seq, deadline=deadline
+            )
+        )
+        self._seq += 1
+        return AdmissionResult(accepted=True)
+
+    def drain(
+        self, max_items: int | None = None
+    ) -> tuple[list[QueuedRequest], list[QueuedRequest]]:
+        """Pop up to ``max_items`` requests in FIFO order.
+
+        Returns ``(live, expired)``: requests whose deadline already
+        passed are separated out so the caller can answer them with a
+        timeout instead of spending solver time on them. Expired
+        requests do **not** count against ``max_items`` — draining never
+        lets dead work crowd out live work.
+        """
+        now = self._clock()
+        live: list[QueuedRequest] = []
+        expired: list[QueuedRequest] = []
+        while self._pending:
+            if max_items is not None and len(live) >= max_items:
+                break
+            item = self._pending.popleft()
+            (expired if item.expired(now) else live).append(item)
+        return live, expired

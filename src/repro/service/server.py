@@ -1,0 +1,195 @@
+"""Transports of the solve service: stdin/JSONL and a Unix socket.
+
+Both transports speak the same line protocol (the codec lives in
+:mod:`repro.service.client`): each input line is one JSON object, and
+every line produces at least one reply line, so clients are plain
+synchronous request/response loops.
+
+=================== ==================================================
+input line          reply line(s)
+=================== ==================================================
+``{"type":"solve"}`` one ``ack`` line (``accepted`` true/false)
+``{"type":"flush"}`` one ``response`` line per completed request, in
+                    arrival order, then ``flush_done`` with the count
+``{"type":"fetch"}`` the retained ``response`` line, or an ``error``
+``{"type":"metrics"}`` one ``metrics`` line (the flat summary dict)
+``{"type":"shutdown"}`` one ``bye`` line; the server then stops
+=================== ==================================================
+
+``repro serve`` (see :mod:`repro.cli`) reads stdin and writes stdout by
+default; with ``--socket PATH`` it binds a Unix domain socket instead
+and serves connections sequentially. Batching still happens inside the
+shared :class:`~repro.service.service.SolveService` — a ``flush`` after
+many ``solve`` lines executes them as deduplicated batches, which is the
+entire point of the front-end. On stdin EOF any still-queued work is
+flushed implicitly so piped workloads cannot lose requests.
+"""
+
+from __future__ import annotations
+
+import socket
+from pathlib import Path
+from typing import IO, Any, Iterator, Mapping
+
+from repro.exceptions import ReproError
+from repro.service.client import decode_line, encode_line
+from repro.service.request import SolveRequest
+from repro.service.service import SolveService
+
+__all__ = ["ServiceProtocol", "serve_jsonl", "serve_socket"]
+
+
+class ServiceProtocol:
+    """Maps one decoded input payload to its reply payloads.
+
+    Transport-independent: the stdin loop and the socket server both
+    feed decoded lines through :meth:`handle` and write back whatever it
+    yields. ``shutting_down`` flips once a ``shutdown`` payload is seen;
+    the owning transport checks it after each line.
+    """
+
+    def __init__(self, service: SolveService) -> None:
+        self.service = service
+        self.shutting_down = False
+
+    def handle(self, payload: Mapping[str, Any]) -> Iterator[dict[str, Any]]:
+        """Yield the reply payloads for one input payload."""
+        kind = payload.get("type", "solve")
+        if kind == "solve":
+            yield self._handle_solve(payload)
+        elif kind == "flush":
+            responses = self.service.run_until_drained()
+            for response in responses:
+                yield response.to_wire()
+            yield {"type": "flush_done", "count": len(responses)}
+        elif kind == "fetch":
+            request_id = str(payload.get("request_id", ""))
+            response = self.service.fetch(request_id)
+            if response is None:
+                yield {
+                    "type": "error",
+                    "error": f"no retained response for {request_id!r}",
+                }
+            else:
+                yield response.to_wire()
+        elif kind == "metrics":
+            yield {"type": "metrics", "metrics": self.service.metrics_summary()}
+        elif kind == "shutdown":
+            self.shutting_down = True
+            yield {"type": "bye"}
+        else:
+            yield {"type": "error", "error": f"unknown line type {kind!r}"}
+
+    def _handle_solve(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        try:
+            request = SolveRequest.from_wire(payload)
+        except (ReproError, KeyError, TypeError, ValueError) as error:
+            return {
+                "type": "ack",
+                "request_id": str(payload.get("request_id", "")),
+                "accepted": False,
+                "reason": f"malformed request: {error}",
+            }
+        outcome = self.service.submit(request)
+        ack: dict[str, Any] = {
+            "type": "ack",
+            "request_id": request.request_id,
+            "accepted": outcome.accepted,
+        }
+        if not outcome.accepted:
+            ack["reason"] = outcome.reason
+        return ack
+
+
+def serve_jsonl(
+    service: SolveService,
+    stream_in: IO[str],
+    stream_out: IO[str],
+    emit_metrics: bool = False,
+) -> int:
+    """Serve the line protocol over text streams until EOF or shutdown.
+
+    On EOF, queued work is flushed implicitly (response lines plus the
+    ``flush_done`` marker) so ``cat requests.jsonl | repro serve`` always
+    answers everything it admitted; ``emit_metrics`` appends one final
+    ``metrics`` line. Returns the number of lines served.
+    """
+    protocol = ServiceProtocol(service)
+    served = 0
+    for line in stream_in:
+        if not line.strip():
+            continue
+        try:
+            payload = decode_line(line)
+        except ReproError as error:
+            replies: Iterator[dict[str, Any]] = iter(
+                [{"type": "error", "error": str(error)}]
+            )
+        else:
+            replies = protocol.handle(payload)
+        for reply in replies:
+            stream_out.write(encode_line(reply))
+        stream_out.flush()
+        served += 1
+        if protocol.shutting_down:
+            break
+    if not protocol.shutting_down and service.pending:
+        for reply in protocol.handle({"type": "flush"}):
+            stream_out.write(encode_line(reply))
+    if emit_metrics:
+        for reply in protocol.handle({"type": "metrics"}):
+            stream_out.write(encode_line(reply))
+    stream_out.flush()
+    return served
+
+
+def serve_socket(
+    service: SolveService,
+    path: str | Path,
+    ready: Any | None = None,
+) -> int:
+    """Serve the line protocol on a Unix domain socket at ``path``.
+
+    Connections are handled sequentially (the service itself is
+    synchronous); state — queue, store, metrics — persists across
+    connections, so a client may submit, disconnect, and re-fetch later
+    within the result TTL. A ``shutdown`` line stops the server after
+    its ``bye`` reply. ``ready``, when given, is an object with a
+    ``set()`` method (e.g. ``threading.Event``) signalled once the
+    socket is listening — the test hook that avoids connect races.
+    Returns the number of connections served.
+    """
+    socket_path = Path(path)
+    if socket_path.exists():
+        socket_path.unlink()
+    protocol = ServiceProtocol(service)
+    connections = 0
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as server:
+        server.bind(str(socket_path))
+        server.listen(1)
+        if ready is not None:
+            ready.set()
+        while not protocol.shutting_down:
+            conn, _ = server.accept()
+            connections += 1
+            with conn, conn.makefile(
+                "rw", encoding="utf-8", newline="\n"
+            ) as stream:
+                for line in stream:
+                    if not line.strip():
+                        continue
+                    try:
+                        payload = decode_line(line)
+                    except ReproError as error:
+                        stream.write(
+                            encode_line({"type": "error", "error": str(error)})
+                        )
+                        stream.flush()
+                        continue
+                    for reply in protocol.handle(payload):
+                        stream.write(encode_line(reply))
+                    stream.flush()
+                    if protocol.shutting_down:
+                        break
+    socket_path.unlink(missing_ok=True)
+    return connections

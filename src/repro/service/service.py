@@ -1,0 +1,349 @@
+"""The service orchestrator: queue -> batcher -> executor -> store.
+
+:class:`SolveService` is the synchronous heart of the serving layer.
+Transports (stdin/JSONL, the Unix socket — see
+:mod:`repro.service.server`) and the in-process
+:class:`~repro.service.client.ServiceClient` all drive the same three
+calls: :meth:`SolveService.submit` admits work under backpressure,
+:meth:`SolveService.process_pending` forms and executes one
+deterministic batch, and :meth:`SolveService.fetch` retrieves retained
+responses by request id.
+
+Everything the service does is measured. Counters, gauges and
+histograms land in a :class:`~repro.obs.registry.MetricsRegistry` under
+the ``service.*`` namespace, and :meth:`SolveService.metrics_summary`
+condenses them into the flat dict the ``repro serve --metrics`` line and
+``examples/serving.py`` print:
+
+========================== ============================================
+instrument                 meaning
+========================== ============================================
+``service.requests``       admissions, labeled ``status=accepted|rejected``
+``service.responses``      completions, labeled ``status=ok|timeout|error``
+``service.batches``        batches executed
+``service.batch.size``     histogram of requests per batch
+``service.batch.unique``   histogram of *unique* work units per batch
+``service.dedup.hits``     requests served by another request's solve
+``service.cache.hits``     memo-cache hits, labeled ``cache=instance|lp``
+``service.queue.depth``    current admission-queue depth (gauge)
+``service.store.size``     current result-store size (gauge)
+``service.latency.seconds`` histogram of admission->completion latency;
+                           p50/p95 come from
+                           :meth:`~repro.obs.registry.Histogram.quantile`
+``service.timeouts``       requests whose deadline passed while queued
+========================== ============================================
+
+Cache-hit deltas are measured around each batch via
+:func:`repro.perf.cache.cache_stats`; with ``workers > 1`` the hits
+happen inside pool processes and are invisible here, so the counters are
+exact for the default in-process executor and a lower bound otherwise.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.exceptions import ReproError
+from repro.obs.registry import MetricsRegistry
+from repro.perf.cache import cache_stats
+from repro.perf.executor import SweepExecutor
+from repro.service.batcher import Batcher
+from repro.service.queue import AdmissionQueue, AdmissionResult, QueuedRequest
+from repro.service.request import SolveRequest, SolveResponse
+from repro.service.store import ResultStore
+
+__all__ = ["ServiceConfig", "SolveService"]
+
+#: Histogram buckets for batch-size style counts (1..max admission depth).
+_COUNT_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+#: Histogram buckets for queue-wait / end-to-end latency, in seconds.
+_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0,
+)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`SolveService`.
+
+    Parameters
+    ----------
+    max_queue_depth:
+        Admission-queue capacity; offers beyond it are rejected.
+    max_batch_size:
+        Most *live* requests drained into one batch (expired requests
+        never count against it).
+    workers:
+        Process count handed to the batch executor; 1 (the default)
+        solves in-process.
+    result_ttl_s:
+        Seconds a completed response stays fetchable (``None`` = keep
+        until capacity eviction).
+    max_results:
+        Result-store capacity.
+    """
+
+    max_queue_depth: int = 256
+    max_batch_size: int = 32
+    workers: int = 1
+    result_ttl_s: float | None = 300.0
+    max_results: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ReproError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+
+
+class SolveService:
+    """Batched solve service: admission, dedup, execution, retention.
+
+    Parameters
+    ----------
+    config:
+        Service tunables; defaults to :class:`ServiceConfig`'s defaults.
+    registry:
+        Metrics registry to publish into; a private one is created when
+        omitted (exposed as :attr:`registry` either way).
+    executor:
+        Batch executor override; defaults to
+        ``SweepExecutor(workers=config.workers)``. Injectable for tests.
+    clock:
+        Monotonic time source shared by the queue, the store and the
+        latency accounting; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        registry: MetricsRegistry | None = None,
+        executor: SweepExecutor | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._clock = clock
+        self.queue = AdmissionQueue(
+            max_depth=self.config.max_queue_depth, clock=clock
+        )
+        self.batcher = Batcher(
+            executor=executor
+            if executor is not None
+            else SweepExecutor(workers=self.config.workers)
+        )
+        self.store = ResultStore(
+            ttl_s=self.config.result_ttl_s,
+            max_entries=self.config.max_results,
+            clock=clock,
+        )
+        reg = self.registry
+        self._requests = reg.counter(
+            "service.requests", "admissions by status (accepted/rejected)"
+        )
+        self._responses = reg.counter(
+            "service.responses", "completions by status (ok/timeout/error)"
+        )
+        self._batches = reg.counter("service.batches", "batches executed")
+        self._batch_size = reg.histogram(
+            "service.batch.size",
+            "requests per executed batch (duplicates included)",
+            buckets=_COUNT_BUCKETS,
+        )
+        self._batch_unique = reg.histogram(
+            "service.batch.unique",
+            "unique work units per executed batch",
+            buckets=_COUNT_BUCKETS,
+        )
+        self._dedup_hits = reg.counter(
+            "service.dedup.hits",
+            "requests served by another request's solve in the same batch",
+        )
+        self._cache_hits = reg.counter(
+            "service.cache.hits",
+            "instance/LP memo-cache hits observed during batch execution",
+        )
+        self._queue_depth = reg.gauge(
+            "service.queue.depth", "current admission-queue depth"
+        )
+        self._store_size = reg.gauge(
+            "service.store.size", "current result-store size"
+        )
+        self._latency = reg.histogram(
+            "service.latency.seconds",
+            "admission-to-completion latency of solved requests",
+            buckets=_LATENCY_BUCKETS,
+        )
+        self._timeouts = reg.counter(
+            "service.timeouts", "requests expired while queued"
+        )
+        self._queue_depth.set(0)
+        self._store_size.set(0)
+
+    # ------------------------------------------------------------------
+    # Admission
+
+    def submit(self, request: SolveRequest) -> AdmissionResult:
+        """Admit ``request`` (or reject it under backpressure).
+
+        A rejected request is *also* answered: a ``status="rejected"``
+        response is retained in the store so ``fetch`` tells the client
+        what happened instead of silently knowing nothing.
+        """
+        outcome = self.queue.offer(request)
+        if outcome.accepted:
+            self._requests.inc(status="accepted")
+        else:
+            self._requests.inc(status="rejected")
+            self._finish(
+                SolveResponse(
+                    request_id=request.request_id,
+                    status="rejected",
+                    error=outcome.reason,
+                )
+            )
+        self._queue_depth.set(self.queue.depth)
+        return outcome
+
+    @property
+    def pending(self) -> int:
+        """Requests currently queued (not yet batched)."""
+        return self.queue.depth
+
+    # ------------------------------------------------------------------
+    # Execution
+
+    def process_pending(self) -> list[SolveResponse]:
+        """Drain one batch, execute it, and answer every drained request.
+
+        Returns responses in the drained requests' arrival order
+        (timeouts included, marked ``status="timeout"``). A single
+        failing work unit answers only its own requests with
+        ``status="error"`` — the rest of the batch is unaffected. The
+        returned list is also what a replay of the same submissions
+        would produce: batch formation, execution and response assembly
+        are all deterministic.
+        """
+        live, expired = self.queue.drain(max_items=self.config.max_batch_size)
+        self._queue_depth.set(self.queue.depth)
+        responses: dict[int, SolveResponse] = {}
+        for item in expired:
+            self._timeouts.inc()
+            responses[item.seq] = SolveResponse(
+                request_id=item.request.request_id,
+                status="timeout",
+                error=f"deadline passed after {item.request.timeout_s}s",
+                wait_s=self._wait(item),
+            )
+        if live:
+            batch = self.batcher.form(live)
+            before = cache_stats()
+            outcomes = self.batcher.execute(batch)
+            after = cache_stats()
+            for cache in ("instance", "lp"):
+                delta = after[f"{cache}_hits"] - before[f"{cache}_hits"]
+                if delta > 0:
+                    self._cache_hits.inc(delta, cache=cache)
+            self._batches.inc()
+            self._batch_size.observe(batch.num_requests)
+            self._batch_unique.observe(batch.num_unique)
+            self._dedup_hits.inc(batch.dedup_hits)
+            batch_index = int(self._batches.total) - 1
+            for unit, outcome in zip(batch.units, outcomes):
+                for position, item in enumerate(unit.requests):
+                    responses[item.seq] = self._respond(
+                        item, outcome, dedup=position > 0, batch=batch_index
+                    )
+        ordered = [
+            responses[item.seq]
+            for item in sorted(live + expired, key=lambda i: i.seq)
+        ]
+        for response in ordered:
+            self._finish(response)
+        return ordered
+
+    def run_until_drained(self) -> list[SolveResponse]:
+        """Process batches until the queue is empty; all responses."""
+        out: list[SolveResponse] = []
+        while self.queue.depth:
+            out.extend(self.process_pending())
+        return out
+
+    # ------------------------------------------------------------------
+    # Retrieval and reporting
+
+    def fetch(self, request_id: str) -> SolveResponse | None:
+        """Retained response for ``request_id``, or ``None``."""
+        response = self.store.get(request_id)
+        self._store_size.set(len(self.store))
+        return response
+
+    def metrics_summary(self) -> dict[str, Any]:
+        """Flat scalar view of the service instruments.
+
+        The dict is plain JSON: totals for every counter (per-status
+        splits included), current gauge values, and count/mean/p50/p95
+        for the latency histogram — the line ``repro serve --metrics``
+        emits and the serving example prints.
+        """
+        return {
+            "requests_accepted": self._requests.value(status="accepted"),
+            "requests_rejected": self._requests.value(status="rejected"),
+            "responses_ok": self._responses.value(status="ok"),
+            "responses_error": self._responses.value(status="error"),
+            "timeouts": self._timeouts.total,
+            "batches": self._batches.total,
+            "batch_size_mean": self._batch_size.mean(),
+            "batch_unique_mean": self._batch_unique.mean(),
+            "dedup_hits": self._dedup_hits.total,
+            "cache_hits_instance": self._cache_hits.value(cache="instance"),
+            "cache_hits_lp": self._cache_hits.value(cache="lp"),
+            "queue_depth": self.queue.depth,
+            "store_size": len(self.store),
+            "latency_count": self._latency.count(),
+            "latency_mean_s": self._latency.mean(),
+            "latency_p50_s": self._latency.quantile(0.5),
+            "latency_p95_s": self._latency.quantile(0.95),
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+
+    def _wait(self, item: QueuedRequest) -> float:
+        return max(self._clock() - item.arrival, 0.0)
+
+    def _respond(
+        self,
+        item: QueuedRequest,
+        outcome: dict[str, Any],
+        dedup: bool,
+        batch: int,
+    ) -> SolveResponse:
+        if "error" in outcome:
+            return SolveResponse(
+                request_id=item.request.request_id,
+                status="error",
+                error=str(outcome["error"]),
+                dedup=dedup,
+                batch_index=batch,
+                wait_s=self._wait(item),
+            )
+        return SolveResponse(
+            request_id=item.request.request_id,
+            status="ok",
+            result=outcome["result"],
+            manifest=outcome["manifest"],
+            dedup=dedup,
+            batch_index=batch,
+            wait_s=self._wait(item),
+        )
+
+    def _finish(self, response: SolveResponse) -> None:
+        self._responses.inc(status=response.status)
+        if response.status == "ok":
+            self._latency.observe(response.wait_s)
+        self.store.put(response)
+        self._store_size.set(len(self.store))

@@ -1,0 +1,104 @@
+"""Completed-result retention with TTL and capacity eviction.
+
+The :class:`ResultStore` is the service's answer to "submit now, fetch
+later": every finished :class:`~repro.service.request.SolveResponse` is
+kept addressable by request id until either its TTL lapses or the store
+hits capacity (oldest completion evicted first). Lookups are
+non-destructive — a client may fetch the same result repeatedly inside
+the window, which is what lets the ``repro serve`` socket transport
+answer re-fetches without re-solving.
+
+Like the queue, the store takes an injectable monotonic clock so tests
+can step time explicitly.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import ReproError
+from repro.service.request import SolveResponse
+
+__all__ = ["ResultStore", "StoredResult"]
+
+
+@dataclass(frozen=True)
+class StoredResult:
+    """One retained response plus its expiry bookkeeping."""
+
+    response: SolveResponse
+    stored_at: float
+    expires_at: float | None  # None = no TTL
+
+    def expired(self, now: float) -> bool:
+        """True once ``now`` has passed the entry's TTL."""
+        return self.expires_at is not None and now > self.expires_at
+
+
+class ResultStore:
+    """Bounded, TTL-evicting map from request id to response.
+
+    Parameters
+    ----------
+    ttl_s:
+        Seconds a result stays fetchable after completion; ``None``
+        disables time-based eviction.
+    max_entries:
+        Capacity; storing beyond it evicts the oldest completion.
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        ttl_s: float | None = 300.0,
+        max_entries: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if ttl_s is not None and ttl_s <= 0:
+            raise ReproError(f"ttl_s must be positive, got {ttl_s}")
+        if max_entries < 1:
+            raise ReproError(f"max_entries must be >= 1, got {max_entries}")
+        self.ttl_s = ttl_s
+        self.max_entries = int(max_entries)
+        self._clock = clock
+        self._entries: OrderedDict[str, StoredResult] = OrderedDict()
+        self.evicted_ttl = 0
+        self.evicted_capacity = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(self, response: SolveResponse) -> None:
+        """Retain ``response``; re-putting an id refreshes its TTL."""
+        now = self._clock()
+        expires = now + self.ttl_s if self.ttl_s is not None else None
+        self._entries.pop(response.request_id, None)
+        self._entries[response.request_id] = StoredResult(
+            response=response, stored_at=now, expires_at=expires
+        )
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evicted_capacity += 1
+
+    def get(self, request_id: str) -> SolveResponse | None:
+        """Fetch a retained response, or ``None`` if unknown/expired."""
+        self.sweep()
+        entry = self._entries.get(request_id)
+        return entry.response if entry is not None else None
+
+    def sweep(self) -> int:
+        """Drop every expired entry; returns how many were evicted."""
+        now = self._clock()
+        dead = [
+            request_id
+            for request_id, entry in self._entries.items()
+            if entry.expired(now)
+        ]
+        for request_id in dead:
+            del self._entries[request_id]
+        self.evicted_ttl += len(dead)
+        return len(dead)

@@ -1,0 +1,132 @@
+"""The service's unit of solver work, shippable to pool workers.
+
+A :class:`ServiceCell` is the executable form of one *unique* work unit
+(one :meth:`~repro.service.request.SolveRequest.work_key`): the batcher
+collapses duplicate requests onto one cell, and
+:func:`run_service_cell` — a module-level function, so
+:class:`~repro.perf.executor.SweepExecutor` can ship it to spawned
+interpreters — performs the actual solve.
+
+The correctness contract lives here: the cell calls the same
+:func:`~repro.core.algorithm.solve_distributed` path with the same
+arguments as the ``repro solve`` CLI and builds its manifest through the
+same :meth:`~repro.obs.manifest.RunRecord.from_run` constructor, so a
+batched answer is byte-identical (wall-clock fields aside) to a direct
+one. Instances and LP bounds come from :mod:`repro.perf.cache`, which is
+how a batch full of near-duplicate requests pays for its shared setup
+once per process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.algorithm import solve_distributed
+from repro.core.dual_ascent_nodes import RoundingPolicy
+from repro.fl.instance import FacilityLocationInstance
+from repro.obs.manifest import RunRecord
+from repro.obs.sinks import RingBufferTrace
+from repro.perf.cache import cached_instance, cached_lp_value
+from repro.service.request import InstanceRecipe
+
+__all__ = ["ServiceCell", "run_service_cell", "run_service_cell_guarded"]
+
+
+@dataclass(frozen=True)
+class ServiceCell:
+    """One unique, picklable unit of solver work.
+
+    Either ``recipe`` or ``instance`` is set (never both); the remaining
+    fields mirror the request's algorithm knobs. Frozen + plain data, so
+    cells pickle cheaply and pass :class:`~repro.perf.executor.
+    SweepExecutor`'s spawn-safety checks.
+    """
+
+    recipe: InstanceRecipe | None
+    instance: FacilityLocationInstance | None
+    k: int
+    variant: str
+    seed: int
+    rounding: str
+    c_round: float
+    compute_lp: bool
+    capture_events: bool
+
+
+def run_service_cell(cell: ServiceCell) -> dict[str, Any]:
+    """Solve one cell; return a plain-JSON ``{"result", "manifest"}`` dict.
+
+    The returned ``manifest`` is exactly what ``repro solve --trace``
+    writes for the same configuration (same parameters block, same
+    extras), and ``result`` is the compact answer clients consume (cost,
+    open facilities, rounds, message totals, optional LP ratio and
+    per-kind event counts).
+    """
+    if cell.recipe is not None:
+        instance = cached_instance(*cell.recipe.key())
+    else:
+        assert cell.instance is not None
+        instance = cell.instance
+    lp_value: float | None = None
+    if cell.compute_lp:
+        lp_value = cached_lp_value(instance)
+    trace = RingBufferTrace() if cell.capture_events else None
+    result = solve_distributed(
+        instance,
+        k=cell.k,
+        variant=cell.variant,
+        seed=cell.seed,
+        rounding=RoundingPolicy(mode=cell.rounding, c_round=cell.c_round),
+        trace=trace,
+    )
+    extras: dict[str, Any] = {}
+    if lp_value is not None:
+        extras["ratio_vs_lp"] = result.cost / max(lp_value, 1e-12)
+    manifest = RunRecord.from_run(
+        result,
+        seed=cell.seed,
+        parameters={
+            "k": cell.k,
+            "variant": cell.variant,
+            "rounding": cell.rounding,
+            "c_round": cell.c_round,
+        },
+        wall_seconds=result.wall_seconds,
+        extras=extras,
+    )
+    payload: dict[str, Any] = {
+        "instance": instance.name,
+        "k": cell.k,
+        "variant": cell.variant,
+        "cost": result.cost,
+        "open_facilities": sorted(result.open_facilities),
+        "rounds": result.metrics.rounds,
+        "total_messages": result.metrics.total_messages,
+        "max_message_bits": result.metrics.max_message_bits,
+    }
+    if lp_value is not None:
+        payload["lp_value"] = lp_value
+        payload["ratio_vs_lp"] = extras["ratio_vs_lp"]
+    if trace is not None:
+        counts: dict[str, int] = {}
+        for event in trace:
+            counts[event.event] = counts.get(event.event, 0) + 1
+        payload["events_by_kind"] = dict(sorted(counts.items()))
+    return {"result": payload, "manifest": manifest.to_dict()}
+
+
+def run_service_cell_guarded(cell: ServiceCell) -> dict[str, Any]:
+    """Like :func:`run_service_cell`, but a failure answers only its cell.
+
+    The batcher maps this over a whole batch; without the guard, one
+    malformed request (bad rounding mode, infeasible faulted instance,
+    ...) would abort the ``Executor.map`` and take every other request
+    in the batch down with it. Errors come back as
+    ``{"error": "<Type>: <message>"}`` and the service turns them into
+    ``status="error"`` responses for just that unit's requests.
+    """
+    try:
+        return run_service_cell(cell)
+    except Exception as error:  # noqa: BLE001 — the boundary of the pool
+        return {"error": f"{type(error).__name__}: {error}"}

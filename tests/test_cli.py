@@ -239,3 +239,50 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestServe:
+    def test_stdin_jsonl_session(self, capsys, monkeypatch):
+        import io
+
+        from repro.service import encode_line
+
+        lines = [
+            encode_line(
+                {
+                    "type": "solve",
+                    "request_id": "a",
+                    "recipe": {"family": "uniform", "m": 6, "n": 15, "seed": 1},
+                    "k": 4,
+                }
+            ),
+            encode_line(
+                {
+                    "type": "solve",
+                    "request_id": "b",
+                    "recipe": {"family": "uniform", "m": 6, "n": 15, "seed": 1},
+                    "k": 4,
+                }
+            ),
+        ]
+        monkeypatch.setattr("sys.stdin", io.StringIO("".join(lines)))
+        code = main(["serve", "--batch-size", "8", "--metrics"])
+        assert code == 0
+        replies = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+        ]
+        kinds = [r["type"] for r in replies]
+        assert kinds == [
+            "ack", "ack", "response", "response", "flush_done", "metrics",
+        ]
+        assert replies[2]["status"] == "ok"
+        assert replies[3]["dedup"] is True
+        assert replies[-1]["metrics"]["dedup_hits"] == 1
+
+    def test_serve_help_lists_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
+        out = capsys.readouterr().out
+        for flag in ("--socket", "--batch-size", "--workers", "--ttl"):
+            assert flag in out

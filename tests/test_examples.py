@@ -78,3 +78,13 @@ def test_road_network_depots(capsys):
     out = _run_example("road_network_depots", capsys)
     assert "depot plans" in out
     assert "chosen depots" in out
+
+
+def test_serving(capsys):
+    out = _run_example("serving", capsys)
+    assert "mixed batch through the solve service" in out
+    # Two duplicate requests in the workload -> two dedup hits, and the
+    # table marks the duplicates themselves.
+    assert "dedup_hits = 2.000" in out
+    assert "hit" in out
+    assert "cache_hits_instance = 2.000" in out

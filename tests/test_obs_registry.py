@@ -90,6 +90,44 @@ class TestHistogram:
         assert DEFAULT_BUCKETS[-1] >= 100_000
 
 
+class TestHistogramQuantile:
+    def test_empty_series_is_zero(self):
+        assert Histogram("h").quantile(0.5) == 0.0
+
+    def test_rejects_out_of_range_q(self):
+        hist = Histogram("h")
+        with pytest.raises(ValueError, match="quantile"):
+            hist.quantile(0.0)
+        with pytest.raises(ValueError, match="quantile"):
+            hist.quantile(1.5)
+
+    def test_single_observation_collapses_to_it(self):
+        hist = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        hist.observe(7.0)
+        assert hist.quantile(0.5) == 7.0
+        assert hist.quantile(0.95) == 7.0
+
+    def test_estimates_are_ordered_and_clamped(self):
+        hist = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 2.0, 5.0, 8.0, 60.0):
+            hist.observe(value)
+        p50, p95 = hist.quantile(0.5), hist.quantile(0.95)
+        assert 0.5 <= p50 <= p95 <= 60.0
+
+    def test_overflow_bucket_reports_observed_max(self):
+        hist = Histogram("h", buckets=(1.0,))
+        hist.observe(500.0)
+        hist.observe(900.0)
+        assert hist.quantile(0.99) == 900.0
+
+    def test_labeled_series_are_independent(self):
+        hist = Histogram("h", buckets=(1.0, 10.0))
+        hist.observe(0.5, kind="fast")
+        hist.observe(9.0, kind="slow")
+        assert hist.quantile(0.5, kind="fast") == 0.5
+        assert hist.quantile(0.5, kind="slow") == 9.0
+
+
 class TestMetricsRegistry:
     def test_get_or_create_returns_same_instrument(self):
         registry = MetricsRegistry()

@@ -1,0 +1,250 @@
+"""Unit tests for the service building blocks: request model, admission
+queue, result store, batch formation and the guarded worker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.fl.generators import make_instance
+from repro.service.batcher import Batcher
+from repro.service.queue import AdmissionQueue
+from repro.service.request import InstanceRecipe, SolveRequest, SolveResponse
+from repro.service.store import ResultStore
+from repro.service.worker import run_service_cell_guarded
+
+
+class FakeClock:
+    """Steppable monotonic clock for deterministic deadline tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def request(
+    request_id: str = "r",
+    seed: int = 1,
+    k: int = 4,
+    **kwargs,
+) -> SolveRequest:
+    return SolveRequest(
+        request_id=request_id,
+        recipe=InstanceRecipe("uniform", 6, 15, seed),
+        k=k,
+        **kwargs,
+    )
+
+
+class TestInstanceRecipe:
+    def test_rejects_unknown_family(self):
+        with pytest.raises(ReproError, match="unknown family"):
+            InstanceRecipe("nope", 5, 10, 0)
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ReproError, match="positive"):
+            InstanceRecipe("uniform", 0, 10, 0)
+
+    def test_wire_round_trip(self):
+        recipe = InstanceRecipe("euclidean", 7, 21, 3)
+        assert InstanceRecipe.from_wire(recipe.to_wire()) == recipe
+
+
+class TestSolveRequest:
+    def test_requires_exactly_one_instance_source(self):
+        instance = make_instance("uniform", 4, 8, 0)
+        with pytest.raises(ReproError, match="exactly one"):
+            SolveRequest(request_id="r", k=4)
+        with pytest.raises(ReproError, match="exactly one"):
+            SolveRequest(
+                request_id="r",
+                recipe=InstanceRecipe("uniform", 4, 8, 0),
+                instance=instance,
+            )
+
+    def test_validates_fields(self):
+        with pytest.raises(ReproError, match="request_id"):
+            SolveRequest(request_id="", recipe=InstanceRecipe("uniform", 4, 8, 0))
+        with pytest.raises(ReproError, match="k must be"):
+            request(k=0)
+        with pytest.raises(ReproError, match="variant"):
+            request(variant="nope")
+        with pytest.raises(ReproError, match="timeout_s"):
+            request(timeout_s=0)
+
+    def test_wire_round_trip_recipe(self):
+        original = request(
+            request_id="abc", compute_lp=True, capture_events=True, timeout_s=5.0
+        )
+        assert SolveRequest.from_wire(original.to_wire()) == original
+
+    def test_wire_round_trip_inline_instance(self):
+        instance = make_instance("uniform", 4, 8, 0)
+        original = SolveRequest(request_id="inline", instance=instance, k=4)
+        restored = SolveRequest.from_wire(original.to_wire())
+        assert restored.instance_key() == original.instance_key()
+        assert restored.work_key() == original.work_key()
+
+    def test_work_key_ignores_identity_fields(self):
+        assert (
+            request(request_id="a", timeout_s=1.0).work_key()
+            == request(request_id="b", timeout_s=9.0).work_key()
+        )
+
+    def test_work_key_covers_output_options(self):
+        assert request().work_key() != request(compute_lp=True).work_key()
+
+    def test_equal_content_inline_instances_share_a_key(self):
+        a = SolveRequest(
+            request_id="a", instance=make_instance("uniform", 4, 8, 0), k=4
+        )
+        b = SolveRequest(
+            request_id="b", instance=make_instance("uniform", 4, 8, 0), k=4
+        )
+        assert a.work_key() == b.work_key()
+
+    def test_recipe_and_equal_inline_instance_do_not_collide(self):
+        # A recipe keys by its scalars, an inline instance by digest:
+        # the two spell the same problem but dedup conservatively.
+        inline = SolveRequest(
+            request_id="a", instance=make_instance("uniform", 6, 15, 1), k=4
+        )
+        assert inline.work_key() != request().work_key()
+
+
+class TestAdmissionQueue:
+    def test_fifo_and_backpressure(self):
+        queue = AdmissionQueue(max_depth=2, clock=FakeClock())
+        assert queue.offer(request("a")).accepted
+        assert queue.offer(request("b")).accepted
+        rejection = queue.offer(request("c"))
+        assert not rejection.accepted
+        assert rejection.reason == "queue_full"
+        live, expired = queue.drain()
+        assert [q.request.request_id for q in live] == ["a", "b"]
+        assert expired == []
+        assert queue.depth == 0
+
+    def test_seq_is_strictly_increasing_under_frozen_clock(self):
+        queue = AdmissionQueue(clock=FakeClock())
+        queue.offer(request("a"))
+        queue.offer(request("b"))
+        live, _ = queue.drain()
+        assert [q.seq for q in live] == [0, 1]
+
+    def test_deadline_separates_expired_requests(self):
+        clock = FakeClock()
+        queue = AdmissionQueue(clock=clock)
+        queue.offer(request("fast", timeout_s=1.0))
+        queue.offer(request("slow"))
+        clock.advance(2.0)
+        live, expired = queue.drain()
+        assert [q.request.request_id for q in expired] == ["fast"]
+        assert [q.request.request_id for q in live] == ["slow"]
+
+    def test_expired_do_not_consume_batch_budget(self):
+        clock = FakeClock()
+        queue = AdmissionQueue(clock=clock)
+        for i in range(3):
+            queue.offer(request(f"dead{i}", timeout_s=0.5))
+        queue.offer(request("live"))
+        clock.advance(1.0)
+        live, expired = queue.drain(max_items=1)
+        assert len(expired) == 3
+        assert [q.request.request_id for q in live] == ["live"]
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ReproError):
+            AdmissionQueue(max_depth=0)
+
+
+class TestResultStore:
+    @staticmethod
+    def response(request_id: str) -> SolveResponse:
+        return SolveResponse(request_id=request_id, status="ok")
+
+    def test_put_get_round_trip(self):
+        store = ResultStore(clock=FakeClock())
+        store.put(self.response("a"))
+        assert store.get("a").status == "ok"
+        assert store.get("a") is not None  # non-destructive
+        assert store.get("missing") is None
+
+    def test_ttl_eviction(self):
+        clock = FakeClock()
+        store = ResultStore(ttl_s=10.0, clock=clock)
+        store.put(self.response("a"))
+        clock.advance(11.0)
+        assert store.get("a") is None
+        assert store.evicted_ttl == 1
+
+    def test_capacity_eviction_drops_oldest(self):
+        store = ResultStore(max_entries=2, clock=FakeClock())
+        for rid in ("a", "b", "c"):
+            store.put(self.response(rid))
+        assert store.get("a") is None
+        assert store.get("b") is not None
+        assert store.evicted_capacity == 1
+
+    def test_validates_parameters(self):
+        with pytest.raises(ReproError):
+            ResultStore(ttl_s=0)
+        with pytest.raises(ReproError):
+            ResultStore(max_entries=0)
+
+
+class TestBatcherForm:
+    @staticmethod
+    def drained(*requests: SolveRequest):
+        queue = AdmissionQueue(clock=FakeClock())
+        for req in requests:
+            queue.offer(req)
+        live, _ = queue.drain()
+        return live
+
+    def test_collapses_duplicates_in_arrival_order(self):
+        batch = Batcher.form(
+            self.drained(
+                request("a", seed=1),
+                request("b", seed=2),
+                request("c", seed=1),  # duplicate of a
+            )
+        )
+        assert batch.num_requests == 3
+        assert batch.num_unique == 2
+        assert batch.dedup_hits == 1
+        leaders = [u.leader.request.request_id for u in batch.units]
+        assert leaders == ["a", "b"]
+        followers = [
+            f.request.request_id for u in batch.units for f in u.followers
+        ]
+        assert followers == ["c"]
+
+    def test_empty_batch(self):
+        batch = Batcher.form([])
+        assert batch.num_requests == 0
+        assert Batcher().execute(batch) == []
+
+
+class TestGuardedWorker:
+    def test_error_is_contained(self):
+        cell = Batcher.form(
+            self.bad_request_drained()
+        ).units[0].cell()
+        outcome = run_service_cell_guarded(cell)
+        assert "error" in outcome
+        assert "result" not in outcome
+
+    @staticmethod
+    def bad_request_drained():
+        # An unknown rounding mode passes request validation (rounding is
+        # only interpreted at solve time) and must fail inside the cell.
+        queue = AdmissionQueue(clock=FakeClock())
+        queue.offer(request("bad", rounding="not_a_mode"))
+        live, _ = queue.drain()
+        return live

@@ -1,0 +1,158 @@
+"""The serving layer's core correctness contract.
+
+A result returned through the batched service must be *the same result*
+a direct :func:`~repro.core.algorithm.solve_distributed` call produces
+for the same request: same cost, same open set, same manifest bytes
+(wall-clock fields aside, which measure the hardware rather than the
+algorithm). Batching, dedup, caching and parallel workers must all be
+invisible in the output.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import pytest
+
+from repro.core.algorithm import solve_distributed
+from repro.core.dual_ascent_nodes import RoundingPolicy
+from repro.fl.generators import make_instance
+from repro.obs.manifest import RunRecord
+from repro.perf.cache import clear_caches
+from repro.perf.executor import SweepExecutor
+from repro.service import ServiceClient, SolveService
+from repro.service.request import InstanceRecipe, SolveRequest
+
+#: A mixed workload: two recipes x two k values, one dual-ascent request,
+#: one inline-instance request, plus exact duplicates of the first two.
+WORKLOAD: tuple[dict[str, Any], ...] = (
+    {"rid": "w0", "family": "uniform", "seed": 1, "k": 4},
+    {"rid": "w1", "family": "euclidean", "seed": 2, "k": 9},
+    {"rid": "w2", "family": "uniform", "seed": 1, "k": 9},
+    {"rid": "w3", "family": "uniform", "seed": 1, "k": 4, "variant": "dual_ascent"},
+    {"rid": "w4-dup-of-w0", "family": "uniform", "seed": 1, "k": 4},
+    {"rid": "w5-dup-of-w1", "family": "euclidean", "seed": 2, "k": 9},
+)
+
+
+def build_request(spec: dict[str, Any], inline: bool = False) -> SolveRequest:
+    kwargs: dict[str, Any] = dict(
+        request_id=spec["rid"],
+        k=spec["k"],
+        variant=spec.get("variant", "greedy"),
+    )
+    if inline:
+        kwargs["instance"] = make_instance("uniform", 6, 15, spec["seed"])
+    else:
+        kwargs["recipe"] = InstanceRecipe("uniform" if inline else spec["family"], 6, 15, spec["seed"])
+    return SolveRequest(**kwargs)
+
+
+def direct_manifest(spec: dict[str, Any]) -> tuple[float, dict[str, Any]]:
+    """Cost and manifest from the unbatched reference path."""
+    instance = make_instance(spec["family"], 6, 15, spec["seed"])
+    result = solve_distributed(
+        instance,
+        k=spec["k"],
+        variant=spec.get("variant", "greedy"),
+        seed=0,
+        rounding=RoundingPolicy(),
+    )
+    manifest = RunRecord.from_run(
+        result,
+        seed=0,
+        parameters={
+            "k": spec["k"],
+            "variant": spec.get("variant", "greedy"),
+            "rounding": "select_all",
+            "c_round": 1.0,
+        },
+        wall_seconds=result.wall_seconds,
+    )
+    return result.cost, manifest.to_dict()
+
+
+def strip_wall_clock(manifest: dict[str, Any]) -> dict[str, Any]:
+    """Drop the fields that measure the machine, not the algorithm."""
+    cleaned = json.loads(json.dumps(manifest))
+    cleaned["wall_seconds"] = 0.0
+    cleaned.get("timeline_summary", {}).pop("total_wall_ms", None)
+    return cleaned
+
+
+def canonical(manifest: dict[str, Any]) -> str:
+    return json.dumps(strip_wall_clock(manifest), sort_keys=True)
+
+
+@pytest.fixture(autouse=True)
+def _cold_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestServedEqualsDirect:
+    def run_workload(self, workers: int = 1):
+        client = ServiceClient(
+            SolveService(executor=SweepExecutor(workers=workers))
+        )
+        responses = client.solve_many(
+            [build_request(spec) for spec in WORKLOAD]
+        )
+        return client, {r.request_id: r for r in responses}
+
+    def test_costs_and_manifests_match_direct_solves(self):
+        _, by_id = self.run_workload()
+        for spec in WORKLOAD:
+            response = by_id[spec["rid"]]
+            assert response.status == "ok"
+            cost, manifest = direct_manifest(spec)
+            assert response.result["cost"] == cost  # exact, not approx
+            assert canonical(dict(response.manifest)) == canonical(manifest)
+
+    def test_duplicates_served_from_one_solve(self):
+        client, by_id = self.run_workload()
+        assert not by_id["w0"].dedup and not by_id["w1"].dedup
+        assert by_id["w4-dup-of-w0"].dedup
+        assert by_id["w5-dup-of-w1"].dedup
+        # The counters prove the dedup: 6 requests, 4 unique solves.
+        summary = client.metrics()
+        assert summary["dedup_hits"] == 2
+        assert summary["batch_size_mean"] == 6.0
+        assert summary["batch_unique_mean"] == 4.0
+        # Duplicate answers are the leader's answer, byte for byte.
+        assert canonical(dict(by_id["w4-dup-of-w0"].manifest)) == canonical(
+            dict(by_id["w0"].manifest)
+        )
+        assert (
+            by_id["w4-dup-of-w0"].result["cost"] == by_id["w0"].result["cost"]
+        )
+
+    def test_parallel_workers_change_nothing(self):
+        _, serial = self.run_workload(workers=1)
+        clear_caches()
+        _, parallel = self.run_workload(workers=2)
+        for spec in WORKLOAD:
+            a, b = serial[spec["rid"]], parallel[spec["rid"]]
+            assert a.result["cost"] == b.result["cost"]
+            assert a.dedup == b.dedup
+            assert canonical(dict(a.manifest)) == canonical(dict(b.manifest))
+
+    def test_inline_instance_matches_recipe_answer(self):
+        # The same problem submitted two ways (recipe vs inline upload)
+        # yields identical costs and open sets.
+        client = ServiceClient()
+        spec = {"rid": "recipe", "family": "uniform", "seed": 1, "k": 4}
+        recipe_resp, inline_resp = client.solve_many(
+            [
+                build_request(spec),
+                build_request({**spec, "rid": "inline"}, inline=True),
+            ]
+        )
+        assert recipe_resp.status == inline_resp.status == "ok"
+        assert recipe_resp.result["cost"] == inline_resp.result["cost"]
+        assert (
+            recipe_resp.result["open_facilities"]
+            == inline_resp.result["open_facilities"]
+        )

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Check Markdown links in README.md and docs/*.md.
+
+Validates every ``[text](target)`` whose target is a relative path:
+the file must exist (anchors are stripped; pure in-page ``#anchor``
+links and external ``http(s)/mailto`` URLs are skipped — offline CI
+cannot vouch for the network). Exits 1 listing every broken link.
+
+Usage::
+
+    python tools/check_links.py [FILES...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Inline Markdown links, skipping images; code spans are stripped first.
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_CODE_SPAN = re.compile(r"`[^`]*`")
+_FENCE = re.compile(r"^(```|~~~)")
+
+
+def iter_links(path: Path) -> list[tuple[int, str]]:
+    """(line number, target) for every inline link outside code blocks."""
+    links = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(_CODE_SPAN.sub("", line)):
+            links.append((lineno, match.group(1)))
+    return links
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    for lineno, target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            rel = path.relative_to(REPO)
+            errors.append(f"{rel}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def default_files() -> list[Path]:
+    files = [REPO / "README.md"]
+    files.extend(sorted((REPO / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    files = [Path(a).resolve() for a in args] if args else default_files()
+    errors: list[str] = []
+    checked = 0
+    for path in files:
+        errors.extend(check_file(path))
+        checked += 1
+    if errors:
+        print("\n".join(errors))
+        print(f"FAIL: {len(errors)} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"links OK: {checked} file(s) checked")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
