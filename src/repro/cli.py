@@ -18,6 +18,11 @@ Everything the library does is reachable from the shell::
     repro report EXPERIMENTS.md --quick
     cat requests.jsonl | repro serve --batch-size 16 --metrics
     repro serve --socket /tmp/repro.sock --workers 4
+    repro solve inst.json -k 16 --spans spans.jsonl --metrics-out metrics.json
+    cat requests.jsonl | repro serve --trace-spans spans.jsonl --slo default
+    repro trace tree spans.jsonl --depth 4
+    repro trace export spans.jsonl -o trace.json
+    repro top metrics.json --spans spans.jsonl
 
 (Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.)
@@ -134,6 +139,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict-watchdogs",
         action="store_true",
         help="like --watchdogs, but the first violation aborts the run",
+    )
+    solve.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the run's metrics-registry snapshot as JSON to PATH "
+        "(same schema as the service metrics op with \"full\": true)",
+    )
+    solve.add_argument(
+        "--spans",
+        metavar="PATH",
+        help="trace the solve as spans and write a JSONL span log to PATH "
+        "(render with `repro trace tree`, export with `repro trace export`)",
+    )
+    solve.add_argument(
+        "--profile-memory",
+        action="store_true",
+        help="with --spans: sample the tracemalloc peak over the solve "
+        "span (reported as mem_peak_kb)",
     )
 
     inspect = sub.add_parser(
@@ -270,6 +293,81 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append one metrics-summary line at EOF (stdin mode only)",
     )
+    serve.add_argument(
+        "--trace-spans",
+        metavar="PATH",
+        help="trace every request through the pipeline and write the span "
+        "log (JSONL) to PATH when the server exits",
+    )
+    serve.add_argument(
+        "--profile-memory",
+        action="store_true",
+        help="with --trace-spans: sample tracemalloc peaks on worker solve "
+        "spans (reported as mem_peak_kb)",
+    )
+    serve.add_argument(
+        "--slo",
+        metavar="SPEC",
+        help="evaluate SLOs when the server exits and fail (exit 1) on "
+        "violation; SPEC is a JSON file or the literal 'default' "
+        "(availability 99%%, p95 latency under 2s)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect span logs written by --spans / --trace-spans",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    tree = trace_sub.add_parser(
+        "tree", help="render the span tree with critical-path highlighting"
+    )
+    tree.add_argument("spans", help="span log path (JSONL)")
+    tree.add_argument(
+        "--depth",
+        type=int,
+        default=None,
+        help="prune subtrees deeper than this (per-round spans get noisy)",
+    )
+    export = trace_sub.add_parser(
+        "export",
+        help="convert a span log to Chrome/Perfetto trace_event JSON",
+    )
+    export.add_argument("spans", help="span log path (JSONL)")
+    export.add_argument(
+        "-o",
+        "--output",
+        required=True,
+        help="output path for the trace_event JSON "
+        "(load it in chrome://tracing or ui.perfetto.dev)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="one-shot (or interval) view of a metrics snapshot file, "
+        "optionally with the slowest spans of a span log",
+    )
+    top.add_argument(
+        "snapshot",
+        help="metrics snapshot JSON written by solve --metrics-out or the "
+        "service metrics op with \"full\": true",
+    )
+    top.add_argument(
+        "--spans",
+        metavar="PATH",
+        help="also show the slowest spans of this span log",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=0.0,
+        help="re-read and re-render every INTERVAL seconds (0 = one-shot)",
+    )
+    top.add_argument(
+        "--count",
+        type=int,
+        default=0,
+        help="with --interval: stop after COUNT renders (0 = forever)",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -393,6 +491,16 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     watchdogs = ()
     if args.watchdogs or args.strict_watchdogs:
         watchdogs = default_watchdogs(strict=args.strict_watchdogs)
+    tracer = None
+    if args.spans:
+        from repro.obs.spans import Tracer
+
+        tracer = Tracer(profile_memory=args.profile_memory)
+    registry = None
+    if args.metrics_out:
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
     try:
         result = solve_distributed(
             instance,
@@ -404,6 +512,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             probe_quality=want_probes,
             lower_bound=lp_value,
             watchdogs=watchdogs,
+            tracer=tracer,
+            registry=registry,
         )
     except ReproError:
         if sink is not None:
@@ -446,6 +556,26 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         manifest_file = manifest.write_json(manifest_path_for(args.trace))
         payload["trace"] = args.trace
         payload["manifest"] = str(manifest_file)
+    if tracer is not None:
+        from repro.obs.spans import write_spans_jsonl
+
+        tracer.close()
+        write_spans_jsonl(tracer.export(), args.spans)
+        payload["spans"] = args.spans
+    if registry is not None:
+        from repro.obs.metrics_io import write_snapshot
+
+        write_snapshot(
+            registry,
+            args.metrics_out,
+            meta={
+                "command": "solve",
+                "instance": instance.name,
+                "k": args.k,
+                "variant": args.variant,
+            },
+        )
+        payload["metrics_out"] = args.metrics_out
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
@@ -615,6 +745,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import ServiceConfig, SolveService, serve_jsonl, serve_socket
 
+    tracer = None
+    if args.trace_spans:
+        from repro.obs.spans import Tracer
+
+        tracer = Tracer(profile_memory=args.profile_memory)
     service = SolveService(
         config=ServiceConfig(
             max_queue_depth=args.max_depth,
@@ -622,14 +757,119 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             result_ttl_s=args.ttl if args.ttl > 0 else None,
             max_results=args.max_results,
-        )
+            profile_memory=args.profile_memory,
+        ),
+        tracer=tracer,
     )
     if args.socket:
         print(f"serving on unix socket {args.socket}", file=sys.stderr)
         serve_socket(service, args.socket)
-        return 0
-    serve_jsonl(service, sys.stdin, sys.stdout, emit_metrics=args.metrics)
+    else:
+        serve_jsonl(service, sys.stdin, sys.stdout, emit_metrics=args.metrics)
+    if tracer is not None:
+        from repro.obs.spans import write_spans_jsonl
+
+        tracer.close()
+        write_spans_jsonl(tracer.export(), args.trace_spans)
+        print(
+            f"wrote {len(tracer.finished)} span(s) to {args.trace_spans}",
+            file=sys.stderr,
+        )
+    if args.slo:
+        from repro.obs.slo import SLOMonitor, load_slo_spec
+
+        monitor = SLOMonitor(service.registry, load_slo_spec(args.slo))
+        print(monitor.render(), file=sys.stderr)
+        if not monitor.all_ok():
+            print("error: SLO violation", file=sys.stderr)
+            return 1
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.spans import (
+        load_spans_jsonl,
+        render_span_tree,
+        write_chrome_trace,
+    )
+
+    spans = load_spans_jsonl(args.spans)
+    if args.trace_command == "tree":
+        if not spans:
+            print("(empty span log)")
+            return 0
+        print(render_span_tree(spans, max_depth=args.depth))
+        return 0
+    target = write_chrome_trace(spans, args.output)
+    print(f"wrote {target}: {len(spans)} span(s) as trace_event JSON")
+    return 0
+
+
+def _labels_suffix(entry: dict[str, Any]) -> str:
+    labels = entry.get("labels") or {}
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{{{inner}}}="
+
+
+def _render_top(args: argparse.Namespace) -> str:
+    from repro.obs.metrics_io import load_snapshot
+
+    payload = load_snapshot(args.snapshot)
+    rows: list[tuple[str, str, str]] = []
+    for name, data in sorted(payload.get("metrics", {}).items()):
+        kind = str(data.get("type", "?"))
+        values = data.get("values", [])
+        if kind == "counter":
+            rows.append((name, kind, f"{float(data.get('total', 0.0)):g}"))
+        elif kind == "gauge":
+            rendered = " ".join(
+                f"{_labels_suffix(entry)}{float(entry.get('value', 0.0)):g}"
+                for entry in values
+            )
+            rows.append((name, kind, rendered or "-"))
+        elif kind == "histogram":
+            count = sum(int(entry.get("count", 0)) for entry in values)
+            total = sum(float(entry.get("sum", 0.0)) for entry in values)
+            mean = total / count if count else 0.0
+            rows.append((name, kind, f"n={count} mean={mean:.4g}"))
+        else:
+            rows.append((name, kind, ""))
+    out = render_table(
+        ("instrument", "kind", "value"),
+        rows,
+        title=f"metrics snapshot {args.snapshot}",
+    )
+    if args.spans:
+        from repro.obs.spans import load_spans_jsonl
+
+        spans = load_spans_jsonl(args.spans)
+        slowest = sorted(spans, key=lambda s: -s.duration_s)[:10]
+        span_rows = [
+            (span.name, f"{span.duration_s * 1e3:.2f} ms", span.status)
+            for span in slowest
+        ]
+        out += "\n" + render_table(
+            ("span", "wall", "status"),
+            span_rows,
+            title=f"slowest spans of {args.spans}",
+        )
+    return out
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    renders = 0
+    while True:
+        print(_render_top(args))
+        renders += 1
+        if args.interval <= 0:
+            return 0
+        if args.count and renders >= args.count:
+            return 0
+        _time.sleep(args.interval)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -651,6 +891,8 @@ _HANDLERS = {
     "chaos": _cmd_chaos,
     "report": _cmd_report,
     "serve": _cmd_serve,
+    "trace": _cmd_trace,
+    "top": _cmd_top,
 }
 
 

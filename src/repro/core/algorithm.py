@@ -47,6 +47,7 @@ from repro.net.topology import Topology
 from repro.net.trace import Trace
 from repro.obs.probes import RoundProbe, SolutionQualityProbe
 from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import Tracer
 from repro.obs.timeline import RoundTimeline
 from repro.obs.watchdogs import Watchdog
 
@@ -173,6 +174,10 @@ class DistributedFacilityLocation:
     lower_bound:
         Lower bound on the optimum (typically the LP value) used by the
         quality probe's ``ratio_vs_bound``.
+    tracer:
+        Optional :class:`~repro.obs.spans.Tracer` shared with the
+        simulator; the run becomes an ``algo.run`` span with per-round
+        children. Purely observational — never changes the output.
     """
 
     def __init__(
@@ -194,6 +199,7 @@ class DistributedFacilityLocation:
         registry: MetricsRegistry | None = None,
         probe_quality: bool = False,
         lower_bound: float | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.instance = instance
         self.variant = Variant(variant)
@@ -212,6 +218,7 @@ class DistributedFacilityLocation:
             )
         self.watchdogs: tuple[Watchdog, ...] = tuple(watchdogs)
         self.registry = registry
+        self.tracer = tracer
         if params is not None:
             self.params = params
         elif self.variant is Variant.GREEDY:
@@ -280,6 +287,7 @@ class DistributedFacilityLocation:
             probes=self.probes,
             watchdogs=self.watchdogs,
             registry=self.registry,
+            tracer=self.tracer,
         )
 
     def schedule_rounds(self) -> int:
@@ -304,11 +312,29 @@ class DistributedFacilityLocation:
         return budget
 
     def run(self) -> DistributedRunResult:
-        """Execute the protocol and extract the solution and metrics."""
+        """Execute the protocol and extract the solution and metrics.
+
+        With a tracer attached the whole execution becomes an
+        ``algo.run`` span (variant/k/rounds annotated) whose children are
+        the simulator's per-round ``sim.round`` spans.
+        """
         simulator = self.build_simulator()
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.start_span(
+                "algo.run",
+                attributes={"variant": self.variant.value, "k": self.params.k},
+            )
         start = time.perf_counter()
-        metrics = simulator.run(max_rounds=self.round_budget())
+        try:
+            metrics = simulator.run(max_rounds=self.round_budget())
+        except Exception:
+            if span is not None:
+                span.end(status="error")
+            raise
         wall_seconds = time.perf_counter() - start
+        if span is not None:
+            span.annotate(rounds=int(metrics.rounds)).end()
         return self._extract(simulator, metrics, wall_seconds)
 
     def run_truncated(self, max_rounds: int) -> DistributedRunResult:

@@ -41,6 +41,7 @@ from repro.net.topology import Topology
 from repro.net.trace import NullTrace, Trace
 from repro.obs.probes import RoundProbe
 from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import Tracer
 from repro.obs.timeline import RoundTimeline, RoundTimelineEntry
 from repro.obs.watchdogs import Watchdog
 
@@ -108,6 +109,12 @@ class Simulator:
         :meth:`~repro.net.metrics.NetworkMetrics.publish` summary into it,
         and protocol nodes can publish through
         :meth:`~repro.net.node.RoundContext.count`.
+    tracer:
+        Optional :class:`~repro.obs.spans.Tracer`; when given, every
+        executed round is recorded as a ``sim.round`` child span of the
+        tracer's current span, annotated with the round's telemetry
+        (messages, bits, drops, and any scalar probe observations such as
+        dual sums). Spans observe only — they never alter the run.
     """
 
     def __init__(
@@ -123,6 +130,7 @@ class Simulator:
         probes: Sequence[RoundProbe] = (),
         watchdogs: Sequence[Watchdog] = (),
         registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self._topology = topology
         self._nodes = _normalize_nodes(topology, nodes)
@@ -138,6 +146,7 @@ class Simulator:
         self.probes: tuple[RoundProbe, ...] = tuple(probes)
         self.watchdogs: tuple[Watchdog, ...] = tuple(watchdogs)
         self.registry: MetricsRegistry | None = registry
+        self.tracer: Tracer | None = tracer
         self.metrics = NetworkMetrics()
         self.timeline = RoundTimeline()
         self._round = 0
@@ -433,6 +442,26 @@ class Simulator:
             self.registry.counter("sim_rounds_total").inc()
             self.registry.histogram("sim_round_wall_ms").observe(wall_ms)
             self.registry.histogram("sim_round_messages").observe(messages)
+        if self.tracer is not None:
+            attributes: dict = {
+                "round": round_number,
+                "messages": messages,
+                "bits": bits,
+            }
+            if drops:
+                attributes["drops"] = drops
+            if probe_data:
+                attributes.update(
+                    (key, value)
+                    for key, value in probe_data.items()
+                    if isinstance(value, (int, float))
+                )
+            self.tracer.add_span(
+                "sim.round",
+                start_unix=time.time() - wall_ms / 1e3,
+                duration_s=wall_ms / 1e3,
+                attributes=attributes,
+            )
         self.trace.on_round_end(entry)
 
     def run(self, max_rounds: int, allow_truncation: bool = False) -> NetworkMetrics:

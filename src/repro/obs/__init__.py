@@ -33,6 +33,17 @@ artifacts on both axes:
   thresholds (surfaced as ``repro compare``).
 * :mod:`repro.obs.bench` — converts benchmark artifacts into versioned
   ``BENCH_<name>.json`` trajectory files (surfaced as ``repro bench``).
+* :mod:`repro.obs.spans` — span-based distributed tracing: causal
+  context propagation across process boundaries, wall/CPU/memory
+  profiling per span, JSONL and Chrome ``trace_event`` exporters, and
+  span-tree rendering with critical-path highlighting (surfaced as
+  ``repro trace``).
+* :mod:`repro.obs.slo` — declarative latency / error-rate objectives
+  evaluated against registry instruments, with burn-rate reporting
+  (surfaced as ``repro serve --slo`` and the CI gate).
+* :mod:`repro.obs.metrics_io` — the versioned metrics-snapshot file
+  format shared by ``repro solve --metrics-out`` and the service
+  ``metrics`` wire op.
 """
 
 from repro.obs.bench import (
@@ -51,9 +62,33 @@ from repro.obs.compare import (
 )
 from repro.obs.inspect import TraceReport, inspect_trace, load_trace_file
 from repro.obs.manifest import RunRecord, manifest_path_for
+from repro.obs.metrics_io import (
+    load_snapshot,
+    snapshot_payload,
+    write_snapshot,
+)
 from repro.obs.probes import RoundProbe, SolutionQualityProbe
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.sinks import JsonlTraceSink, MultiTrace, RingBufferTrace
+from repro.obs.slo import (
+    ErrorRateSLO,
+    LatencySLO,
+    SLOMonitor,
+    SLOResult,
+    default_service_slos,
+    load_slo_spec,
+)
+from repro.obs.spans import (
+    Span,
+    SpanContext,
+    Tracer,
+    chrome_trace,
+    critical_path,
+    load_spans_jsonl,
+    render_span_tree,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
 from repro.obs.timeline import RoundTimeline, RoundTimelineEntry
 from repro.obs.watchdogs import (
     CongestWatchdog,
@@ -102,4 +137,25 @@ __all__ = [
     "collect_records",
     "load_bench",
     "write_bench",
+    # spans
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "chrome_trace",
+    "critical_path",
+    "load_spans_jsonl",
+    "render_span_tree",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+    # SLOs
+    "ErrorRateSLO",
+    "LatencySLO",
+    "SLOMonitor",
+    "SLOResult",
+    "default_service_slos",
+    "load_slo_spec",
+    # metrics snapshots
+    "load_snapshot",
+    "snapshot_payload",
+    "write_snapshot",
 ]

@@ -1,0 +1,69 @@
+"""Shared file serialization of registry snapshots.
+
+One schema, two producers: ``repro solve --metrics-out FILE`` dumps the
+solve's registry without any service running, and the service's
+``metrics`` wire op (``{"type": "metrics", "full": true}``) returns the
+same payload over the socket — so ``repro top`` and offline tooling read
+a single format regardless of where the numbers came from.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.exceptions import ReproError
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["SNAPSHOT_SCHEMA", "snapshot_payload", "write_snapshot", "load_snapshot"]
+
+#: Schema tag stamped into every snapshot payload.
+SNAPSHOT_SCHEMA = "repro.metrics.snapshot/v1"
+
+
+def snapshot_payload(
+    registry: MetricsRegistry, meta: Mapping[str, Any] | None = None
+) -> dict[str, Any]:
+    """Self-describing JSON payload of a registry's full state.
+
+    ``meta`` (source command, instance name, ...) is merged under the
+    ``"meta"`` key; the instrument dump is exactly
+    :meth:`~repro.obs.registry.MetricsRegistry.snapshot`.
+    """
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "generated_unix": time.time(),
+        "meta": dict(meta or {}),
+        "metrics": registry.snapshot(),
+    }
+
+
+def write_snapshot(
+    registry: MetricsRegistry,
+    path: str | Path,
+    meta: Mapping[str, Any] | None = None,
+) -> Path:
+    """Write :func:`snapshot_payload` as pretty-printed JSON; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(snapshot_payload(registry, meta), indent=2, sort_keys=True)
+        + "\n"
+    )
+    return target
+
+
+def load_snapshot(path: str | Path) -> dict[str, Any]:
+    """Read a snapshot file back, validating the schema tag."""
+    source = Path(path)
+    if not source.exists():
+        raise ReproError(f"metrics snapshot not found: {source}")
+    payload = json.loads(source.read_text())
+    if not isinstance(payload, dict) or payload.get("schema") != SNAPSHOT_SCHEMA:
+        raise ReproError(
+            f"{source} is not a {SNAPSHOT_SCHEMA} snapshot "
+            f"(schema={payload.get('schema') if isinstance(payload, dict) else None!r})"
+        )
+    return payload

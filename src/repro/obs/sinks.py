@@ -27,9 +27,11 @@ from __future__ import annotations
 
 import io
 import json
+import os
 from pathlib import Path
 from typing import Any, Iterator, Mapping, TextIO
 
+from repro.exceptions import ReproError
 from repro.net.trace import Trace, TraceEvent
 from repro.obs.timeline import RoundTimelineEntry
 
@@ -97,7 +99,19 @@ class JsonlTraceSink(Trace):
         self._count += 1
 
     def write_json(self, obj: Mapping[str, Any]) -> None:
-        """Write one arbitrary record as a JSON line (rounds, manifests)."""
+        """Write one arbitrary record as a JSON line (rounds, manifests).
+
+        Raises :class:`~repro.exceptions.ReproError` once the sink is
+        closed — a late event (a probe firing after teardown, a reused
+        sink object) should fail with a diagnosis, not the underlying
+        file object's bare ``ValueError: I/O operation on closed file``.
+        """
+        if self._closed:
+            where = f" {self.path}" if self.path is not None else ""
+            raise ReproError(
+                f"JsonlTraceSink{where} is closed; events cannot be "
+                "recorded after close()"
+            )
         self._stream.write(json.dumps(obj, sort_keys=True) + "\n")
 
     def on_round_end(self, entry: RoundTimelineEntry) -> None:
@@ -113,15 +127,26 @@ class JsonlTraceSink(Trace):
         self._stream.flush()
 
     def close(self) -> None:
-        """Flush, and close the stream if this sink opened it."""
+        """Flush (and fsync owned files) then close the stream.
+
+        The fsync makes the artifact durable before the process can
+        exit: a trace whose tail lives only in the page cache is exactly
+        the trace you need after a crash. Caller-owned writers are only
+        flushed — ownership (and durability policy) stays with the
+        caller.
+        """
         if self._closed:
             return
         self._closed = True
         try:
-            self.flush()
+            self._stream.flush()
         except (ValueError, io.UnsupportedOperation):  # already-closed writer
             return
         if self._owns_stream:
+            try:
+                os.fsync(self._stream.fileno())
+            except (OSError, ValueError, io.UnsupportedOperation):
+                pass  # not a real file (StringIO wrapped in a path-less sink)
             self._stream.close()
 
     def __enter__(self) -> "JsonlTraceSink":

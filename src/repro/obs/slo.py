@@ -1,0 +1,331 @@
+"""Declarative service-level objectives evaluated over registry metrics.
+
+An SLO here is a statement like "95% of solved requests complete within
+500 ms" (latency) or "99% of responses are ok" (error rate), evaluated
+against the live instruments in a :class:`~repro.obs.registry.
+MetricsRegistry` — the same histograms and counters
+:class:`~repro.service.service.SolveService` already publishes.
+:class:`SLOMonitor` turns a list of objectives into pass/fail results
+with *burn rate*: the ratio of observed error budget consumption to the
+allowed budget (1.0 = exactly on budget, >1.0 = burning too fast), the
+standard alerting quantity of SRE practice.
+
+Objectives are plain data (JSON-loadable via :func:`load_slo_spec`), so
+the same spec file drives ``repro serve --slo`` in production and the CI
+trace-smoke gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.exceptions import ReproError
+from repro.obs.registry import Counter, Histogram, MetricsRegistry
+
+__all__ = [
+    "LatencySLO",
+    "ErrorRateSLO",
+    "SLOResult",
+    "SLOMonitor",
+    "load_slo_spec",
+    "default_service_slos",
+]
+
+
+@dataclass(frozen=True)
+class SLOResult:
+    """Outcome of evaluating one objective.
+
+    ``observed`` is the measured compliance fraction (1.0 = perfect),
+    ``objective`` the target fraction, and ``burn_rate`` the error-budget
+    consumption ratio ``(1 - observed) / (1 - objective)``. ``ok`` means
+    the objective is met; ``detail`` carries the human-readable evidence
+    (the quantile value, the error counts, ...).
+    """
+
+    name: str
+    kind: str
+    objective: float
+    observed: float
+    burn_rate: float
+    ok: bool
+    detail: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON representation for wire/CI output."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "objective": self.objective,
+            "observed": self.observed,
+            "burn_rate": self.burn_rate,
+            "ok": self.ok,
+            "detail": self.detail,
+        }
+
+
+def _burn_rate(observed: float, objective: float) -> float:
+    """Error-budget consumption ratio; infinite budget at objective=1."""
+    budget = 1.0 - objective
+    if budget <= 0.0:
+        return 0.0 if observed >= 1.0 else float("inf")
+    return max(0.0, (1.0 - observed)) / budget
+
+
+@dataclass(frozen=True)
+class LatencySLO:
+    """"``objective`` of observations in ``histogram`` are <= ``threshold_s``".
+
+    Compliance is the estimated fraction of observations at or below the
+    threshold, interpolated inside the covering bucket (the same scheme as
+    :meth:`~repro.obs.registry.Histogram.quantile`, inverted). An empty
+    histogram is vacuously compliant — no traffic has burned no budget.
+    """
+
+    name: str
+    histogram: str
+    threshold_s: float
+    objective: float = 0.95
+    labels: Mapping[str, str] | None = None
+
+    kind = "latency"
+
+    def evaluate(self, registry: MetricsRegistry) -> SLOResult:
+        """Measure compliance against the registry's current state."""
+        labels = dict(self.labels or {})
+        if self.histogram not in registry:
+            return self._result(1.0, "no such histogram; vacuously compliant")
+        instrument = registry.histogram(self.histogram)
+        count = instrument.count(**labels)
+        if count == 0:
+            return self._result(1.0, "no observations")
+        compliant = _fraction_at_or_below(instrument, self.threshold_s, labels)
+        quantile = instrument.quantile(min(max(self.objective, 1e-9), 1.0), **labels)
+        return self._result(
+            compliant,
+            f"p{self.objective * 100:g}={quantile * 1e3:.1f}ms vs "
+            f"threshold {self.threshold_s * 1e3:.1f}ms over {count} obs",
+        )
+
+    def _result(self, observed: float, detail: str) -> SLOResult:
+        return SLOResult(
+            name=self.name,
+            kind=self.kind,
+            objective=self.objective,
+            observed=observed,
+            burn_rate=_burn_rate(observed, self.objective),
+            ok=observed >= self.objective,
+            detail=detail,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON spec entry (inverse of :func:`load_slo_spec`)."""
+        spec: dict[str, Any] = {
+            "type": self.kind,
+            "name": self.name,
+            "histogram": self.histogram,
+            "threshold_s": self.threshold_s,
+            "objective": self.objective,
+        }
+        if self.labels:
+            spec["labels"] = dict(self.labels)
+        return spec
+
+
+@dataclass(frozen=True)
+class ErrorRateSLO:
+    """"``objective`` of ``counter`` events carry the good label".
+
+    ``good_labels`` selects the success series (e.g. ``status=ok``);
+    the denominator is the counter's total across all label sets. An
+    idle counter is vacuously compliant.
+    """
+
+    name: str
+    counter: str
+    good_labels: Mapping[str, str]
+    objective: float = 0.99
+
+    kind = "error_rate"
+
+    def evaluate(self, registry: MetricsRegistry) -> SLOResult:
+        """Measure compliance against the registry's current state."""
+        if self.counter not in registry:
+            return self._result(1.0, "no such counter; vacuously compliant")
+        instrument = registry.counter(self.counter)
+        total = instrument.total
+        if total <= 0:
+            return self._result(1.0, "no events")
+        good = instrument.value(**dict(self.good_labels))
+        return self._result(
+            good / total, f"{good:g} good of {total:g} total events"
+        )
+
+    def _result(self, observed: float, detail: str) -> SLOResult:
+        return SLOResult(
+            name=self.name,
+            kind=self.kind,
+            objective=self.objective,
+            observed=observed,
+            burn_rate=_burn_rate(observed, self.objective),
+            ok=observed >= self.objective,
+            detail=detail,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON spec entry (inverse of :func:`load_slo_spec`)."""
+        return {
+            "type": self.kind,
+            "name": self.name,
+            "counter": self.counter,
+            "good_labels": dict(self.good_labels),
+            "objective": self.objective,
+        }
+
+
+def _fraction_at_or_below(
+    histogram: Histogram, threshold: float, labels: Mapping[str, str]
+) -> float:
+    """Estimated P(x <= threshold) from bucketed counts.
+
+    Exact at bucket boundaries; linear interpolation inside the bucket
+    containing the threshold (the inverse of the quantile estimator, so
+    the two agree on which side of an objective a distribution falls).
+    """
+    key_series = histogram._series.get(  # noqa: SLF001 - same-package helper
+        tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+    )
+    if key_series is None or key_series.count == 0:
+        return 1.0
+    running = 0.0
+    for index, count in enumerate(key_series.bucket_counts):
+        upper = (
+            histogram.buckets[index]
+            if index < len(histogram.buckets)
+            else float("inf")
+        )
+        lower = histogram.buckets[index - 1] if index > 0 else 0.0
+        if threshold >= upper:
+            running += count
+            continue
+        if threshold <= lower:
+            break
+        # Threshold falls inside this bucket: interpolate.
+        if upper == float("inf"):
+            top = max(key_series.maximum, lower)
+            width = max(top - lower, 1e-12)
+        else:
+            width = upper - lower
+        running += count * min(max((threshold - lower) / width, 0.0), 1.0)
+        break
+    return min(running / key_series.count, 1.0)
+
+
+class SLOMonitor:
+    """Evaluates a set of objectives against one metrics registry."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        slos: Sequence[Any],
+    ) -> None:
+        self.registry = registry
+        self.slos = tuple(slos)
+
+    def evaluate(self) -> list[SLOResult]:
+        """Evaluate every objective; results in declaration order."""
+        return [slo.evaluate(self.registry) for slo in self.slos]
+
+    def all_ok(self) -> bool:
+        """True when every objective is currently met."""
+        return all(result.ok for result in self.evaluate())
+
+    def render(self, results: Sequence[SLOResult] | None = None) -> str:
+        """Fixed-width report, one line per objective."""
+        if results is None:
+            results = self.evaluate()
+        lines = ["SLO                        status  objective  observed  burn"]
+        for r in results:
+            lines.append(
+                f"{r.name:<26} {'OK' if r.ok else 'BREACH':>6}  "
+                f"{r.objective:>9.4f}  {r.observed:>8.4f}  "
+                f"{'inf' if r.burn_rate == float('inf') else f'{r.burn_rate:.2f}':>4}"
+                f"  {r.detail}"
+            )
+        return "\n".join(lines)
+
+
+def default_service_slos() -> list[Any]:
+    """The stock objectives for ``repro serve``: availability + latency.
+
+    Availability: 99% of completions are ``status=ok`` (timeouts,
+    rejections and errors all burn budget). Latency: 95% of solved
+    requests complete within 2 s of admission — loose enough for CI
+    hardware, tight enough to catch a stalled batcher.
+    """
+    return [
+        ErrorRateSLO(
+            name="availability",
+            counter="service.responses",
+            good_labels={"status": "ok"},
+            objective=0.99,
+        ),
+        LatencySLO(
+            name="latency_p95",
+            histogram="service.latency.seconds",
+            threshold_s=2.0,
+            objective=0.95,
+        ),
+    ]
+
+
+def load_slo_spec(source: str | Path | Mapping[str, Any]) -> list[Any]:
+    """Load objectives from a JSON spec (path or already-decoded dict).
+
+    Schema: ``{"slos": [{"type": "latency"|"error_rate", ...}, ...]}``;
+    per-type fields mirror :class:`LatencySLO` / :class:`ErrorRateSLO`
+    constructor arguments. The string ``"default"`` names the stock
+    :func:`default_service_slos` set.
+    """
+    if isinstance(source, (str, Path)):
+        if str(source) == "default":
+            return default_service_slos()
+        path = Path(source)
+        if not path.exists():
+            raise ReproError(f"SLO spec not found: {path}")
+        data: Mapping[str, Any] = json.loads(path.read_text())
+    else:
+        data = source
+    entries: Iterable[Mapping[str, Any]] = data.get("slos", [])
+    slos: list[Any] = []
+    for entry in entries:
+        kind = str(entry.get("type", ""))
+        if kind == "latency":
+            slos.append(
+                LatencySLO(
+                    name=str(entry["name"]),
+                    histogram=str(entry["histogram"]),
+                    threshold_s=float(entry["threshold_s"]),
+                    objective=float(entry.get("objective", 0.95)),
+                    labels=dict(entry.get("labels", {})) or None,
+                )
+            )
+        elif kind == "error_rate":
+            slos.append(
+                ErrorRateSLO(
+                    name=str(entry["name"]),
+                    counter=str(entry["counter"]),
+                    good_labels=dict(entry.get("good_labels", {})),
+                    objective=float(entry.get("objective", 0.99)),
+                )
+            )
+        else:
+            raise ReproError(
+                f"unknown SLO type {kind!r}; expected 'latency' or 'error_rate'"
+            )
+    if not slos:
+        raise ReproError("SLO spec contains no objectives")
+    return slos

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.exceptions import ReproError
+from repro.obs.spans import SpanContext
 from repro.perf.executor import SweepExecutor
 from repro.service.queue import QueuedRequest
 from repro.service.worker import ServiceCell, run_service_cell_guarded
@@ -39,8 +40,17 @@ class WorkUnit:
         """Leader first, then followers, in arrival order."""
         return [self.leader, *self.followers]
 
-    def cell(self) -> ServiceCell:
-        """The executable form of this unit."""
+    def cell(
+        self,
+        trace_ctx: SpanContext | None = None,
+        profile_memory: bool = False,
+    ) -> ServiceCell:
+        """The executable form of this unit.
+
+        ``trace_ctx`` — the unit span's context on the service side —
+        is pickled into the cell so the worker (possibly another
+        process) can parent its span subtree under it.
+        """
         request = self.leader.request
         return ServiceCell(
             recipe=request.recipe,
@@ -52,6 +62,8 @@ class WorkUnit:
             c_round=request.c_round,
             compute_lp=request.compute_lp,
             capture_events=request.capture_events,
+            trace_ctx=trace_ctx,
+            profile_memory=profile_memory,
         )
 
 
@@ -103,18 +115,31 @@ class Batcher:
                 unit.followers.append(item)
         return Batch(units=[units[key] for key in order])
 
-    def execute(self, batch: Batch) -> list[dict[str, Any]]:
+    def execute(
+        self,
+        batch: Batch,
+        trace_contexts: Sequence[SpanContext | None] | None = None,
+        profile_memory: bool = False,
+    ) -> list[dict[str, Any]]:
         """Solve the batch's unique cells, one result dict per unit.
 
         Results come back in unit (arrival) order regardless of the
         executor's worker count — see
         :meth:`repro.perf.executor.SweepExecutor.map_cells`. A failing
         cell yields an ``{"error": ...}`` dict in its slot instead of
-        aborting the batch.
+        aborting the batch. ``trace_contexts``, when given, must align
+        with ``batch.units``; each context is pickled into its unit's
+        cell and the worker's spans come back under the ``"spans"`` key
+        of that unit's result dict.
         """
         if not batch.units:
             return []
-        cells = [unit.cell() for unit in batch.units]
+        if trace_contexts is None:
+            trace_contexts = [None] * len(batch.units)
+        cells = [
+            unit.cell(trace_ctx=ctx, profile_memory=profile_memory)
+            for unit, ctx in zip(batch.units, trace_contexts)
+        ]
         for cell in cells:
             # Inline instances submitted in-process may be arbitrary
             # objects; recipes always ship. Validate before the pool does.

@@ -20,11 +20,13 @@ equivalence tests rely on when diffing served against direct results.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import socket
 from typing import Any, Iterable, Mapping
 
 from repro.exceptions import ReproError
+from repro.obs.spans import Tracer
 from repro.service.request import SolveRequest, SolveResponse
 from repro.service.service import SolveService
 
@@ -57,11 +59,37 @@ def decode_line(line: str) -> dict[str, Any]:
     return payload
 
 
-class ServiceClient:
-    """In-process convenience wrapper around a :class:`SolveService`."""
+def _stamp_trace(request: SolveRequest, tracer: Tracer) -> SolveRequest:
+    """Return ``request`` carrying the tracer's current span context.
 
-    def __init__(self, service: SolveService | None = None) -> None:
+    Requests that already carry a ``trace_ctx`` keep it — the caller's
+    causal chain wins over the client's session span.
+    """
+    if request.trace_ctx is not None:
+        return request
+    context = tracer.current_context()
+    if context is None:
+        return request
+    return dataclasses.replace(request, trace_ctx=context)
+
+
+class ServiceClient:
+    """In-process convenience wrapper around a :class:`SolveService`.
+
+    ``tracer``, when given, makes each :meth:`solve_many` call a
+    ``client.session`` root span and stamps its context onto every
+    submitted request (unless the request already carries one), so the
+    whole pipeline — queue, batch, worker, simulator rounds — hangs off
+    one connected trace tree.
+    """
+
+    def __init__(
+        self,
+        service: SolveService | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.service = service if service is not None else SolveService()
+        self.tracer = tracer
 
     def submit(self, request: SolveRequest) -> bool:
         """Offer one request; True when admitted."""
@@ -91,9 +119,21 @@ class ServiceClient:
         so one overloaded moment doesn't discard the whole batch.
         """
         submitted = list(requests)
-        for request in submitted:
-            self.service.submit(request)
-        self.service.run_until_drained()
+        if self.tracer is not None:
+            with self.tracer.span(
+                "client.session", requests=len(submitted)
+            ):
+                submitted = [
+                    _stamp_trace(request, self.tracer)
+                    for request in submitted
+                ]
+                for request in submitted:
+                    self.service.submit(request)
+                self.service.run_until_drained()
+        else:
+            for request in submitted:
+                self.service.submit(request)
+            self.service.run_until_drained()
         out: list[SolveResponse] = []
         for request in submitted:
             response = self.service.fetch(request.request_id)
@@ -112,11 +152,20 @@ class SocketServiceClient:
 
     Usable as a context manager; :meth:`close` just drops the
     connection (the server keeps running), while :meth:`shutdown` asks
-    the server process to exit.
+    the server process to exit. With a ``tracer``, submitted requests
+    are stamped with the tracer's current span context (``trace`` wire
+    field), so a tracing server parents its spans under this client —
+    one trace tree across the socket boundary.
     """
 
-    def __init__(self, path: str, timeout_s: float = 30.0) -> None:
+    def __init__(
+        self,
+        path: str,
+        timeout_s: float = 30.0,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.path = str(path)
+        self.tracer = tracer
         self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         self._sock.settimeout(timeout_s)
         self._sock.connect(self.path)
@@ -147,6 +196,8 @@ class SocketServiceClient:
 
     def submit(self, request: SolveRequest) -> bool:
         """Send one solve request; True when the server admitted it."""
+        if self.tracer is not None:
+            request = _stamp_trace(request, self.tracer)
         self._send(request.to_wire())
         ack = self._recv()
         return bool(ack.get("accepted", False))

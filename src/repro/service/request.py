@@ -24,6 +24,7 @@ from repro.fl.generators import FAMILIES
 from repro.fl.instance import FacilityLocationInstance
 from repro.fl.io import instance_from_dict, instance_to_dict
 from repro.obs.manifest import instance_digest
+from repro.obs.spans import SpanContext
 
 __all__ = ["InstanceRecipe", "SolveRequest", "SolveResponse"]
 
@@ -92,6 +93,13 @@ class SolveRequest:
     LP solve, memoized by instance digest); ``capture_events`` runs the
     solve under a bounded trace and reports per-kind protocol event
     counts.
+
+    ``trace_ctx`` is the submitter's span context
+    (:class:`~repro.obs.spans.SpanContext`): when set, every span the
+    service opens for this request parents under it, making the client
+    the root of one connected trace tree. Like ``request_id`` it is
+    per-submission plumbing — it never participates in
+    :meth:`work_key`, so tracing cannot perturb batching or dedup.
     """
 
     request_id: str
@@ -105,6 +113,7 @@ class SolveRequest:
     compute_lp: bool = False
     capture_events: bool = False
     timeout_s: float | None = None
+    trace_ctx: SpanContext | None = None
 
     def __post_init__(self) -> None:
         if not self.request_id:
@@ -173,6 +182,8 @@ class SolveRequest:
         }
         if self.timeout_s is not None:
             payload["timeout_s"] = self.timeout_s
+        if self.trace_ctx is not None:
+            payload["trace"] = self.trace_ctx.to_wire()
         if self.recipe is not None:
             payload["recipe"] = self.recipe.to_wire()
         else:
@@ -190,6 +201,9 @@ class SolveRequest:
         if "instance" in data and data["instance"] is not None:
             instance = instance_from_dict(dict(data["instance"]))
         timeout = data.get("timeout_s")
+        trace_ctx = None
+        if data.get("trace"):
+            trace_ctx = SpanContext.from_wire(data["trace"])
         return cls(
             request_id=str(data.get("request_id", "")),
             recipe=recipe,
@@ -202,6 +216,7 @@ class SolveRequest:
             compute_lp=bool(data.get("compute_lp", False)),
             capture_events=bool(data.get("capture_events", False)),
             timeout_s=float(timeout) if timeout is not None else None,
+            trace_ctx=trace_ctx,
         )
 
 

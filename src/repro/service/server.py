@@ -12,7 +12,9 @@ input line          reply line(s)
 ``{"type":"flush"}`` one ``response`` line per completed request, in
                     arrival order, then ``flush_done`` with the count
 ``{"type":"fetch"}`` the retained ``response`` line, or an ``error``
-``{"type":"metrics"}`` one ``metrics`` line (the flat summary dict)
+``{"type":"metrics"}`` one ``metrics`` line (the flat summary dict;
+                    with ``"full": true`` the line also carries the
+                    complete registry ``snapshot`` payload)
 ``{"type":"shutdown"}`` one ``bye`` line; the server then stops
 =================== ==================================================
 
@@ -32,6 +34,7 @@ from pathlib import Path
 from typing import IO, Any, Iterator, Mapping
 
 from repro.exceptions import ReproError
+from repro.obs.metrics_io import snapshot_payload
 from repro.service.client import decode_line, encode_line
 from repro.service.request import SolveRequest
 from repro.service.service import SolveService
@@ -73,7 +76,17 @@ class ServiceProtocol:
             else:
                 yield response.to_wire()
         elif kind == "metrics":
-            yield {"type": "metrics", "metrics": self.service.metrics_summary()}
+            if payload.get("full"):
+                yield {
+                    "type": "metrics",
+                    "metrics": self.service.metrics_summary(),
+                    "snapshot": snapshot_payload(self.service.registry),
+                }
+            else:
+                yield {
+                    "type": "metrics",
+                    "metrics": self.service.metrics_summary(),
+                }
         elif kind == "shutdown":
             self.shutting_down = True
             yield {"type": "bye"}

@@ -47,6 +47,7 @@ from typing import Any, Callable
 
 from repro.exceptions import ReproError
 from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import Span, Tracer
 from repro.perf.cache import cache_stats
 from repro.perf.executor import SweepExecutor
 from repro.service.batcher import Batcher
@@ -84,6 +85,10 @@ class ServiceConfig:
         until capacity eviction).
     max_results:
         Result-store capacity.
+    profile_memory:
+        When the service is traced, opt worker solve spans into
+        ``tracemalloc`` peak sampling (reported as ``mem_peak_kb``).
+        Ignored without a tracer.
     """
 
     max_queue_depth: int = 256
@@ -91,6 +96,7 @@ class ServiceConfig:
     workers: int = 1
     result_ttl_s: float | None = 300.0
     max_results: int = 1024
+    profile_memory: bool = False
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -115,6 +121,15 @@ class SolveService:
     clock:
         Monotonic time source shared by the queue, the store and the
         latency accounting; injectable for deterministic tests.
+    tracer:
+        Optional :class:`~repro.obs.spans.Tracer`. When set, every
+        request gets a ``service.request`` span (parented under the
+        submitter's :attr:`~repro.service.request.SolveRequest.
+        trace_ctx` when present), every batch a ``service.batch`` span
+        with per-unit ``service.unit`` children, and worker span
+        subtrees are adopted back into this tracer on merge. Spans never
+        touch ``result``/``manifest`` payloads — traced responses stay
+        byte-identical to untraced ones.
     """
 
     def __init__(
@@ -123,10 +138,13 @@ class SolveService:
         registry: MetricsRegistry | None = None,
         executor: SweepExecutor | None = None,
         clock: Callable[[], float] = time.monotonic,
+        tracer: Tracer | None = None,
     ) -> None:
         self.config = config if config is not None else ServiceConfig()
         self.registry = registry if registry is not None else MetricsRegistry()
         self._clock = clock
+        self.tracer = tracer
+        self._request_spans: dict[str, Span] = {}
         self.queue = AdmissionQueue(
             max_depth=self.config.max_queue_depth, clock=clock
         )
@@ -193,6 +211,13 @@ class SolveService:
         response is retained in the store so ``fetch`` tells the client
         what happened instead of silently knowing nothing.
         """
+        if self.tracer is not None:
+            self._request_spans[request.request_id] = self.tracer.start_span(
+                "service.request",
+                parent=request.trace_ctx,
+                attributes={"request_id": request.request_id},
+                detached=True,
+            )
         outcome = self.queue.offer(request)
         if outcome.accepted:
             self._requests.inc(status="accepted")
@@ -240,8 +265,51 @@ class SolveService:
             )
         if live:
             batch = self.batcher.form(live)
+            batch_span: Span | None = None
+            unit_spans: list[Span] = []
+            trace_contexts = None
+            if self.tracer is not None:
+                parent = next(
+                    (
+                        req_span.context
+                        for item in live
+                        if (
+                            req_span := self._request_spans.get(
+                                item.request.request_id
+                            )
+                        )
+                        is not None
+                    ),
+                    None,
+                )
+                batch_span = self.tracer.start_span(
+                    "service.batch",
+                    parent=parent,
+                    attributes={
+                        "requests": batch.num_requests,
+                        "unique": batch.num_unique,
+                    },
+                    detached=True,
+                )
+                unit_spans = [
+                    self.tracer.start_span(
+                        "service.unit",
+                        parent=batch_span,
+                        attributes={
+                            "request_id": unit.leader.request.request_id,
+                            "followers": len(unit.followers),
+                        },
+                        detached=True,
+                    )
+                    for unit in batch.units
+                ]
+                trace_contexts = [span.context for span in unit_spans]
             before = cache_stats()
-            outcomes = self.batcher.execute(batch)
+            outcomes = self.batcher.execute(
+                batch,
+                trace_contexts=trace_contexts,
+                profile_memory=self.config.profile_memory,
+            )
             after = cache_stats()
             for cache in ("instance", "lp"):
                 delta = after[f"{cache}_hits"] - before[f"{cache}_hits"]
@@ -252,11 +320,20 @@ class SolveService:
             self._batch_unique.observe(batch.num_unique)
             self._dedup_hits.inc(batch.dedup_hits)
             batch_index = int(self._batches.total) - 1
-            for unit, outcome in zip(batch.units, outcomes):
+            for index, (unit, outcome) in enumerate(zip(batch.units, outcomes)):
+                if self.tracer is not None:
+                    worker_spans = outcome.pop("spans", None)
+                    if worker_spans:
+                        self.tracer.adopt(worker_spans)
+                    unit_spans[index].end(
+                        status="error" if "error" in outcome else "ok"
+                    )
                 for position, item in enumerate(unit.requests):
                     responses[item.seq] = self._respond(
                         item, outcome, dedup=position > 0, batch=batch_index
                     )
+            if batch_span is not None:
+                batch_span.end()
         ordered = [
             responses[item.seq]
             for item in sorted(live + expired, key=lambda i: i.seq)
@@ -345,5 +422,10 @@ class SolveService:
         self._responses.inc(status=response.status)
         if response.status == "ok":
             self._latency.observe(response.wait_s)
+        span = self._request_spans.pop(response.request_id, None)
+        if span is not None:
+            span.annotate(
+                dedup=response.dedup, batch_index=response.batch_index
+            ).end(status=response.status)
         self.store.put(response)
         self._store_size.set(len(self.store))

@@ -27,6 +27,7 @@ from repro.core.dual_ascent_nodes import RoundingPolicy
 from repro.fl.instance import FacilityLocationInstance
 from repro.obs.manifest import RunRecord
 from repro.obs.sinks import RingBufferTrace
+from repro.obs.spans import SpanContext, Tracer
 from repro.perf.cache import cached_instance, cached_lp_value
 from repro.service.request import InstanceRecipe
 
@@ -41,6 +42,13 @@ class ServiceCell:
     fields mirror the request's algorithm knobs. Frozen + plain data, so
     cells pickle cheaply and pass :class:`~repro.perf.executor.
     SweepExecutor`'s spawn-safety checks.
+
+    ``trace_ctx`` is the causal context of the work unit's span on the
+    service side; it crosses the process boundary inside the pickled
+    cell, and the worker parents its whole span subtree under it (ids
+    namespaced by the parent span id, so the merged tree cannot
+    collide). ``profile_memory`` opts the worker's solve span into
+    ``tracemalloc`` peak sampling.
     """
 
     recipe: InstanceRecipe | None
@@ -52,6 +60,8 @@ class ServiceCell:
     c_round: float
     compute_lp: bool
     capture_events: bool
+    trace_ctx: SpanContext | None = None
+    profile_memory: bool = False
 
 
 def run_service_cell(cell: ServiceCell) -> dict[str, Any]:
@@ -62,15 +72,43 @@ def run_service_cell(cell: ServiceCell) -> dict[str, Any]:
     extras), and ``result`` is the compact answer clients consume (cost,
     open facilities, rounds, message totals, optional LP ratio and
     per-kind event counts).
+
+    When the cell carries a :class:`~repro.obs.spans.SpanContext`, the
+    worker builds a span subtree under it — ``worker.solve`` wrapping
+    ``worker.instance`` / ``worker.lp`` / the traced solve with its
+    per-round children — and ships it back under the extra ``"spans"``
+    key. The key rides *next to* ``result``/``manifest``, never inside
+    them, so traced and untraced answers stay byte-identical.
     """
+    tracer: Tracer | None = None
+    root = None
+    if cell.trace_ctx is not None:
+        tracer = Tracer(
+            trace_id=cell.trace_ctx.trace_id,
+            id_prefix=f"{cell.trace_ctx.span_id}/",
+            profile_memory=cell.profile_memory,
+        )
+        root = tracer.start_span(
+            "worker.solve",
+            parent=cell.trace_ctx,
+            attributes={"k": cell.k, "variant": cell.variant},
+        )
     if cell.recipe is not None:
-        instance = cached_instance(*cell.recipe.key())
+        if tracer is not None:
+            with tracer.span("worker.instance", family=cell.recipe.family):
+                instance = cached_instance(*cell.recipe.key())
+        else:
+            instance = cached_instance(*cell.recipe.key())
     else:
         assert cell.instance is not None
         instance = cell.instance
     lp_value: float | None = None
     if cell.compute_lp:
-        lp_value = cached_lp_value(instance)
+        if tracer is not None:
+            with tracer.span("worker.lp"):
+                lp_value = cached_lp_value(instance)
+        else:
+            lp_value = cached_lp_value(instance)
     trace = RingBufferTrace() if cell.capture_events else None
     result = solve_distributed(
         instance,
@@ -79,6 +117,7 @@ def run_service_cell(cell: ServiceCell) -> dict[str, Any]:
         seed=cell.seed,
         rounding=RoundingPolicy(mode=cell.rounding, c_round=cell.c_round),
         trace=trace,
+        tracer=tracer,
     )
     extras: dict[str, Any] = {}
     if lp_value is not None:
@@ -113,7 +152,13 @@ def run_service_cell(cell: ServiceCell) -> dict[str, Any]:
         for event in trace:
             counts[event.event] = counts.get(event.event, 0) + 1
         payload["events_by_kind"] = dict(sorted(counts.items()))
-    return {"result": payload, "manifest": manifest.to_dict()}
+    out: dict[str, Any] = {"result": payload, "manifest": manifest.to_dict()}
+    if tracer is not None:
+        assert root is not None
+        root.annotate(cost=result.cost, rounds=result.metrics.rounds).end()
+        tracer.close()
+        out["spans"] = tracer.export()
+    return out
 
 
 def run_service_cell_guarded(cell: ServiceCell) -> dict[str, Any]:

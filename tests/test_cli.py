@@ -286,3 +286,149 @@ class TestServe:
         out = capsys.readouterr().out
         for flag in ("--socket", "--batch-size", "--workers", "--ttl"):
             assert flag in out
+        for flag in ("--trace-spans", "--slo", "--profile-memory"):
+            assert flag in out
+
+    def test_trace_spans_and_slo_session(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        from repro.service import encode_line
+
+        span_log = tmp_path / "spans.jsonl"
+        lines = [
+            encode_line(
+                {
+                    "type": "solve",
+                    "request_id": "t0",
+                    "recipe": {"family": "uniform", "m": 6, "n": 15, "seed": 1},
+                    "k": 4,
+                }
+            )
+        ]
+        monkeypatch.setattr("sys.stdin", io.StringIO("".join(lines)))
+        code = main(
+            ["serve", "--trace-spans", str(span_log), "--slo", "default"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "availability" in err and "OK" in err
+        from repro.obs.spans import load_spans_jsonl
+
+        names = {s.name for s in load_spans_jsonl(span_log)}
+        assert {
+            "service.request",
+            "service.batch",
+            "service.unit",
+            "worker.solve",
+            "sim.round",
+        } <= names
+
+    def test_slo_breach_fails_the_exit_code(self, capsys, monkeypatch):
+        import io
+
+        from repro.service import encode_line
+
+        # A malformed work unit (unknown rounding mode) completes with
+        # status=error, breaching the stock availability objective.
+        line = encode_line(
+            {
+                "type": "solve",
+                "request_id": "bad",
+                "recipe": {"family": "uniform", "m": 6, "n": 15, "seed": 1},
+                "k": 4,
+                "rounding": "no_such_mode",
+            }
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(line))
+        code = main(["serve", "--slo", "default"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "BREACH" in err and "SLO violation" in err
+
+
+class TestTraceVerb:
+    def _span_log(self, tmp_path):
+        from repro.obs.spans import Tracer, write_spans_jsonl
+
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        path = tmp_path / "spans.jsonl"
+        write_spans_jsonl(tracer.export(), path)
+        return path
+
+    def test_tree_renders_with_critical_path(self, tmp_path, capsys):
+        path = self._span_log(tmp_path)
+        assert main(["trace", "tree", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "root" in out and "child" in out
+        assert out.splitlines()[0].startswith("*")
+
+    def test_export_writes_trace_event_json(self, tmp_path, capsys):
+        path = self._span_log(tmp_path)
+        out_file = tmp_path / "trace.json"
+        assert main(["trace", "export", str(path), "-o", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["traceEvents"]
+        assert all(e["ph"] == "X" for e in payload["traceEvents"])
+
+    def test_missing_span_log_errors(self, tmp_path, capsys):
+        code = main(["trace", "tree", str(tmp_path / "absent.jsonl")])
+        assert code == 1
+        assert "span log not found" in capsys.readouterr().err
+
+
+class TestTopVerb:
+    def test_renders_snapshot_and_spans(self, tmp_path, capsys):
+        # Produce both artifacts through the solve CLI itself.
+        snap = tmp_path / "metrics.json"
+        spans = tmp_path / "spans.jsonl"
+        main(
+            [
+                "solve",
+                "--family",
+                "uniform",
+                "-m",
+                "6",
+                "-n",
+                "15",
+                "-k",
+                "4",
+                "--metrics-out",
+                str(snap),
+                "--spans",
+                str(spans),
+                "--json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics_out"] == str(snap)
+        assert payload["spans"] == str(spans)
+        assert main(["top", str(snap), "--spans", str(spans)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics snapshot" in out
+        assert "net_messages_total" in out
+        assert "slowest spans" in out
+        assert "algo.run" in out
+
+    def test_interval_mode_stops_at_count(self, tmp_path, capsys):
+        snap = tmp_path / "metrics.json"
+        main(
+            [
+                "solve", "--family", "uniform", "-m", "5", "-n", "10",
+                "-k", "3", "--metrics-out", str(snap),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            ["top", str(snap), "--interval", "0.01", "--count", "2"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.count("metrics snapshot") == 2
+
+    def test_wrong_schema_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "nope"}))
+        assert main(["top", str(bad)]) == 1
+        assert "snapshot" in capsys.readouterr().err

@@ -80,6 +80,16 @@ def test_road_network_depots(capsys):
     assert "chosen depots" in out
 
 
+def test_tracing(capsys):
+    out = _run_example("tracing", capsys)
+    assert "one span tree, client to simulator round" in out
+    assert "client.session" in out
+    assert "worker.solve" in out
+    assert "critical path" in out
+    assert "availability" in out  # the SLO table rendered
+    assert "wrote chrome trace" in out
+
+
 def test_serving(capsys):
     out = _run_example("serving", capsys)
     assert "mixed batch through the solve service" in out

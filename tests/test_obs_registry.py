@@ -127,6 +127,44 @@ class TestHistogramQuantile:
         assert hist.quantile(0.5, kind="fast") == 0.5
         assert hist.quantile(0.5, kind="slow") == 9.0
 
+    def test_q_of_exactly_one_reports_observed_max(self):
+        hist = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.2, 3.0, 42.0):
+            hist.observe(value)
+        assert hist.quantile(1.0) == 42.0
+
+    def test_tiny_q_clamps_to_observed_min(self):
+        hist = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (2.0, 3.0, 5.0):
+            hist.observe(value)
+        assert hist.quantile(1e-9) == 2.0
+
+    def test_duplicate_heavy_distribution_collapses(self):
+        # Every observation identical: any quantile must report that
+        # value exactly (the clamp, not the interpolation, decides).
+        hist = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for _ in range(1000):
+            hist.observe(7.0)
+        for q in (0.01, 0.5, 0.95, 1.0):
+            assert hist.quantile(q) == 7.0
+
+    def test_duplicate_spike_with_outlier_tail(self):
+        hist = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for _ in range(99):
+            hist.observe(2.0)
+        hist.observe(90.0)
+        assert hist.quantile(0.5) == pytest.approx(2.0, abs=4.0)
+        assert hist.quantile(0.5) >= 2.0
+        assert hist.quantile(1.0) == 90.0
+
+    def test_quantiles_monotone_in_q(self):
+        hist = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.1, 0.5, 2.0, 2.0, 8.0, 40.0, 90.0):
+            hist.observe(value)
+        qs = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+        estimates = [hist.quantile(q) for q in qs]
+        assert estimates == sorted(estimates)
+
 
 class TestMetricsRegistry:
     def test_get_or_create_returns_same_instrument(self):

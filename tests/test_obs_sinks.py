@@ -81,6 +81,47 @@ class TestJsonlTraceSink:
         sink.close()
         sink.close()
 
+    def test_record_after_close_raises_clear_error(self, tmp_path):
+        from repro.exceptions import ReproError
+
+        path = tmp_path / "t.jsonl"
+        sink = JsonlTraceSink(path)
+        sink.record(1, 0, "a", {})
+        sink.close()
+        # Not a raw ValueError from the closed file object: a ReproError
+        # naming the sink and its path.
+        with pytest.raises(ReproError, match="closed") as excinfo:
+            sink.record(2, 0, "b", {})
+        assert str(path) in str(excinfo.value)
+        with pytest.raises(ReproError, match="closed"):
+            sink.write_json({"k": "v"})
+
+    def test_close_fsyncs_owned_streams(self, tmp_path, monkeypatch):
+        import os
+
+        synced: list[int] = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            "repro.obs.sinks.os.fsync",
+            lambda fd: (synced.append(fd), real_fsync(fd))[1],
+        )
+        path = tmp_path / "t.jsonl"
+        with JsonlTraceSink(path) as sink:
+            sink.record(1, 0, "a", {})
+        assert synced  # the owned stream was fsynced before closing
+        assert json.loads(path.read_text().splitlines()[0])["event"] == "a"
+
+    def test_external_streams_are_not_fsynced(self, monkeypatch):
+        calls: list[int] = []
+        monkeypatch.setattr(
+            "repro.obs.sinks.os.fsync", lambda fd: calls.append(fd)
+        )
+        buffer = io.StringIO()
+        sink = JsonlTraceSink(buffer)
+        sink.record(1, 0, "a", {})
+        sink.close()
+        assert not calls
+
     def test_creates_parent_directories(self, tmp_path):
         path = tmp_path / "deep" / "nested" / "t.jsonl"
         with JsonlTraceSink(path) as sink:
@@ -107,6 +148,30 @@ class TestRingBufferTrace:
     def test_rejects_non_positive_capacity(self):
         with pytest.raises(ValueError, match="capacity"):
             RingBufferTrace(capacity=0)
+
+    def test_exact_capacity_boundary_drops_nothing(self):
+        trace = RingBufferTrace(capacity=4)
+        for i in range(4):
+            trace.record(i, 0, f"e{i}", {})
+        assert len(trace) == 4
+        assert trace.total_recorded == 4
+        assert trace.dropped_events == 0
+        # One more event starts the wrap.
+        trace.record(4, 0, "e4", {})
+        assert len(trace) == 4
+        assert trace.total_recorded == 5
+        assert trace.dropped_events == 1
+
+    def test_multiple_wraps_keep_accounting_consistent(self):
+        trace = RingBufferTrace(capacity=3)
+        for i in range(11):
+            trace.record(i, 0, f"e{i}", {})
+        # The invariant under any wrap count: total = retained + dropped.
+        assert trace.total_recorded == 11
+        assert len(trace) == 3
+        assert trace.dropped_events == 8
+        assert trace.total_recorded == len(trace) + trace.dropped_events
+        assert [e.event for e in trace] == ["e8", "e9", "e10"]
 
 
 class TestMultiTrace:

@@ -1,0 +1,193 @@
+"""Tests for SLO evaluation, burn rates, specs, and metrics snapshots."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.obs.metrics_io import (
+    SNAPSHOT_SCHEMA,
+    load_snapshot,
+    snapshot_payload,
+    write_snapshot,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import (
+    ErrorRateSLO,
+    LatencySLO,
+    SLOMonitor,
+    default_service_slos,
+    load_slo_spec,
+)
+
+
+@pytest.fixture()
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestErrorRateSLO:
+    def test_all_good_meets_objective(self, registry):
+        counter = registry.counter("service.responses")
+        for _ in range(100):
+            counter.inc(status="ok")
+        result = ErrorRateSLO(
+            "avail", "service.responses", {"status": "ok"}, objective=0.99
+        ).evaluate(registry)
+        assert result.ok
+        assert result.observed == 1.0
+        assert result.burn_rate == 0.0
+
+    def test_burn_rate_measures_budget_consumption(self, registry):
+        counter = registry.counter("service.responses")
+        for _ in range(98):
+            counter.inc(status="ok")
+        counter.inc(2, status="error")
+        result = ErrorRateSLO(
+            "avail", "service.responses", {"status": "ok"}, objective=0.99
+        ).evaluate(registry)
+        assert not result.ok
+        assert result.observed == pytest.approx(0.98)
+        # 2% errors against a 1% budget: burning at 2x.
+        assert result.burn_rate == pytest.approx(2.0)
+
+    def test_idle_counter_is_vacuously_compliant(self, registry):
+        registry.counter("service.responses")
+        result = ErrorRateSLO(
+            "avail", "service.responses", {"status": "ok"}
+        ).evaluate(registry)
+        assert result.ok and result.observed == 1.0
+
+    def test_missing_counter_is_vacuously_compliant(self, registry):
+        result = ErrorRateSLO(
+            "avail", "does.not.exist", {"status": "ok"}
+        ).evaluate(registry)
+        assert result.ok
+        assert "no such counter" in result.detail
+
+
+class TestLatencySLO:
+    def _histogram(self, registry, values):
+        hist = registry.histogram(
+            "lat", buckets=(0.01, 0.1, 1.0, 10.0)
+        )
+        for value in values:
+            hist.observe(value)
+        return hist
+
+    def test_fast_traffic_meets_objective(self, registry):
+        self._histogram(registry, [0.005] * 100)
+        result = LatencySLO(
+            "p95", "lat", threshold_s=0.5, objective=0.95
+        ).evaluate(registry)
+        assert result.ok
+        assert result.observed == 1.0
+
+    def test_slow_tail_breaches(self, registry):
+        self._histogram(registry, [0.005] * 80 + [5.0] * 20)
+        result = LatencySLO(
+            "p95", "lat", threshold_s=0.5, objective=0.95
+        ).evaluate(registry)
+        assert not result.ok
+        assert result.observed < 0.95
+        assert result.burn_rate > 1.0
+
+    def test_threshold_on_bucket_boundary_is_exact(self, registry):
+        self._histogram(registry, [0.005] * 90 + [0.5] * 10)
+        # All 90 fast observations sit in the <=0.01 bucket; the
+        # threshold at exactly 0.1 covers them all and none of the slow.
+        result = LatencySLO(
+            "p", "lat", threshold_s=0.1, objective=0.9
+        ).evaluate(registry)
+        assert result.observed == pytest.approx(0.9)
+
+    def test_empty_histogram_is_vacuously_compliant(self, registry):
+        registry.histogram("lat", buckets=(0.01, 0.1))
+        result = LatencySLO("p", "lat", threshold_s=0.1).evaluate(registry)
+        assert result.ok
+        assert "no observations" in result.detail
+
+
+class TestSLOMonitor:
+    def test_evaluate_and_render(self, registry):
+        counter = registry.counter("service.responses")
+        counter.inc(10, status="ok")
+        monitor = SLOMonitor(registry, default_service_slos())
+        results = monitor.evaluate()
+        assert [r.name for r in results] == ["availability", "latency_p95"]
+        assert monitor.all_ok()
+        rendered = monitor.render()
+        assert "availability" in rendered and "OK" in rendered
+
+    def test_breach_flips_all_ok(self, registry):
+        counter = registry.counter("service.responses")
+        counter.inc(1, status="ok")
+        counter.inc(1, status="error")
+        monitor = SLOMonitor(registry, default_service_slos())
+        assert not monitor.all_ok()
+        assert "BREACH" in monitor.render()
+
+    def test_result_round_trips_to_json(self, registry):
+        registry.counter("service.responses").inc(status="ok")
+        results = SLOMonitor(registry, default_service_slos()).evaluate()
+        payload = json.loads(json.dumps([r.to_dict() for r in results]))
+        assert payload[0]["kind"] == "error_rate"
+        assert payload[0]["ok"] is True
+
+
+class TestSLOSpec:
+    def test_default_keyword(self):
+        slos = load_slo_spec("default")
+        assert {s.kind for s in slos} == {"error_rate", "latency"}
+
+    def test_json_file_round_trip(self, tmp_path):
+        spec = {
+            "slos": [
+                s.to_dict() for s in default_service_slos()
+            ]
+        }
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps(spec))
+        slos = load_slo_spec(path)
+        assert len(slos) == 2
+        assert slos[0].name == "availability"
+        assert slos[1].threshold_s == 2.0
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ReproError, match="unknown SLO type"):
+            load_slo_spec({"slos": [{"type": "weather", "name": "x"}]})
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ReproError, match="no objectives"):
+            load_slo_spec({"slos": []})
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="not found"):
+            load_slo_spec(tmp_path / "absent.json")
+
+
+class TestMetricsSnapshot:
+    def test_payload_is_schema_tagged(self, registry):
+        registry.counter("c").inc(3)
+        payload = snapshot_payload(registry, meta={"source": "test"})
+        assert payload["schema"] == SNAPSHOT_SCHEMA
+        assert payload["meta"] == {"source": "test"}
+        assert payload["metrics"]["c"]["total"] == 3
+
+    def test_write_and_load_round_trip(self, registry, tmp_path):
+        registry.gauge("g").set(7.5)
+        path = write_snapshot(registry, tmp_path / "snap.json")
+        loaded = load_snapshot(path)
+        assert loaded["metrics"]["g"]["values"][0]["value"] == 7.5
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"schema": "other/v9"}))
+        with pytest.raises(ReproError, match="not a repro.metrics.snapshot"):
+            load_snapshot(path)
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="not found"):
+            load_snapshot(tmp_path / "absent.json")

@@ -79,6 +79,21 @@ class TestServiceProtocol:
         assert reply == {"type": "bye"}
         assert protocol.shutting_down
 
+    def test_full_metrics_carries_the_registry_snapshot(self):
+        from repro.obs.metrics_io import SNAPSHOT_SCHEMA
+
+        protocol = ServiceProtocol(SolveService())
+        list(protocol.handle(request("a").to_wire()))
+        list(protocol.handle({"type": "flush"}))
+        (plain,) = protocol.handle({"type": "metrics"})
+        assert "snapshot" not in plain
+        (full,) = protocol.handle({"type": "metrics", "full": True})
+        snapshot = full["snapshot"]
+        assert snapshot["schema"] == SNAPSHOT_SCHEMA
+        assert "service.requests" in snapshot["metrics"]
+        # The flat summary rides along unchanged in both shapes.
+        assert full["metrics"] == plain["metrics"]
+
 
 class TestServeJsonl:
     def test_stream_session_with_implicit_eof_flush(self):

@@ -139,6 +139,61 @@ class TestServedEqualsDirect:
             assert a.dedup == b.dedup
             assert canonical(dict(a.manifest)) == canonical(dict(b.manifest))
 
+    def test_tracing_changes_no_output_bytes(self):
+        # The tracing determinism guardrail: a fully traced pipeline
+        # (client session span, request/batch/unit spans, worker span
+        # subtrees, per-round simulator spans, memory profiling) must
+        # return byte-identical results and manifests to the untraced
+        # run. Spans ride next to the payload, never inside it.
+        from repro.obs.spans import Tracer
+        from repro.service.service import ServiceConfig
+
+        _, plain = self.run_workload()
+        clear_caches()
+        tracer = Tracer()
+        service = SolveService(
+            config=ServiceConfig(profile_memory=True), tracer=tracer
+        )
+        client = ServiceClient(service, tracer=tracer)
+        traced = {
+            r.request_id: r
+            for r in client.solve_many(
+                [build_request(spec) for spec in WORKLOAD]
+            )
+        }
+        tracer.close()
+        assert tracer.finished  # tracing actually happened
+        for spec in WORKLOAD:
+            a, b = plain[spec["rid"]], traced[spec["rid"]]
+            assert a.status == b.status == "ok"
+            assert json.dumps(dict(a.result), sort_keys=True) == json.dumps(
+                dict(b.result), sort_keys=True
+            )
+            assert a.dedup == b.dedup
+            assert canonical(dict(a.manifest)) == canonical(dict(b.manifest))
+
+    def test_traced_parallel_workers_change_nothing(self):
+        from repro.obs.spans import Tracer
+
+        _, serial = self.run_workload(workers=1)
+        clear_caches()
+        tracer = Tracer()
+        service = SolveService(
+            executor=SweepExecutor(workers=2), tracer=tracer
+        )
+        client = ServiceClient(service, tracer=tracer)
+        traced = {
+            r.request_id: r
+            for r in client.solve_many(
+                [build_request(spec) for spec in WORKLOAD]
+            )
+        }
+        tracer.close()
+        for spec in WORKLOAD:
+            a, b = serial[spec["rid"]], traced[spec["rid"]]
+            assert a.result["cost"] == b.result["cost"]
+            assert canonical(dict(a.manifest)) == canonical(dict(b.manifest))
+
     def test_inline_instance_matches_recipe_answer(self):
         # The same problem submitted two ways (recipe vs inline upload)
         # yields identical costs and open sets.

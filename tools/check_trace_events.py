@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Validate a Chrome/Perfetto ``trace_event`` JSON file.
+
+The schema gate behind the ``trace-smoke`` CI job: the file
+``repro trace export`` produced must be something ``chrome://tracing``
+and Perfetto will actually load. Checks the envelope
+(``traceEvents`` list + ``displayTimeUnit``) and every event record:
+complete-event phase (``"ph": "X"``), non-negative microsecond
+``ts``/``dur``, string ``name``/``cat``, integer ``pid``/``tid``, and a
+dict ``args``. Exits 1 listing every violation.
+
+Usage::
+
+    python tools/check_trace_events.py TRACE.json [--min-events N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+
+def validate_event(index: int, event: Any) -> list[str]:
+    """Problems with one ``traceEvents`` record (empty when valid)."""
+    problems = []
+    where = f"traceEvents[{index}]"
+    if not isinstance(event, dict):
+        return [f"{where}: not an object"]
+    if event.get("ph") != "X":
+        problems.append(f"{where}: ph must be 'X', got {event.get('ph')!r}")
+    for key in ("ts", "dur"):
+        value = event.get(key)
+        if not isinstance(value, (int, float)) or value < 0:
+            problems.append(f"{where}: {key} must be a number >= 0, got {value!r}")
+    for key in ("name", "cat"):
+        if not isinstance(event.get(key), str) or not event.get(key):
+            problems.append(f"{where}: {key} must be a non-empty string")
+    for key in ("pid", "tid"):
+        if not isinstance(event.get(key), int):
+            problems.append(f"{where}: {key} must be an integer")
+    if not isinstance(event.get("args"), dict):
+        problems.append(f"{where}: args must be an object")
+    return problems
+
+
+def validate_trace(path: Path, min_events: int) -> list[str]:
+    """All schema problems with a trace file (empty when valid)."""
+    if not path.exists():
+        return [f"{path}: no such file"]
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"{path}: not valid JSON ({exc})"]
+    if not isinstance(payload, dict):
+        return [f"{path}: top level must be an object"]
+    problems = []
+    if payload.get("displayTimeUnit") not in ("ms", "ns"):
+        problems.append(
+            f"displayTimeUnit must be 'ms' or 'ns', got "
+            f"{payload.get('displayTimeUnit')!r}"
+        )
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return problems + ["traceEvents must be a list"]
+    if len(events) < min_events:
+        problems.append(
+            f"expected at least {min_events} events, found {len(events)}"
+        )
+    for index, event in enumerate(events):
+        problems.extend(validate_event(index, event))
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", type=Path, help="trace_event JSON file")
+    parser.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        help="fail unless the file holds at least this many events",
+    )
+    args = parser.parse_args(argv)
+    problems = validate_trace(args.trace, args.min_events)
+    if problems:
+        for problem in problems:
+            print(f"BAD {problem}", file=sys.stderr)
+        return 1
+    count = len(json.loads(args.trace.read_text())["traceEvents"])
+    print(f"trace OK: {args.trace} ({count} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
