@@ -337,14 +337,35 @@ def run_chaos(
             f"{FAULT_FAMILIES}"
         )
     start = time.perf_counter()
-    baseline = DistributedFacilityLocation(
-        instance,
-        k=k,
-        variant=variant,
-        seed=0,
-        reliability=reliability,
-        healing=healing,
-    ).run()
+    # The fault-free baseline anchors every inflation ratio, so run it
+    # twice under the flight recorder and digest-compare: a
+    # non-deterministic baseline would silently skew every gate.
+    from repro.obs.recorder import FlightRecorder, diff_recordings
+
+    recorders = []
+    baseline = None
+    for _ in range(2):
+        recorder = FlightRecorder(
+            engine="simulator",
+            config={"k": k, "variant": variant.value, "seed": 0},
+        )
+        baseline = DistributedFacilityLocation(
+            instance,
+            k=k,
+            variant=variant,
+            seed=0,
+            reliability=reliability,
+            healing=healing,
+            recorder=recorder,
+        ).run()
+        recorders.append(recorder)
+    assert baseline is not None
+    report = diff_recordings(*recorders)
+    if not report.identical:
+        raise SimulationError(
+            "chaos harness: fault-free baseline is not deterministic\n"
+            + report.render()
+        )
     baseline_cost = max(baseline.cost, 1e-12)
     # Timing anchors (partition window, crash/recovery rounds) derive from
     # the protocol schedule, not the resilience tail.

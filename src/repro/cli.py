@@ -23,6 +23,12 @@ Everything the library does is reachable from the shell::
     repro trace tree spans.jsonl --depth 4
     repro trace export spans.jsonl -o trace.json
     repro top metrics.json --spans spans.jsonl
+    repro record inst.json -k 16 --engine loop -o run.rec.json
+    repro record inst.json -k 16 --engine loop --full -o full.rec.json
+    repro replay run.rec.json --engine vectorized
+    repro divergence left.rec.json right.rec.json
+    repro inspect run.rec.json --digests other.rec.json
+    repro explain full.rec.json facility:3
 
 (Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.)
@@ -162,9 +168,96 @@ def build_parser() -> argparse.ArgumentParser:
     inspect = sub.add_parser(
         "inspect", help="summarize a JSONL trace written by solve --trace"
     )
-    inspect.add_argument("trace", help="JSONL trace path")
+    inspect.add_argument(
+        "trace",
+        help="JSONL trace path (or a flight-recording JSON with --digests)",
+    )
+    inspect.add_argument(
+        "other",
+        nargs="?",
+        help="with --digests: a second recording to diff against",
+    )
     inspect.add_argument(
         "--slowest", type=int, default=5, help="how many slowest rounds to show"
+    )
+    inspect.add_argument(
+        "--digests",
+        action="store_true",
+        help="treat the artifact as a flight recording (repro record) and "
+        "show its per-checkpoint state digests; with a second artifact, "
+        "flag the first divergent checkpoint",
+    )
+
+    record = sub.add_parser(
+        "record",
+        help="run one solve under the deterministic flight recorder and "
+        "write the recording artifact",
+    )
+    record.add_argument("instance", nargs="?", help="instance JSON path")
+    _add_instance_source(record, require_family=False)
+    record.add_argument("-k", type=int, default=9, help="round-budget parameter")
+    record.add_argument(
+        "--variant",
+        choices=[v.value for v in Variant],
+        default=Variant.GREEDY.value,
+    )
+    record.add_argument("--algo-seed", type=int, default=0, help="algorithm seed")
+    record.add_argument(
+        "--rounding",
+        choices=["select_all", "randomized"],
+        default="select_all",
+        help="rounding policy (dual_ascent only)",
+    )
+    record.add_argument("--c-round", type=float, default=1.0)
+    record.add_argument(
+        "--engine",
+        choices=["loop", "vectorized", "simulator"],
+        default="loop",
+        help="which engine to record (default loop)",
+    )
+    record.add_argument(
+        "--full",
+        action="store_true",
+        help="also log the causal message-provenance DAG (loop engine "
+        "only); enables `repro explain`",
+    )
+    record.add_argument(
+        "-o", "--output", required=True, help="recording output path (JSON)"
+    )
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-run a recording's embedded solve recipe and assert "
+        "digest-identity (exit 1 on mismatch)",
+    )
+    replay.add_argument("recording", help="recording JSON written by repro record")
+    replay.add_argument(
+        "--engine",
+        choices=["loop", "vectorized", "simulator"],
+        default=None,
+        help="override the recorded engine (cross-engine digest check)",
+    )
+
+    divergence = sub.add_parser(
+        "divergence",
+        help="diff two recordings and bisect to the first divergent "
+        "round, node and field (exit 1 when divergent)",
+    )
+    divergence.add_argument("left", help="first recording JSON")
+    divergence.add_argument("right", help="second recording JSON")
+    divergence.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    explain = sub.add_parser(
+        "explain",
+        help="render the causal chain behind one actor's outcome from a "
+        "--full recording (e.g. why facility:3 opened)",
+    )
+    explain.add_argument("recording", help="recording JSON written with --full")
+    explain.add_argument(
+        "actor",
+        help="actor id, e.g. facility:3 or client:11",
     )
 
     compare = sub.add_parser(
@@ -587,7 +680,86 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
+    if args.digests:
+        from repro.obs.inspect import inspect_digests
+
+        print(inspect_digests(args.trace, other=args.other))
+        return 0
+    if args.other:
+        raise ReproError(
+            "a second artifact is only meaningful with --digests"
+        )
     print(inspect_trace(args.trace, slowest=args.slowest))
+    return 0
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from repro.obs.recorder import record_run
+
+    instance = _load_instance(args)
+    recording = record_run(
+        instance,
+        engine=args.engine,
+        k=args.k,
+        variant=args.variant,
+        seed=args.algo_seed,
+        rounding=args.rounding,
+        c_round=args.c_round,
+        full=args.full,
+    )
+    target = recording.write_json(args.output)
+    print(
+        f"wrote {target}: engine={args.engine} "
+        f"checkpoints={len(recording.checkpoints)} "
+        f"final={recording.final_digest()}"
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.obs.recorder import (
+        diff_recordings,
+        load_recording,
+        replay_recording,
+    )
+
+    original = load_recording(args.recording)
+    replayed = replay_recording(original, engine=args.engine)
+    report = diff_recordings(original, replayed)
+    if report.identical:
+        print(
+            f"replay identical: {report.compared} checkpoint(s), "
+            f"final={original.final_digest()}"
+        )
+        return 0
+    print(report.render())
+    print("error: replay diverged from the recording", file=sys.stderr)
+    return 1
+
+
+def _cmd_divergence(args: argparse.Namespace) -> int:
+    from repro.obs.recorder import diff_recordings, load_recording
+
+    report = diff_recordings(
+        load_recording(args.left), load_recording(args.right)
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.identical else 1
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs.recorder import load_recording
+
+    recording = load_recording(args.recording)
+    if recording.provenance is None:
+        raise ReproError(
+            f"{args.recording} carries no provenance log; re-record "
+            "with `repro record --full --engine loop`"
+        )
+    print(recording.provenance.explain(args.actor))
     return 0
 
 
@@ -884,6 +1056,10 @@ _HANDLERS = {
     "generate": _cmd_generate,
     "solve": _cmd_solve,
     "inspect": _cmd_inspect,
+    "record": _cmd_record,
+    "replay": _cmd_replay,
+    "divergence": _cmd_divergence,
+    "explain": _cmd_explain,
     "compare": _cmd_compare,
     "bench": _cmd_bench,
     "baselines": _cmd_baselines,

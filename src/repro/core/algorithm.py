@@ -178,6 +178,12 @@ class DistributedFacilityLocation:
         Optional :class:`~repro.obs.spans.Tracer` shared with the
         simulator; the run becomes an ``algo.run`` span with per-round
         children. Purely observational — never changes the output.
+    recorder:
+        Optional :class:`~repro.obs.recorder.FlightRecorder` shared with
+        the simulator: every round is digested (node state + message
+        plane), emulation-aligned checkpoints are emitted at the protocol
+        alignment points, and the final open set/assignment is recorded.
+        Purely observational — never changes the output.
     """
 
     def __init__(
@@ -200,6 +206,7 @@ class DistributedFacilityLocation:
         probe_quality: bool = False,
         lower_bound: float | None = None,
         tracer: Tracer | None = None,
+        recorder=None,
     ) -> None:
         self.instance = instance
         self.variant = Variant(variant)
@@ -225,6 +232,14 @@ class DistributedFacilityLocation:
             self.params = TradeoffParameters.from_instance(instance, k)
         else:
             self.params = TradeoffParameters.linear(instance, k)
+        self.recorder = recorder
+        if recorder is not None:
+            recorder.bind_simulator_phases(
+                self.variant.value,
+                self.params,
+                instance.num_facilities,
+                instance.num_clients,
+            )
 
     # ------------------------------------------------------------------
 
@@ -288,6 +303,7 @@ class DistributedFacilityLocation:
             watchdogs=self.watchdogs,
             registry=self.registry,
             tracer=self.tracer,
+            recorder=self.recorder,
         )
 
     def schedule_rounds(self) -> int:
@@ -378,6 +394,10 @@ class DistributedFacilityLocation:
                 unserved.append(j)
             else:
                 assignment[j] = target
+        if self.recorder is not None:
+            self.recorder.observe_final(
+                open_set, assignment, m, self.instance.num_clients
+            )
         solution: FacilityLocationSolution | None = None
         if not unserved:
             solution = FacilityLocationSolution(

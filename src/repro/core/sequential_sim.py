@@ -37,6 +37,13 @@ from repro.net.rng import spawn_node_rngs
 
 __all__ = ["ENGINES", "SequentialRunResult", "run_sequential"]
 
+#: Test-only perturbation hook for divergence-bisection coverage: when
+#: set to a callable ``(level, client, value) -> value``, every dual
+#: alpha raise in the *loop* engine passes through it. Tests monkeypatch
+#: it to force a single mis-raise and assert that ``repro divergence``
+#: pinpoints exactly that level and client. Never set in production.
+_TEST_DUAL_ALPHA_RAISE_HOOK = None
+
 
 @dataclass(frozen=True)
 class SequentialRunResult:
@@ -68,6 +75,7 @@ def run_sequential(
     rounding: RoundingPolicy | None = None,
     open_fraction: float = 0.5,
     engine: str = "vectorized",
+    recorder=None,
 ) -> SequentialRunResult:
     """Emulate one protocol run; see module docstring for semantics.
 
@@ -78,6 +86,11 @@ def run_sequential(
     same assignments, same coin flips — which the cross-validation tests
     assert on every instance family and both variants; the vectorized
     engine is simply an order of magnitude faster at scale.
+
+    ``recorder`` (a :class:`repro.obs.recorder.FlightRecorder`) captures
+    per-iteration/per-level state digests; in full-record mode the loop
+    engine additionally logs the causal provenance DAG. ``None`` (the
+    default) records nothing and changes no behavior.
     """
     if engine not in ENGINES:
         raise AlgorithmError(
@@ -89,19 +102,28 @@ def run_sequential(
         emulate = (
             emulate_greedy_vectorized if engine == "vectorized" else _emulate_greedy
         )
-        open_set, assignment = emulate(instance, params, seed, open_fraction)
+        open_set, assignment = emulate(
+            instance, params, seed, open_fraction, recorder=recorder
+        )
     else:
         params = TradeoffParameters.linear(instance, k)
         emulate = (
             emulate_dual_vectorized if engine == "vectorized" else _emulate_dual
         )
         open_set, assignment = emulate(
-            instance, params, seed, rounding or RoundingPolicy()
+            instance, params, seed, rounding or RoundingPolicy(), recorder=recorder
         )
     # Canonical (client-sorted) insertion order: solution costs sum the
     # assignment in dict order, so without this the two engines could
     # disagree in the last ulp despite producing the same mapping.
     assignment = dict(sorted(assignment.items()))
+    if recorder is not None:
+        recorder.observe_final(
+            open_set,
+            assignment,
+            instance.num_facilities,
+            instance.num_clients,
+        )
     solution = FacilityLocationSolution(
         instance, open_set, assignment, validate=True
     )
@@ -120,14 +142,30 @@ def run_sequential(
 # ----------------------------------------------------------------------
 
 
+def _record_greedy_state(recorder, label, is_open, connected, m, n) -> None:
+    """Digest one end-of-iteration greedy state into ``recorder``."""
+    recorder.observe(
+        label,
+        {
+            "open": {f"facility:{i}": is_open[i] for i in range(m)},
+            "assignment": {
+                f"client:{j}": connected.get(j, -1) for j in range(n)
+            },
+        },
+    )
+
+
 def _emulate_greedy(
     instance: FacilityLocationInstance,
     params: TradeoffParameters,
     seed: int,
     open_fraction: float = 0.5,
+    recorder=None,
 ) -> tuple[set[int], dict[int, int]]:
     m = instance.num_facilities
     n = instance.num_clients
+    prov = recorder.provenance if recorder is not None else None
+    opened_event: dict[int, int] = {}  # facility -> its open event id
     rngs = spawn_node_rngs(seed, m + n)  # facility i uses stream i
     opening = instance.opening_costs
     # Per-facility adjacency as (client, cost) sorted by (cost, node id),
@@ -144,15 +182,19 @@ def _emulate_greedy(
     connected: dict[int, int] = {}
 
     for iteration in range(1, params.num_iterations + 1):
+        label = f"greedy:iter:{iteration}"
         scale = params.scale_of_iteration(iteration)
         active = [j for j in range(n) if j not in connected]
         if not active:
             # Facilities still observe no actives and draw no coins —
             # identical to the message run, where no ACTIVE arrives.
+            if recorder is not None:
+                _record_greedy_state(recorder, label, is_open, connected, m, n)
             continue
         active_set = set(active)
         proposals: dict[int, tuple[int, ...]] = {}
         priorities: dict[int, float] = {}
+        propose_event: dict[int, int] = {}
         for i in range(m):
             star = _best_star(
                 adjacency[i], active_set, opening[i], is_open[i], params, scale
@@ -160,13 +202,32 @@ def _emulate_greedy(
             if star:
                 proposals[i] = star
                 priorities[i] = float(rngs[i].random())
+                if prov is not None:
+                    propose_event[i] = prov.add(
+                        "propose",
+                        f"facility:{i}",
+                        label,
+                        iteration=iteration,
+                        scale=scale,
+                        star_size=len(star),
+                        priority=priorities[i],
+                    )
         accepts: dict[int, list[int]] = {i: [] for i in proposals}
+        accept_event: dict[int, int] = {}
         for j in active:
             offers = [i for i, star in proposals.items() if j in star]
             if not offers:
                 continue
             best = max(offers, key=lambda i: (priorities[i], -i))
             accepts[best].append(j)
+            if prov is not None:
+                accept_event[j] = prov.add(
+                    "accept",
+                    f"client:{j}",
+                    label,
+                    causes=(propose_event.get(best),),
+                    facility=best,
+                )
         for i, star in proposals.items():
             accepted = accepts[i]
             if not accepted:
@@ -176,8 +237,27 @@ def _emulate_greedy(
                 if len(accepted) < needed:
                     continue
                 is_open[i] = True
+                if prov is not None:
+                    opened_event[i] = prov.add(
+                        "open",
+                        f"facility:{i}",
+                        label,
+                        causes=tuple(accept_event.get(j) for j in accepted),
+                        iteration=iteration,
+                        accepted=len(accepted),
+                    )
             for j in accepted:
                 connected[j] = i
+                if prov is not None:
+                    prov.add(
+                        "connect",
+                        f"client:{j}",
+                        label,
+                        causes=(accept_event.get(j), opened_event.get(i)),
+                        facility=i,
+                    )
+        if recorder is not None:
+            _record_greedy_state(recorder, label, is_open, connected, m, n)
 
     # Force phase: leftover clients join the cheapest open neighbor, or
     # force their cheapest neighbor open. Decisions are made against the
@@ -193,12 +273,45 @@ def _emulate_greedy(
                 open_neighbors,
                 key=lambda i: (instance.connection_cost(i, j), i),
             )
+            if prov is not None:
+                join = prov.add(
+                    "join",
+                    f"client:{j}",
+                    "greedy:force",
+                    causes=(opened_event.get(target),),
+                    facility=target,
+                )
+                prov.add(
+                    "connect",
+                    f"client:{j}",
+                    "greedy:force",
+                    causes=(join,),
+                    facility=target,
+                )
         else:
             target = min(
                 client_neighbors[j],
                 key=lambda i: (instance.connection_cost(i, j), i),
             )
             is_open[target] = True
+            if prov is not None:
+                force = prov.add(
+                    "force", f"client:{j}", "greedy:force", facility=target
+                )
+                if target not in opened_event:
+                    opened_event[target] = prov.add(
+                        "forced_open",
+                        f"facility:{target}",
+                        "greedy:force",
+                        causes=(force,),
+                    )
+                prov.add(
+                    "connect",
+                    f"client:{j}",
+                    "greedy:force",
+                    causes=(force, opened_event.get(target)),
+                    facility=target,
+                )
         connected[j] = target
 
     open_set = {i for i in range(m) if is_open[i]}
@@ -231,14 +344,37 @@ def _best_star(
 # ----------------------------------------------------------------------
 
 
+def _record_dual_level(
+    recorder, level, alphas, frozen, witnesses, tight, m, n
+) -> None:
+    """Digest one end-of-level dual-ascent state into ``recorder``."""
+    recorder.observe(
+        f"dual:level:{level}",
+        {
+            "alpha": {f"client:{j}": alphas[j] for j in range(n)},
+            "frozen": {f"client:{j}": frozen[j] for j in range(n)},
+            "witnesses": {
+                f"client:{j}": sorted(witnesses[j]) for j in range(n)
+            },
+            "tight": {f"facility:{i}": tight[i] for i in range(m)},
+        },
+    )
+
+
 def _emulate_dual(
     instance: FacilityLocationInstance,
     params: TradeoffParameters,
     seed: int,
     policy: RoundingPolicy,
+    recorder=None,
 ) -> tuple[set[int], dict[int, int]]:
     m = instance.num_facilities
     n = instance.num_clients
+    prov = recorder.provenance if recorder is not None else None
+    hook = _TEST_DUAL_ALPHA_RAISE_HOOK
+    alpha_event: dict[int, int] = {}  # client -> latest alpha_raise event
+    tight_event: dict[int, int] = {}  # facility -> its tight event
+    settle_event: dict[int, int] = {}  # client -> its settle event
     rngs = spawn_node_rngs(seed, m + n)
     gamma = [
         min(instance.connection_cost(i, j) for i in instance.facilities_of_client(j))
@@ -251,10 +387,23 @@ def _emulate_dual(
     witnesses: list[set[int]] = [set() for _ in range(n)]
 
     for level in range(1, params.num_scales + 1):
+        label = f"dual:level:{level}"
         threshold = params.threshold(level)
         for j in range(n):
             if not frozen[j]:
-                alphas[j] = max(gamma[j], threshold)
+                value = max(gamma[j], threshold)
+                if hook is not None:
+                    value = hook(level, j, value)
+                if prov is not None and value != alphas[j]:
+                    alpha_event[j] = prov.add(
+                        "alpha_raise",
+                        f"client:{j}",
+                        label,
+                        causes=(alpha_event.get(j),),
+                        level=level,
+                        alpha=value,
+                    )
+                alphas[j] = value
                 for i in instance.facilities_of_client(j):
                     stored[i][j] = alphas[j]
         for i in range(m):
@@ -269,16 +418,43 @@ def _emulate_dual(
             slack = 1e-12 * max(instance.opening_cost(i), params.eff_max)
             if payment >= instance.opening_cost(i) - slack:
                 tight[i] = True
+                if prov is not None:
+                    tight_event[i] = prov.add(
+                        "tight",
+                        f"facility:{i}",
+                        label,
+                        causes=tuple(
+                            alpha_event.get(j)
+                            for j, a in stored[i].items()
+                            if a > instance.connection_cost(i, j)
+                        ),
+                        level=level,
+                        payment=payment,
+                    )
         for j in range(n):
             for i in instance.facilities_of_client(j):
                 if tight[i] and instance.connection_cost(i, j) <= alphas[j] * (
                     1 + 1e-12
                 ):
                     witnesses[j].add(i)
+                    if prov is not None and not frozen[j]:
+                        settle_event[j] = prov.add(
+                            "settle",
+                            f"client:{j}",
+                            label,
+                            causes=(tight_event.get(i), alpha_event.get(j)),
+                            witness=i,
+                            level=level,
+                        )
                     frozen[j] = True
+        if recorder is not None:
+            _record_dual_level(
+                recorder, level, alphas, frozen, witnesses, tight, m, n
+            )
 
     # Rounding phase.
     selections: dict[int, list[int]] = {}
+    select_event: dict[int, int] = {}
     for j in range(n):
         if not witnesses[j]:
             raise AlgorithmError(
@@ -289,8 +465,17 @@ def _emulate_dual(
             witnesses[j], key=lambda i: (instance.connection_cost(i, j), i)
         )
         selections.setdefault(target, []).append(j)
+        if prov is not None:
+            select_event[j] = prov.add(
+                "select",
+                f"client:{j}",
+                "dual:rounding",
+                causes=(settle_event.get(j),),
+                facility=target,
+            )
 
     is_open = [False] * m
+    opened_event: dict[int, int] = {}
     for i in sorted(selections):
         selectors = selections[i]
         if policy.mode == "select_all":
@@ -308,6 +493,20 @@ def _emulate_dual(
             opens = bool(rngs[i].random() < probability)
         if opens:
             is_open[i] = True
+            if prov is not None:
+                opened_event[i] = prov.add(
+                    "open",
+                    f"facility:{i}",
+                    "dual:rounding",
+                    causes=tuple(select_event.get(j) for j in selectors),
+                    mode=policy.mode,
+                    selectors=len(selectors),
+                )
+    if recorder is not None:
+        recorder.observe(
+            "dual:rounding",
+            {"open": {f"facility:{i}": is_open[i] for i in range(m)}},
+        )
 
     # Clients join the cheapest witness opened by the rounding coin flips;
     # leftovers force their cheapest witness open (deterministic fallback).
@@ -321,11 +520,48 @@ def _emulate_dual(
             target = min(
                 open_witnesses, key=lambda i: (instance.connection_cost(i, j), i)
             )
+            if prov is not None:
+                join = prov.add(
+                    "join",
+                    f"client:{j}",
+                    "dual:join",
+                    causes=(settle_event.get(j), opened_event.get(target)),
+                    facility=target,
+                )
+                prov.add(
+                    "connect",
+                    f"client:{j}",
+                    "dual:join",
+                    causes=(join,),
+                    facility=target,
+                )
         else:
             target = min(
                 witnesses[j], key=lambda i: (instance.connection_cost(i, j), i)
             )
             is_open[target] = True
+            if prov is not None:
+                force = prov.add(
+                    "force",
+                    f"client:{j}",
+                    "dual:join",
+                    causes=(settle_event.get(j),),
+                    facility=target,
+                )
+                if target not in opened_event:
+                    opened_event[target] = prov.add(
+                        "forced_open",
+                        f"facility:{target}",
+                        "dual:join",
+                        causes=(force,),
+                    )
+                prov.add(
+                    "connect",
+                    f"client:{j}",
+                    "dual:join",
+                    causes=(force, opened_event.get(target)),
+                    facility=target,
+                )
         connected[j] = target
 
     open_set = {i for i in range(m) if is_open[i]}

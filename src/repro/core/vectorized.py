@@ -45,11 +45,25 @@ from repro.net.rng import spawn_node_rngs
 __all__ = ["emulate_greedy_vectorized", "emulate_dual_vectorized"]
 
 
+def _record_greedy_iteration(recorder, label, is_open, assignment, m, n) -> None:
+    """Digest one end-of-iteration state (mirrors the loop engine's leaves)."""
+    recorder.observe(
+        label,
+        {
+            "open": {f"facility:{i}": bool(is_open[i]) for i in range(m)},
+            "assignment": {
+                f"client:{j}": int(assignment[j]) for j in range(n)
+            },
+        },
+    )
+
+
 def emulate_greedy_vectorized(
     instance: FacilityLocationInstance,
     params: TradeoffParameters,
     seed: int,
     open_fraction: float = 0.5,
+    recorder=None,
 ) -> tuple[set[int], dict[int, int]]:
     """Batched scaled-parallel-greedy emulation (flagship variant)."""
     m = instance.num_facilities
@@ -71,10 +85,15 @@ def emulate_greedy_vectorized(
     priorities = np.empty(m, dtype=float)
 
     for iteration in range(1, params.num_iterations + 1):
+        label = f"greedy:iter:{iteration}"
         scale = params.scale_of_iteration(iteration)
         if not active.any():
             # Facilities observe no actives and draw no coins — identical
             # to the message run, where no ACTIVE message arrives.
+            if recorder is not None:
+                _record_greedy_iteration(
+                    recorder, label, is_open, assignment, m, n
+                )
             continue
         # Star search: the largest qualifying prefix of each facility's
         # active clients. `mask` marks prefix slots holding an active
@@ -120,6 +139,8 @@ def emulate_greedy_vectorized(
         served = has_offer & success[best_fac]
         assignment[served] = best_fac[served]
         active &= ~served
+        if recorder is not None:
+            _record_greedy_iteration(recorder, label, is_open, assignment, m, n)
 
     # Force phase: decisions are made against the open set as of the end
     # of the iterations (matching the PROBE round); forced openings land
@@ -144,6 +165,7 @@ def emulate_dual_vectorized(
     params: TradeoffParameters,
     seed: int,
     policy: RoundingPolicy,
+    recorder=None,
 ) -> tuple[set[int], dict[int, int]]:
     """Batched dual-ascent emulation (variant)."""
     m = instance.num_facilities
@@ -173,6 +195,27 @@ def emulate_dual_vectorized(
         tight |= payment >= opening - slack
         witnesses |= tight[:, None] & (costs <= alphas[None, :] * (1 + 1e-12))
         frozen = witnesses.any(axis=0)
+        if recorder is not None:
+            recorder.observe(
+                f"dual:level:{level}",
+                {
+                    "alpha": {
+                        f"client:{j}": float(alphas[j]) for j in range(n)
+                    },
+                    "frozen": {
+                        f"client:{j}": bool(frozen[j]) for j in range(n)
+                    },
+                    "witnesses": {
+                        f"client:{j}": [
+                            int(i) for i in np.flatnonzero(witnesses[:, j])
+                        ]
+                        for j in range(n)
+                    },
+                    "tight": {
+                        f"facility:{i}": bool(tight[i]) for i in range(m)
+                    },
+                },
+            )
 
     # Rounding phase: every client selects its cheapest witness.
     if not frozen.all():
@@ -203,6 +246,11 @@ def emulate_dual_vectorized(
             )
             if rngs[i].random() < probability:
                 is_open[i] = True
+    if recorder is not None:
+        recorder.observe(
+            "dual:rounding",
+            {"open": {f"facility:{i}": bool(is_open[i]) for i in range(m)}},
+        )
 
     # Clients join the cheapest witness opened by the rounding coin flips;
     # leftovers force their cheapest witness open (deterministic fallback).

@@ -115,6 +115,12 @@ class Simulator:
         tracer's current span, annotated with the round's telemetry
         (messages, bits, drops, and any scalar probe observations such as
         dual sums). Spans observe only — they never alter the run.
+    recorder:
+        Optional :class:`~repro.obs.recorder.FlightRecorder`; when given,
+        every round boundary is digested into the recording (node state
+        and the message plane by kind), enabling replay verification and
+        divergence bisection. Like the tracer, purely observational, and
+        a single ``None`` check when absent.
     """
 
     def __init__(
@@ -131,6 +137,7 @@ class Simulator:
         watchdogs: Sequence[Watchdog] = (),
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        recorder=None,
     ) -> None:
         self._topology = topology
         self._nodes = _normalize_nodes(topology, nodes)
@@ -147,6 +154,7 @@ class Simulator:
         self.watchdogs: tuple[Watchdog, ...] = tuple(watchdogs)
         self.registry: MetricsRegistry | None = registry
         self.tracer: Tracer | None = tracer
+        self.recorder = recorder
         self.metrics = NetworkMetrics()
         self.timeline = RoundTimeline()
         self._round = 0
@@ -182,6 +190,15 @@ class Simulator:
     def current_round(self) -> int:
         """The last executed round number (0 before the first round)."""
         return self._round
+
+    @property
+    def pending_messages(self) -> tuple[Message, ...]:
+        """Messages submitted this round, awaiting next-round delivery.
+
+        This is the message plane the flight recorder digests: at the
+        round boundary it holds exactly the traffic the round produced.
+        """
+        return tuple(self._pending)
 
     @property
     def all_finished(self) -> bool:
@@ -433,6 +450,7 @@ class Simulator:
             alive=alive,
             finished=finished,
             probe=probe_data,
+            engine="simulator",
         )
         self.timeline.append(entry)
         if self.watchdogs:
@@ -447,6 +465,7 @@ class Simulator:
                 "round": round_number,
                 "messages": messages,
                 "bits": bits,
+                "engine": "simulator",
             }
             if drops:
                 attributes["drops"] = drops
@@ -462,6 +481,8 @@ class Simulator:
                 duration_s=wall_ms / 1e3,
                 attributes=attributes,
             )
+        if self.recorder is not None:
+            self.recorder.on_simulator_round(self, round_number)
         self.trace.on_round_end(entry)
 
     def run(self, max_rounds: int, allow_truncation: bool = False) -> NetworkMetrics:

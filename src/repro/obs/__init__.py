@@ -44,6 +44,14 @@ artifacts on both axes:
 * :mod:`repro.obs.metrics_io` — the versioned metrics-snapshot file
   format shared by ``repro solve --metrics-out`` and the service
   ``metrics`` wire op.
+* :mod:`repro.obs.recorder` — the deterministic flight recorder:
+  per-round Merkle-style digests of the full execution state for every
+  engine, recording artifacts with hermetic replay, and divergence
+  bisection down to the first differing round → node → field/message
+  (surfaced as ``repro record`` / ``replay`` / ``divergence``).
+* :mod:`repro.obs.provenance` — the causal message-provenance DAG logged
+  in full-record mode; answers "why did this facility open?" (surfaced
+  as ``repro explain``).
 """
 
 from repro.obs.bench import (
@@ -60,14 +68,30 @@ from repro.obs.compare import (
     extract_metrics,
     parse_threshold,
 )
-from repro.obs.inspect import TraceReport, inspect_trace, load_trace_file
+from repro.obs.inspect import (
+    TraceReport,
+    inspect_digests,
+    inspect_trace,
+    load_trace_file,
+)
 from repro.obs.manifest import RunRecord, manifest_path_for
 from repro.obs.metrics_io import (
+    histogram_quantile,
     load_snapshot,
     snapshot_payload,
     write_snapshot,
 )
 from repro.obs.probes import RoundProbe, SolutionQualityProbe
+from repro.obs.provenance import ProvenanceEvent, ProvenanceLog
+from repro.obs.recorder import (
+    Checkpoint,
+    DivergenceReport,
+    FlightRecorder,
+    diff_recordings,
+    load_recording,
+    record_run,
+    replay_recording,
+)
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.sinks import JsonlTraceSink, MultiTrace, RingBufferTrace
 from repro.obs.slo import (
@@ -108,6 +132,7 @@ __all__ = [
     "RunRecord",
     "manifest_path_for",
     "TraceReport",
+    "inspect_digests",
     "inspect_trace",
     "load_trace_file",
     # registry
@@ -155,7 +180,18 @@ __all__ = [
     "default_service_slos",
     "load_slo_spec",
     # metrics snapshots
+    "histogram_quantile",
     "load_snapshot",
     "snapshot_payload",
     "write_snapshot",
+    # flight recording + provenance
+    "Checkpoint",
+    "DivergenceReport",
+    "FlightRecorder",
+    "ProvenanceEvent",
+    "ProvenanceLog",
+    "diff_recordings",
+    "load_recording",
+    "record_run",
+    "replay_recording",
 ]

@@ -206,6 +206,54 @@ def _bench_metrics(doc: Mapping[str, Any]) -> dict[str, float]:
     return flat
 
 
+def _snapshot_metrics(doc: Mapping[str, Any]) -> dict[str, float]:
+    """Flatten a metrics-snapshot payload (``repro.metrics.snapshot/v1``).
+
+    Counters and gauges contribute their labeled values; histograms
+    contribute count/sum plus p50/p95 re-derived offline from the
+    snapshot's bucket boundaries and counts — the whole point of
+    snapshots carrying raw buckets is that ``repro compare`` can gate on
+    quantiles without the original process.
+    """
+    from repro.obs.metrics_io import histogram_quantile
+
+    flat: dict[str, float] = {}
+    for name, instrument in sorted((doc.get("metrics") or {}).items()):
+        if not isinstance(instrument, Mapping):
+            continue
+        kind = instrument.get("type")
+        for series in instrument.get("values") or ():
+            labels = series.get("labels") or {}
+            key = _flat_series_name(name, labels)
+            if kind in ("counter", "gauge"):
+                value = series.get("value")
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    flat[key] = float(value)
+            elif kind == "histogram":
+                count = series.get("count")
+                if not isinstance(count, (int, float)):
+                    continue
+                flat[f"{key}.count"] = float(count)
+                total = series.get("sum")
+                if isinstance(total, (int, float)):
+                    flat[f"{key}.sum"] = float(total)
+                if count:
+                    flat[f"{key}.p50"] = histogram_quantile(
+                        instrument, 0.5, labels
+                    )
+                    flat[f"{key}.p95"] = histogram_quantile(
+                        instrument, 0.95, labels
+                    )
+    return flat
+
+
+def _flat_series_name(name: str, labels: Mapping[str, Any]) -> str:
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}{{{rendered}}}"
+
+
 def _trace_metrics(path: Path) -> dict[str, float]:
     """Flatten a JSONL trace: manifest line (or sidecar) plus timeline."""
     from repro.obs.inspect import load_trace_file
@@ -237,9 +285,10 @@ def extract_metrics(path: str | Path) -> dict[str, float]:
 
     Recognized formats: JSONL traces (``*.jsonl``), manifest JSON files
     (``{"type": "manifest"}``), BENCH trajectory files (``{"type":
-    "bench"}`` or a top-level ``records`` mapping), and pytest-benchmark
-    exports (top-level ``benchmarks`` list — each entry contributes its
-    mean/stddev seconds).
+    "bench"}`` or a top-level ``records`` mapping), metrics snapshots
+    (``repro.metrics.snapshot/v1`` — histograms contribute offline-derived
+    p50/p95), and pytest-benchmark exports (top-level ``benchmarks`` list
+    — each entry contributes its mean/stddev seconds).
     """
     target = Path(path)
     if not target.exists():
@@ -254,6 +303,8 @@ def extract_metrics(path: str | Path) -> dict[str, float]:
         raise ReproError(f"{target}: expected a JSON object at top level")
     if doc.get("type") == "manifest":
         return _manifest_metrics(doc)
+    if doc.get("schema") == "repro.metrics.snapshot/v1":
+        return _snapshot_metrics(doc)
     if doc.get("type") == "bench" or "records" in doc:
         return _bench_metrics(doc)
     if "benchmarks" in doc:  # pytest-benchmark --benchmark-json export

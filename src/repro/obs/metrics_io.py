@@ -17,7 +17,13 @@ from typing import Any, Mapping
 from repro.exceptions import ReproError
 from repro.obs.registry import MetricsRegistry
 
-__all__ = ["SNAPSHOT_SCHEMA", "snapshot_payload", "write_snapshot", "load_snapshot"]
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "histogram_quantile",
+    "snapshot_payload",
+    "write_snapshot",
+    "load_snapshot",
+]
 
 #: Schema tag stamped into every snapshot payload.
 SNAPSHOT_SCHEMA = "repro.metrics.snapshot/v1"
@@ -53,6 +59,61 @@ def write_snapshot(
         + "\n"
     )
     return target
+
+
+def histogram_quantile(
+    histogram: Mapping[str, Any],
+    q: float,
+    labels: Mapping[str, Any] | None = None,
+) -> float:
+    """Re-derive a quantile offline from a snapshot's histogram dump.
+
+    ``histogram`` is one instrument entry of a snapshot's ``"metrics"``
+    mapping (``type == "histogram"``). The estimation mirrors
+    :meth:`repro.obs.registry.Histogram.quantile` exactly — same linear
+    interpolation inside the rank's bucket, same clamp to the observed
+    ``[min, max]``, same overflow-to-max rule — so the offline answer
+    equals what the live registry would have reported. Snapshots carry
+    both bucket boundaries and raw per-bucket counts precisely to make
+    this possible without the original process.
+    """
+    if not 0.0 < q <= 1.0:
+        raise ReproError(f"quantile must be in (0, 1], got {q}")
+    if histogram.get("type") != "histogram":
+        raise ReproError(
+            f"not a histogram dump (type={histogram.get('type')!r})"
+        )
+    bounds = [b for b in histogram.get("buckets", ()) if isinstance(b, (int, float))]
+    wanted = {str(k): str(v) for k, v in (labels or {}).items()}
+    series = next(
+        (s for s in histogram.get("values", ()) if s.get("labels", {}) == wanted),
+        None,
+    )
+    if series is None or not series.get("count"):
+        return 0.0
+    counts = series.get("bucket_counts")
+    if counts is None:
+        # Older snapshots: recover raw counts from the cumulative view.
+        cumulative = series.get("cumulative_buckets", [])
+        counts = [
+            c - (cumulative[i - 1] if i else 0) for i, c in enumerate(cumulative)
+        ]
+    total = series["count"]
+    minimum = series.get("min")
+    maximum = series.get("max")
+    rank = q * total
+    running = 0
+    for index, count in enumerate(counts):
+        running += count
+        if running >= rank:
+            if index >= len(bounds):
+                return float(maximum)
+            upper = bounds[index]
+            lower = bounds[index - 1] if index > 0 else 0.0
+            fraction = (rank - (running - count)) / count if count else 0.0
+            estimate = lower + (upper - lower) * fraction
+            return float(min(max(estimate, minimum), maximum))
+    return float(maximum)
 
 
 def load_snapshot(path: str | Path) -> dict[str, Any]:

@@ -1,0 +1,199 @@
+"""Causal message provenance: why did this facility open, this client connect?
+
+A :class:`ProvenanceLog` is an append-only DAG of protocol decisions.
+Every node is a :class:`ProvenanceEvent` — a settle, select, accept or
+open — linked by ``causes`` edges to the earlier events (and thereby the
+messages) that triggered it. The log is populated by the loop emulation
+engine in full-record mode (``FlightRecorder(full=True)``): the loop
+engine is the cross-validated oracle and has the global view needed to
+attribute causality exactly, while the digest plane of
+:mod:`repro.obs.recorder` covers all engines.
+
+``repro explain facility:3`` walks the DAG backwards from the terminal
+event of an actor (the ``open`` of a facility, the ``connect`` of a
+client) and renders the causal chain chronologically — the
+execution-level answer to "why is this facility in the solution?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.exceptions import ReproError
+
+__all__ = ["ProvenanceEvent", "ProvenanceLog"]
+
+#: Event kinds that terminate an actor's causal story: a facility is in
+#: the solution because it (force-)opened, a client because it connected.
+TERMINAL_KINDS = ("open", "forced_open", "connect")
+
+
+@dataclass(frozen=True)
+class ProvenanceEvent:
+    """One protocol decision in the causal DAG.
+
+    Attributes
+    ----------
+    event_id:
+        Position in the log (events are appended in protocol order, so
+        ids are also a valid topological order of the DAG).
+    kind:
+        Decision type, e.g. ``"propose"``, ``"accept"``, ``"open"``,
+        ``"alpha_raise"``, ``"tight"``, ``"settle"``, ``"select"``,
+        ``"join"``, ``"force"``, ``"forced_open"``, ``"connect"``.
+    actor:
+        Who decided: ``"facility:<i>"`` or ``"client:<j>"``.
+    label:
+        The recorder checkpoint the event belongs to (e.g.
+        ``"greedy:iter:2"``), locating it in protocol time.
+    causes:
+        Event ids of the direct causes (always earlier events).
+    attrs:
+        Decision payload (scale, priority, alpha, target facility, ...).
+    """
+
+    event_id: int
+    kind: str
+    actor: str
+    label: str
+    causes: tuple[int, ...] = ()
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON representation."""
+        return {
+            "id": self.event_id,
+            "kind": self.kind,
+            "actor": self.actor,
+            "label": self.label,
+            "causes": list(self.causes),
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ProvenanceEvent":
+        """Inverse of :meth:`to_dict`; ignores unknown keys."""
+        return cls(
+            event_id=int(data.get("id", 0)),
+            kind=str(data.get("kind", "")),
+            actor=str(data.get("actor", "")),
+            label=str(data.get("label", "")),
+            causes=tuple(int(c) for c in data.get("causes", ())),
+            attrs=dict(data.get("attrs", {})),
+        )
+
+    def render(self) -> str:
+        """One human-readable line for causal-chain output."""
+        attrs = ", ".join(f"{k}={_fmt(v)}" for k, v in self.attrs.items())
+        suffix = f" ({attrs})" if attrs else ""
+        caused = (
+            " <- #" + ",#".join(str(c) for c in self.causes)
+            if self.causes
+            else ""
+        )
+        return f"#{self.event_id} [{self.label}] {self.kind} {self.actor}{suffix}{caused}"
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+class ProvenanceLog:
+    """Append-only causal DAG of protocol decisions (see module docstring)."""
+
+    def __init__(self, events: Iterable[ProvenanceEvent] = ()) -> None:
+        self.events: list[ProvenanceEvent] = list(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def add(
+        self,
+        kind: str,
+        actor: str,
+        label: str,
+        causes: Sequence[int | None] = (),
+        **attrs: Any,
+    ) -> int:
+        """Append one event; returns its id for use as a later cause.
+
+        ``None`` entries in ``causes`` are dropped, so callers can pass
+        ``events.get(j)`` lookups without guarding each one.
+        """
+        event = ProvenanceEvent(
+            event_id=len(self.events),
+            kind=kind,
+            actor=actor,
+            label=label,
+            causes=tuple(c for c in causes if c is not None),
+            attrs=dict(attrs),
+        )
+        self.events.append(event)
+        return event.event_id
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def events_for(self, actor: str) -> list[ProvenanceEvent]:
+        """All events of one actor, in protocol order."""
+        return [e for e in self.events if e.actor == actor]
+
+    def terminal_event(self, actor: str) -> ProvenanceEvent:
+        """The event that put ``actor`` in the solution.
+
+        The *last* terminal-kind event of the actor (an open facility may
+        have served many clients afterwards; the opening itself is what
+        explains its presence). Falls back to the actor's last event when
+        no terminal kind was logged, and raises
+        :class:`~repro.exceptions.ReproError` for unknown actors.
+        """
+        mine = self.events_for(actor)
+        if not mine:
+            known = sorted({e.actor for e in self.events})
+            raise ReproError(
+                f"no provenance events for {actor!r}; "
+                f"known actors: {', '.join(known[:8]) or '(none)'}"
+            )
+        terminal = [e for e in mine if e.kind in TERMINAL_KINDS]
+        return terminal[-1] if terminal else mine[-1]
+
+    def ancestry(self, event_id: int) -> list[ProvenanceEvent]:
+        """The event plus every transitive cause, in chronological order."""
+        if not 0 <= event_id < len(self.events):
+            raise ReproError(
+                f"provenance event #{event_id} does not exist "
+                f"(log has {len(self.events)} events)"
+            )
+        seen: set[int] = set()
+        frontier = [event_id]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self.events[current].causes)
+        return [self.events[i] for i in sorted(seen)]
+
+    def explain(self, actor: str) -> str:
+        """Human-readable causal chain ending at the actor's terminal event."""
+        terminal = self.terminal_event(actor)
+        chain = self.ancestry(terminal.event_id)
+        header = f"why {actor} -> {terminal.kind} ({len(chain)} events):"
+        return "\n".join([header] + ["  " + event.render() for event in chain])
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> list[dict[str, Any]]:
+        """JSON-safe list of event dicts."""
+        return [event.to_dict() for event in self.events]
+
+    @classmethod
+    def from_payload(cls, data: Iterable[Mapping[str, Any]]) -> "ProvenanceLog":
+        """Inverse of :meth:`to_payload`."""
+        return cls(ProvenanceEvent.from_dict(item) for item in data)

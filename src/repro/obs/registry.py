@@ -254,6 +254,10 @@ class Histogram(_Instrument):
                     "max": series.maximum if series.count else None,
                     "mean": series.total / series.count if series.count else 0.0,
                     "cumulative_buckets": cumulative,
+                    # Raw per-bucket counts ride beside the cumulative view
+                    # so snapshots can re-derive any quantile offline (see
+                    # repro.obs.metrics_io.histogram_quantile).
+                    "bucket_counts": list(series.bucket_counts),
                 }
             )
         return {

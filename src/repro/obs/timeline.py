@@ -31,6 +31,11 @@ class RoundTimelineEntry:
     primal cost, anytime ratio, ...) when :class:`~repro.obs.probes.
     RoundProbe` instances are attached to the simulator; it is ``None`` —
     and absent from the JSONL representation — for unprobed runs.
+
+    ``engine`` names the engine that produced the round (``"simulator"``,
+    ``"loop"``, ``"vectorized"``) so traces from different engines stay
+    attributable when diffed; like ``probe`` it is omitted from the JSONL
+    representation when ``None``, keeping pre-existing traces byte-stable.
     """
 
     round_number: int
@@ -41,22 +46,26 @@ class RoundTimelineEntry:
     alive: int
     finished: int
     probe: Mapping[str, Any] | None = None
+    engine: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-JSON representation (used by the JSONL trace format).
 
-        ``probe`` is omitted when ``None`` so unprobed traces keep the
-        original schema byte-for-byte.
+        ``probe`` and ``engine`` are omitted when ``None`` so traces
+        without them keep the original schema byte-for-byte.
         """
         record = asdict(self)
         if record["probe"] is None:
             del record["probe"]
+        if record["engine"] is None:
+            del record["engine"]
         return record
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RoundTimelineEntry":
         """Inverse of :meth:`to_dict`; ignores unknown keys."""
         probe = data.get("probe")
+        engine = data.get("engine")
         return cls(
             round_number=int(data["round_number"]),
             wall_ms=float(data["wall_ms"]),
@@ -66,6 +75,7 @@ class RoundTimelineEntry:
             alive=int(data["alive"]),
             finished=int(data["finished"]),
             probe=dict(probe) if probe is not None else None,
+            engine=str(engine) if engine is not None else None,
         )
 
 

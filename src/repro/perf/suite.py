@@ -122,6 +122,25 @@ def _timed(fn: Callable[[], Any]) -> tuple[float, Any]:
     return time.perf_counter() - start, value
 
 
+def _engine_divergence_detail(
+    instance: Any, k: int, seed: int, variant: str = Variant.GREEDY.value
+) -> str:
+    """Bisect a loop/vectorized disagreement via the flight recorder.
+
+    Re-runs the offending cell under both sequential engines with
+    recording on and renders the :class:`~repro.obs.recorder.
+    DivergenceReport`, so the equivalence-check error names the first
+    divergent checkpoint, node and field instead of just "diverged".
+    """
+    from repro.obs.recorder import diff_recordings, record_run
+
+    left = record_run(instance, engine="loop", k=k, seed=seed, variant=variant)
+    right = record_run(
+        instance, engine="vectorized", k=k, seed=seed, variant=variant
+    )
+    return diff_recordings(left, right).render()
+
+
 def _emulator_record(
     variant: Variant, m: int, n: int, k: int, repeats: int, workers: int
 ) -> dict[str, Any]:
@@ -147,6 +166,17 @@ def _emulator_record(
             loop.open_facilities == vec.open_facilities
             and loop.assignment == vec.assignment
         )
+    # Deeper than the final-answer check above: one recorded run per
+    # engine, compared checkpoint by checkpoint (per-iteration state
+    # digests), gated in CI like ``identical``.
+    from repro.obs.recorder import diff_recordings, record_run
+
+    digest_identical = diff_recordings(
+        record_run(instance, engine="loop", k=k, seed=0, variant=variant.value),
+        record_run(
+            instance, engine="vectorized", k=k, seed=0, variant=variant.value
+        ),
+    ).identical
     return {
         "source": "perf-suite",
         "wall_seconds": vec_seconds,
@@ -157,6 +187,7 @@ def _emulator_record(
             "speedup": loop_seconds / max(vec_seconds, 1e-9),
             "inverse_speedup": vec_seconds / max(loop_seconds, 1e-9),
             "identical": float(identical),
+            "digest_identical": float(digest_identical),
         },
     }
 
@@ -218,8 +249,26 @@ def _sweep_emulation_record(
             "perf suite: parallel sweep output diverged from the serial run"
         )
     if legacy_results != serial_results:
+        # Map the first mismatching flat index back to its (family, k,
+        # seed) cell and bisect it with the flight recorder.
+        grid = [
+            (family, k, seed)
+            for family in families
+            for k in k_values
+            for seed in seeds
+        ]
+        index = next(
+            i
+            for i, (a, b) in enumerate(zip(legacy_results, serial_results))
+            if a != b
+        )
+        family, k, seed = grid[index]
+        detail = _engine_divergence_detail(
+            cached_instance(family, m, n, 3), k=k, seed=seed
+        )
         raise ReproError(
-            "perf suite: vectorized sweep output diverged from the loop engine"
+            "perf suite: vectorized sweep output diverged from the loop "
+            f"engine (cell family={family} k={k} seed={seed})\n{detail}"
         )
     cells = len(legacy_results)
     return {

@@ -62,6 +62,7 @@ class WorkUnit:
             c_round=request.c_round,
             compute_lp=request.compute_lp,
             capture_events=request.capture_events,
+            record=request.record,
             trace_ctx=trace_ctx,
             profile_memory=profile_memory,
         )

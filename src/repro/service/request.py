@@ -100,6 +100,14 @@ class SolveRequest:
     the root of one connected trace tree. Like ``request_id`` it is
     per-submission plumbing — it never participates in
     :meth:`work_key`, so tracing cannot perturb batching or dedup.
+
+    ``record`` runs the solve under a deterministic flight recorder
+    (:class:`~repro.obs.recorder.FlightRecorder`) and attaches the
+    recording payload to the response. Unlike ``trace_ctx`` it *does*
+    participate in :meth:`work_key` — a recorded and an unrecorded
+    request produce different response bytes, so they must not dedup
+    against each other. When off (the default) the recorder is never
+    constructed and the response is byte-identical to current behavior.
     """
 
     request_id: str
@@ -112,6 +120,7 @@ class SolveRequest:
     c_round: float = 1.0
     compute_lp: bool = False
     capture_events: bool = False
+    record: bool = False
     timeout_s: float | None = None
     trace_ctx: SpanContext | None = None
 
@@ -165,6 +174,7 @@ class SolveRequest:
             self.c_round,
             self.compute_lp,
             self.capture_events,
+            self.record,
         )
 
     def to_wire(self) -> dict[str, Any]:
@@ -180,6 +190,10 @@ class SolveRequest:
             "compute_lp": self.compute_lp,
             "capture_events": self.capture_events,
         }
+        if self.record:
+            # Emitted only when set: the wire line of a non-recording
+            # request stays byte-identical to the pre-recorder protocol.
+            payload["record"] = True
         if self.timeout_s is not None:
             payload["timeout_s"] = self.timeout_s
         if self.trace_ctx is not None:
@@ -215,6 +229,7 @@ class SolveRequest:
             c_round=float(data.get("c_round", 1.0)),
             compute_lp=bool(data.get("compute_lp", False)),
             capture_events=bool(data.get("capture_events", False)),
+            record=bool(data.get("record", False)),
             timeout_s=float(timeout) if timeout is not None else None,
             trace_ctx=trace_ctx,
         )
@@ -233,6 +248,11 @@ class SolveResponse:
     is the service's core correctness contract. ``dedup`` marks
     responses that were served from another request's solve in the same
     batch rather than a dedicated run.
+
+    ``recording`` carries the flight-recorder payload when the request
+    set ``record``; like worker spans it rides beside the result — the
+    ``result`` and ``manifest`` fields are byte-identical with and
+    without it, and it is absent from the wire when empty.
     """
 
     request_id: str
@@ -243,6 +263,7 @@ class SolveResponse:
     dedup: bool = False
     batch_index: int = -1
     wait_s: float = 0.0
+    recording: Mapping[str, Any] = field(default_factory=dict)
 
     def to_wire(self) -> dict[str, Any]:
         """Flat JSON dict for the JSONL protocol (``type: "response"``)."""
@@ -260,6 +281,8 @@ class SolveResponse:
             payload["manifest"] = dict(self.manifest)
         if self.error:
             payload["error"] = self.error
+        if self.recording:
+            payload["recording"] = dict(self.recording)
         return payload
 
     @classmethod
@@ -274,4 +297,5 @@ class SolveResponse:
             dedup=bool(data.get("dedup", False)),
             batch_index=int(data.get("batch_index", -1)),
             wait_s=float(data.get("wait_s", 0.0)),
+            recording=dict(data.get("recording", {})),
         )

@@ -321,6 +321,10 @@ class SolveService:
             self._dedup_hits.inc(batch.dedup_hits)
             batch_index = int(self._batches.total) - 1
             for index, (unit, outcome) in enumerate(zip(batch.units, outcomes)):
+                # Unlike the spans pop (tracer-gated), the recording pop
+                # is unconditional: a recorded unit ships its payload
+                # whether or not the service itself is traced.
+                recording = outcome.pop("recording", None)
                 if self.tracer is not None:
                     worker_spans = outcome.pop("spans", None)
                     if worker_spans:
@@ -330,7 +334,11 @@ class SolveService:
                     )
                 for position, item in enumerate(unit.requests):
                     responses[item.seq] = self._respond(
-                        item, outcome, dedup=position > 0, batch=batch_index
+                        item,
+                        outcome,
+                        dedup=position > 0,
+                        batch=batch_index,
+                        recording=recording,
                     )
             if batch_span is not None:
                 batch_span.end()
@@ -398,6 +406,7 @@ class SolveService:
         outcome: dict[str, Any],
         dedup: bool,
         batch: int,
+        recording: dict[str, Any] | None = None,
     ) -> SolveResponse:
         if "error" in outcome:
             return SolveResponse(
@@ -416,6 +425,7 @@ class SolveService:
             dedup=dedup,
             batch_index=batch,
             wait_s=self._wait(item),
+            recording=recording if recording is not None else {},
         )
 
     def _finish(self, response: SolveResponse) -> None:

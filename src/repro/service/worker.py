@@ -48,7 +48,9 @@ class ServiceCell:
     cell, and the worker parents its whole span subtree under it (ids
     namespaced by the parent span id, so the merged tree cannot
     collide). ``profile_memory`` opts the worker's solve span into
-    ``tracemalloc`` peak sampling.
+    ``tracemalloc`` peak sampling. ``record`` runs the solve under a
+    flight recorder and ships the recording back under the extra
+    ``"recording"`` key, riding beside the result exactly like spans.
     """
 
     recipe: InstanceRecipe | None
@@ -60,6 +62,7 @@ class ServiceCell:
     c_round: float
     compute_lp: bool
     capture_events: bool
+    record: bool = False
     trace_ctx: SpanContext | None = None
     profile_memory: bool = False
 
@@ -110,6 +113,20 @@ def run_service_cell(cell: ServiceCell) -> dict[str, Any]:
         else:
             lp_value = cached_lp_value(instance)
     trace = RingBufferTrace() if cell.capture_events else None
+    recorder = None
+    if cell.record:
+        from repro.obs.recorder import FlightRecorder
+
+        recorder = FlightRecorder(
+            engine="simulator",
+            config={
+                "k": cell.k,
+                "variant": cell.variant,
+                "seed": cell.seed,
+                "rounding": cell.rounding,
+                "c_round": cell.c_round,
+            },
+        )
     result = solve_distributed(
         instance,
         k=cell.k,
@@ -118,6 +135,7 @@ def run_service_cell(cell: ServiceCell) -> dict[str, Any]:
         rounding=RoundingPolicy(mode=cell.rounding, c_round=cell.c_round),
         trace=trace,
         tracer=tracer,
+        recorder=recorder,
     )
     extras: dict[str, Any] = {}
     if lp_value is not None:
@@ -153,6 +171,9 @@ def run_service_cell(cell: ServiceCell) -> dict[str, Any]:
             counts[event.event] = counts.get(event.event, 0) + 1
         payload["events_by_kind"] = dict(sorted(counts.items()))
     out: dict[str, Any] = {"result": payload, "manifest": manifest.to_dict()}
+    if recorder is not None:
+        # Beside — never inside — result/manifest, mirroring "spans".
+        out["recording"] = recorder.to_payload()
     if tracer is not None:
         assert root is not None
         root.annotate(cost=result.cost, rounds=result.metrics.rounds).end()

@@ -194,6 +194,36 @@ class TestServedEqualsDirect:
             assert a.result["cost"] == b.result["cost"]
             assert canonical(dict(a.manifest)) == canonical(dict(b.manifest))
 
+    def test_recording_changes_no_output_bytes(self):
+        # The flight-recorder analogue of the tracing guardrail: with
+        # record=True the recording payload rides beside the answer and
+        # the result/manifest bytes stay identical to an unrecorded run.
+        import dataclasses
+
+        _, plain = self.run_workload()
+        clear_caches()
+        client = ServiceClient(SolveService())
+        recorded = {
+            r.request_id: r
+            for r in client.solve_many(
+                [
+                    dataclasses.replace(build_request(spec), record=True)
+                    for spec in WORKLOAD
+                ]
+            )
+        }
+        for spec in WORKLOAD:
+            a, b = plain[spec["rid"]], recorded[spec["rid"]]
+            assert a.status == b.status == "ok"
+            assert not a.recording
+            assert b.recording["schema"] == "repro.recording/v1"
+            assert json.dumps(dict(a.result), sort_keys=True) == json.dumps(
+                dict(b.result), sort_keys=True
+            )
+            assert canonical(dict(a.manifest)) == canonical(dict(b.manifest))
+            # Unrecorded wire bytes never mention the recording key.
+            assert "recording" not in a.to_wire()
+
     def test_inline_instance_matches_recipe_answer(self):
         # The same problem submitted two ways (recipe vs inline upload)
         # yields identical costs and open sets.
