@@ -382,6 +382,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-store capacity (default 1024)",
     )
     serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds of graceful drain on SIGTERM (or a drain line): "
+        "queued work flushes within this budget, the remainder is "
+        "answered status=draining (default 30)",
+    )
+    serve.add_argument(
+        "--high-water",
+        type=int,
+        default=None,
+        help="queue depth at which incoming low-priority work is shed "
+        "(default: disabled)",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="per-client-id token-bucket refill rate in requests/second "
+        "(default: disabled)",
+    )
+    serve.add_argument(
+        "--rate-burst",
+        type=float,
+        default=8.0,
+        help="token-bucket burst capacity with --rate-limit (default 8)",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="per-cell execution budget when a worker crashes or wedges "
+        "(default 3)",
+    )
+    serve.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock watchdog per pool cell; a cell still running "
+        "past it is treated like a crash and retried (default: disabled)",
+    )
+    serve.add_argument(
         "--metrics",
         action="store_true",
         help="append one metrics-summary line at EOF (stdin mode only)",
@@ -530,6 +574,115 @@ def build_parser() -> argparse.ArgumentParser:
         "compatible) to PATH",
     )
     chaos.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    chaos_serve = sub.add_parser(
+        "chaos-serve",
+        help="run the service-level chaos harness (worker kills, slow "
+        "cells, connection drops, malformed frames) against a live "
+        "service and gate on exactly-one-terminal-response and "
+        "byte-identical results",
+    )
+    chaos_serve.add_argument(
+        "--family",
+        choices=sorted(FAMILIES),
+        default="uniform",
+        help="generator family for the workload (default uniform)",
+    )
+    chaos_serve.add_argument("-m", "--facilities", type=int, default=6)
+    chaos_serve.add_argument("-n", "--clients", type=int, default=15)
+    chaos_serve.add_argument(
+        "--requests",
+        type=int,
+        default=12,
+        help="workload size; every third request duplicates an earlier "
+        "one so dedup is exercised under faults (default 12)",
+    )
+    chaos_serve.add_argument(
+        "-k",
+        "--ks",
+        nargs="+",
+        type=int,
+        default=[4, 9],
+        metavar="K",
+        help="round-budget values cycled across the workload (default 4 9)",
+    )
+    chaos_serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes per batch; 2+ exercises pool respawn "
+        "(default 2)",
+    )
+    chaos_serve.add_argument(
+        "--crash-rate",
+        type=float,
+        default=0.25,
+        help="fraction of cells whose first execution kills its worker "
+        "(default 0.25)",
+    )
+    chaos_serve.add_argument(
+        "--slow-rate",
+        type=float,
+        default=0.0,
+        help="fraction of cells that stall once before answering "
+        "(default 0)",
+    )
+    chaos_serve.add_argument(
+        "--slow-sleep",
+        type=float,
+        default=0.4,
+        help="stall duration for slow cells, seconds (default 0.4)",
+    )
+    chaos_serve.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=30.0,
+        help="per-cell watchdog, seconds; set below --slow-sleep to turn "
+        "stalls into watchdog retries (default 30)",
+    )
+    chaos_serve.add_argument(
+        "--drop-every",
+        type=int,
+        default=0,
+        help="with --socket: sever the client connection before every "
+        "Nth request (default 0 = never)",
+    )
+    chaos_serve.add_argument(
+        "--malformed-every",
+        type=int,
+        default=0,
+        help="with --socket: inject a malformed frame before every Nth "
+        "request (default 0 = never)",
+    )
+    chaos_serve.add_argument(
+        "--socket",
+        action="store_true",
+        help="drive a real Unix-socket server in a thread instead of the "
+        "in-process client (required for drop/malformed injection)",
+    )
+    chaos_serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=4,
+        help="per-cell execution budget under crash injection (default 4)",
+    )
+    chaos_serve.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="fault-assignment seed (which cells crash/stall is a "
+        "deterministic function of it)",
+    )
+    chaos_serve.add_argument(
+        "-o",
+        "--output",
+        metavar="PATH",
+        help="write the bench_record JSON artifact (repro compare "
+        "compatible) to PATH",
+    )
+    chaos_serve.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
     return parser
@@ -914,6 +1067,94 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos_serve(args: argparse.Namespace) -> int:
+    from repro.analysis.chaos_serve import (
+        ChaosServePlan,
+        build_chaos_workload,
+        run_chaos_serve,
+    )
+
+    if (args.drop_every or args.malformed_every) and not args.socket:
+        print(
+            "error: --drop-every/--malformed-every inject transport faults "
+            "and need --socket",
+            file=sys.stderr,
+        )
+        return 2
+    plan = ChaosServePlan(
+        crash_rate=args.crash_rate,
+        slow_rate=args.slow_rate,
+        slow_sleep_s=args.slow_sleep,
+        drop_every=args.drop_every,
+        malformed_every=args.malformed_every,
+        seed=args.seed,
+    )
+    requests = build_chaos_workload(
+        family=args.family,
+        num_facilities=args.facilities,
+        num_clients=args.clients,
+        ks=tuple(args.ks),
+        num_requests=args.requests,
+    )
+    report = run_chaos_serve(
+        requests=requests,
+        plan=plan,
+        workers=args.workers,
+        max_attempts=args.max_attempts,
+        cell_timeout_s=args.cell_timeout,
+        use_socket=args.socket,
+    )
+    result = report.to_experiment_result()
+    if args.output:
+        Path(args.output).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.output).write_text(json.dumps(result.to_record(), indent=2))
+    if args.json:
+        payload = {
+            "passed": report.passed,
+            "failures": report.failures(),
+            "statuses": dict(report.statuses),
+            "injected": dict(report.injected),
+            "client_stats": dict(report.client_stats),
+            "record": result.to_record(),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(result.table)
+        if args.output:
+            print(f"wrote {args.output}")
+    if not report.passed:
+        for failure in report.failures():
+            print(
+                f"error: gate {failure['gate']} failed: "
+                f"{json.dumps({k: v for k, v in failure.items() if k != 'gate'})}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+def _install_drain_handler() -> Any | None:
+    """SIGTERM → a ``threading.Event`` the serve loops poll for drain.
+
+    Returns ``None`` when signal delivery is unavailable (not the main
+    thread, restricted platform); the server then simply has no
+    signal-triggered drain path, which is how embedded use works anyway.
+    """
+    import signal
+    import threading
+
+    drain_signal = threading.Event()
+
+    def _on_sigterm(signum: int, frame: Any) -> None:
+        drain_signal.set()
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:  # not the main thread
+        return None
+    return drain_signal
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import ServiceConfig, SolveService, serve_jsonl, serve_socket
 
@@ -930,14 +1171,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             result_ttl_s=args.ttl if args.ttl > 0 else None,
             max_results=args.max_results,
             profile_memory=args.profile_memory,
+            high_water=args.high_water,
+            max_solve_attempts=args.max_attempts,
+            cell_timeout_s=args.cell_timeout,
+            rate_limit_per_client=args.rate_limit,
+            rate_limit_burst=args.rate_burst,
         ),
         tracer=tracer,
     )
+    drain_signal = _install_drain_handler()
     if args.socket:
         print(f"serving on unix socket {args.socket}", file=sys.stderr)
-        serve_socket(service, args.socket)
+        serve_socket(
+            service,
+            args.socket,
+            drain_signal=drain_signal,
+            drain_timeout_s=args.drain_timeout,
+        )
     else:
-        serve_jsonl(service, sys.stdin, sys.stdout, emit_metrics=args.metrics)
+        serve_jsonl(
+            service,
+            sys.stdin,
+            sys.stdout,
+            emit_metrics=args.metrics,
+            drain_signal=drain_signal,
+            drain_timeout_s=args.drain_timeout,
+        )
     if tracer is not None:
         from repro.obs.spans import write_spans_jsonl
 
@@ -1065,6 +1324,7 @@ _HANDLERS = {
     "baselines": _cmd_baselines,
     "experiment": _cmd_experiment,
     "chaos": _cmd_chaos,
+    "chaos-serve": _cmd_chaos_serve,
     "report": _cmd_report,
     "serve": _cmd_serve,
     "trace": _cmd_trace,

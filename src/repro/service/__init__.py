@@ -26,9 +26,18 @@ throughput-oriented service front-end, the shape a deployment that
 * :class:`~repro.service.client.ServiceClient` — the in-process helper
   used by tests, examples and the ``repro serve`` CLI; plus the JSONL
   wire codec and a Unix-socket client for the socket transport.
+* :mod:`~repro.service.resilience` — the fault-tolerance layer: the
+  typed ``Retriable``/``Fatal`` service-error taxonomy, the
+  crash-surviving :class:`~repro.service.resilience.ResilientExecutor`
+  (pool respawn + bounded per-cell retries + stuck-cell watchdog), the
+  backoff-and-reconnect
+  :class:`~repro.service.resilience.RetryingServiceClient`, and the
+  per-client :class:`~repro.service.resilience.TokenBucket` rate
+  limiter behind admission control.
 
-See ``docs/ARCHITECTURE.md`` ("Serving layer") for the data flow and
-``examples/serving.py`` for a worked mixed-batch session.
+See ``docs/ARCHITECTURE.md`` ("Serving layer", "Serving resilience")
+for the data flow and ``examples/serving.py`` for a worked mixed-batch
+session.
 """
 
 from repro.service.batcher import Batch, Batcher, WorkUnit
@@ -40,13 +49,28 @@ from repro.service.client import (
 )
 from repro.service.queue import AdmissionQueue, AdmissionResult
 from repro.service.request import (
+    PRIORITY_CLASSES,
     InstanceRecipe,
     SolveRequest,
     SolveResponse,
+    priority_level,
+)
+from repro.service.resilience import (
+    RETRIABLE_REJECT_REASONS,
+    ExecutionReport,
+    FatalServiceError,
+    ResilientExecutor,
+    RetriableServiceError,
+    RetryingServiceClient,
+    RetryPolicy,
+    RetryStats,
+    ServiceError,
+    TokenBucket,
+    WorkerCrashError,
 )
 from repro.service.server import ServiceProtocol, serve_jsonl, serve_socket
 from repro.service.service import ServiceConfig, SolveService
-from repro.service.store import ResultStore
+from repro.service.store import ResultStore, StoreMiss
 from repro.service.worker import (
     ServiceCell,
     run_service_cell,
@@ -58,19 +82,33 @@ __all__ = [
     "AdmissionResult",
     "Batch",
     "Batcher",
+    "ExecutionReport",
+    "FatalServiceError",
     "InstanceRecipe",
+    "PRIORITY_CLASSES",
+    "RETRIABLE_REJECT_REASONS",
+    "ResilientExecutor",
     "ResultStore",
+    "RetriableServiceError",
+    "RetryPolicy",
+    "RetryStats",
+    "RetryingServiceClient",
     "ServiceCell",
     "ServiceClient",
     "ServiceConfig",
+    "ServiceError",
     "ServiceProtocol",
     "SocketServiceClient",
     "SolveRequest",
     "SolveResponse",
     "SolveService",
+    "StoreMiss",
+    "TokenBucket",
     "WorkUnit",
+    "WorkerCrashError",
     "decode_line",
     "encode_line",
+    "priority_level",
     "run_service_cell",
     "run_service_cell_guarded",
     "serve_jsonl",

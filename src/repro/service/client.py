@@ -28,6 +28,10 @@ from typing import Any, Iterable, Mapping
 from repro.exceptions import ReproError
 from repro.obs.spans import Tracer
 from repro.service.request import SolveRequest, SolveResponse
+from repro.service.resilience import (
+    FatalServiceError,
+    RetriableServiceError,
+)
 from repro.service.service import SolveService
 
 __all__ = [
@@ -156,6 +160,17 @@ class SocketServiceClient:
     are stamped with the tracer's current span context (``trace`` wire
     field), so a tracing server parents its spans under this client —
     one trace tree across the socket boundary.
+
+    Transport failures surface as the typed taxonomy from
+    :mod:`repro.service.resilience`: a receive timeout, connection
+    reset, broken pipe or server-side EOF raises
+    :class:`~repro.service.resilience.RetriableServiceError` — and marks
+    the connection *broken*, because after a half-read the line buffer
+    is in an undefined state. Every later call on a broken client
+    raises :class:`~repro.service.resilience.FatalServiceError` until a
+    fresh client is built (which is what
+    :class:`~repro.service.resilience.RetryingServiceClient` does
+    automatically).
     """
 
     def __init__(
@@ -165,10 +180,17 @@ class SocketServiceClient:
         tracer: Tracer | None = None,
     ) -> None:
         self.path = str(path)
+        self.timeout_s = float(timeout_s)
         self.tracer = tracer
-        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        self._sock.settimeout(timeout_s)
-        self._sock.connect(self.path)
+        self._broken = False
+        try:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout_s)
+            self._sock.connect(self.path)
+        except OSError as error:
+            raise RetriableServiceError(
+                f"cannot connect to service socket {self.path!r}: {error}"
+            ) from error
         self._file = self._sock.makefile("rw", encoding="utf-8", newline="\n")
 
     def __enter__(self) -> "SocketServiceClient":
@@ -181,18 +203,97 @@ class SocketServiceClient:
         """Drop the connection (the server keeps serving others)."""
         try:
             self._file.close()
+        except (OSError, ValueError):
+            pass  # a broken transport may refuse even to close
         finally:
             self._sock.close()
 
+    def abort(self) -> None:
+        """Sever the transport abruptly, with no clean close.
+
+        A testing/chaos hook: the next operation on this client fails
+        with a :class:`~repro.service.resilience.RetriableServiceError`,
+        which is exactly what a mid-session connection reset looks like
+        from the caller's side.
+        """
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # already disconnected: aborting is a no-op
+
+    def _check_usable(self) -> None:
+        if self._broken:
+            raise FatalServiceError(
+                "connection is in an undefined state after a transport "
+                "error; build a fresh client to reconnect"
+            )
+
     def _send(self, payload: Mapping[str, Any]) -> None:
-        self._file.write(encode_line(payload))
-        self._file.flush()
+        self._check_usable()
+        try:
+            self._file.write(encode_line(payload))
+            self._file.flush()
+        except socket.timeout as error:
+            self._broken = True
+            raise RetriableServiceError(
+                f"timed out sending to the service after {self.timeout_s}s"
+            ) from error
+        except (BrokenPipeError, ConnectionResetError, OSError) as error:
+            self._broken = True
+            raise RetriableServiceError(
+                f"service connection lost mid-send: {error}"
+            ) from error
+        except ValueError as error:  # write on a closed file object
+            self._broken = True
+            raise FatalServiceError(
+                f"client is closed: {error}"
+            ) from error
 
     def _recv(self) -> dict[str, Any]:
-        line = self._file.readline()
+        self._check_usable()
+        try:
+            line = self._file.readline()
+        except socket.timeout as error:
+            # After a timeout mid-recv the line buffer may hold a
+            # partial frame — nothing on this connection can be trusted.
+            self._broken = True
+            raise RetriableServiceError(
+                f"timed out waiting for the service after {self.timeout_s}s"
+            ) from error
+        except (ConnectionResetError, OSError) as error:
+            self._broken = True
+            raise RetriableServiceError(
+                f"service connection reset mid-recv: {error}"
+            ) from error
+        except ValueError as error:  # read on a closed file object
+            self._broken = True
+            raise FatalServiceError(
+                f"client is closed: {error}"
+            ) from error
         if not line:
-            raise ReproError("service closed the connection")
+            self._broken = True
+            raise RetriableServiceError("service closed the connection")
         return decode_line(line)
+
+    def raw_request(self, line: str) -> dict[str, Any]:
+        """Send one raw line (no codec) and decode the reply.
+
+        Exists for protocol and chaos testing — it is how the chaos
+        harness injects malformed frames through a live connection. The
+        newline is appended when missing.
+        """
+        self._check_usable()
+        if not line.endswith("\n"):
+            line += "\n"
+        try:
+            self._file.write(line)
+            self._file.flush()
+        except (OSError, ValueError) as error:
+            self._broken = True
+            raise RetriableServiceError(
+                f"service connection lost mid-send: {error}"
+            ) from error
+        return self._recv()
 
     def submit(self, request: SolveRequest) -> bool:
         """Send one solve request; True when the server admitted it."""

@@ -1,4 +1,4 @@
-"""Bounded admission queue with backpressure and deadline accounting.
+"""Bounded admission queue with backpressure, priorities and shedding.
 
 The queue is the service's pressure valve: when producers outrun the
 solver, :meth:`AdmissionQueue.offer` starts *rejecting* instead of
@@ -7,6 +7,17 @@ load-shedding trade that keeps latency for admitted work predictable.
 Per-request deadlines are stamped at admission and checked at drain
 time, so a request that waited past its ``timeout_s`` is surfaced as a
 timeout rather than solved late.
+
+Overload is priority-aware (see
+:data:`~repro.service.request.PRIORITY_CLASSES`):
+
+* past the optional ``high_water`` mark, incoming ``"low"`` work is
+  refused outright (reason ``"shed_low_priority"``) so the remaining
+  headroom is kept for normal/high traffic;
+* at capacity, an offer may *evict* the newest queued request of a
+  strictly lower priority class instead of being rejected — the evicted
+  request comes back in :attr:`AdmissionResult.shed` so the service can
+  answer it (a shed request is still answered, never silently dropped).
 
 Time is injected (any monotonic ``clock`` callable) so tests drive the
 deadline machinery deterministically; production uses
@@ -21,17 +32,23 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.exceptions import ReproError
-from repro.service.request import SolveRequest
+from repro.service.request import SolveRequest, priority_level
 
 __all__ = ["AdmissionQueue", "AdmissionResult", "QueuedRequest"]
 
 
 @dataclass(frozen=True)
 class AdmissionResult:
-    """Outcome of one :meth:`AdmissionQueue.offer` call."""
+    """Outcome of one :meth:`AdmissionQueue.offer` call.
+
+    ``reason`` is ``"queue_full"`` / ``"shed_low_priority"`` when
+    rejected; ``shed`` carries any *previously queued* request this
+    offer evicted to make room (the caller must answer it).
+    """
 
     accepted: bool
-    reason: str = ""  # "queue_full" when rejected
+    reason: str = ""
+    shed: tuple["QueuedRequest", ...] = ()
 
 
 @dataclass(frozen=True)
@@ -54,24 +71,37 @@ class QueuedRequest:
 
 
 class AdmissionQueue:
-    """Bounded FIFO of pending requests.
+    """Bounded FIFO of pending requests with priority-aware shedding.
 
     Parameters
     ----------
     max_depth:
-        Capacity; an offer beyond it is rejected (backpressure).
+        Capacity; an offer beyond it is rejected (backpressure) unless
+        it can evict strictly-lower-priority queued work.
     clock:
         Monotonic time source; injectable for deterministic tests.
+    high_water:
+        Optional early-shedding mark (``<= max_depth``): at or above
+        this depth, incoming ``"low"``-priority offers are refused with
+        reason ``"shed_low_priority"`` while normal/high work still
+        admits up to ``max_depth``.
     """
 
     def __init__(
         self,
         max_depth: int = 256,
         clock: Callable[[], float] = time.monotonic,
+        high_water: int | None = None,
     ) -> None:
         if max_depth < 1:
             raise ReproError(f"max_depth must be >= 1, got {max_depth}")
+        if high_water is not None and not 1 <= high_water <= max_depth:
+            raise ReproError(
+                f"high_water must be in [1, max_depth={max_depth}], "
+                f"got {high_water}"
+            )
         self.max_depth = int(max_depth)
+        self.high_water = int(high_water) if high_water is not None else None
         self._clock = clock
         self._pending: deque[QueuedRequest] = deque()
         self._seq = 0
@@ -85,9 +115,28 @@ class AdmissionQueue:
         return len(self._pending)
 
     def offer(self, request: SolveRequest) -> AdmissionResult:
-        """Admit ``request`` or reject it when the queue is full."""
+        """Admit ``request``, shed for it, or reject it.
+
+        Resolution order: past ``high_water`` a ``"low"`` offer is
+        refused; at ``max_depth`` the newest queued request of the
+        lowest priority class *strictly below* the offer's is evicted
+        (returned in ``shed``) to make room; with nothing evictable the
+        offer is rejected ``"queue_full"``.
+        """
+        level = priority_level(request.priority)
+        if (
+            self.high_water is not None
+            and len(self._pending) >= self.high_water
+            and level == 0
+        ):
+            return AdmissionResult(accepted=False, reason="shed_low_priority")
+        shed: tuple[QueuedRequest, ...] = ()
         if len(self._pending) >= self.max_depth:
-            return AdmissionResult(accepted=False, reason="queue_full")
+            victim = self._shed_victim(level)
+            if victim is None:
+                return AdmissionResult(accepted=False, reason="queue_full")
+            self._pending.remove(victim)
+            shed = (victim,)
         now = self._clock()
         deadline = (
             now + request.timeout_s if request.timeout_s is not None else None
@@ -98,7 +147,23 @@ class AdmissionQueue:
             )
         )
         self._seq += 1
-        return AdmissionResult(accepted=True)
+        return AdmissionResult(accepted=True, shed=shed)
+
+    def _shed_victim(self, level: int) -> QueuedRequest | None:
+        """Newest queued request of the lowest class strictly below ``level``.
+
+        Lowest class first so ``"low"`` work dies before ``"normal"``;
+        newest within the class because the oldest has waited longest
+        and is closest to being served.
+        """
+        victim: QueuedRequest | None = None
+        victim_level = level
+        for item in self._pending:  # iteration order = oldest .. newest
+            item_level = priority_level(item.request.priority)
+            if item_level < level and item_level <= victim_level:
+                victim = item  # <=: a later (newer) equal-class item wins
+                victim_level = item_level
+        return victim
 
     def drain(
         self, max_items: int | None = None

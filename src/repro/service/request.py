@@ -26,7 +26,28 @@ from repro.fl.io import instance_from_dict, instance_to_dict
 from repro.obs.manifest import instance_digest
 from repro.obs.spans import SpanContext
 
-__all__ = ["InstanceRecipe", "SolveRequest", "SolveResponse"]
+__all__ = [
+    "InstanceRecipe",
+    "PRIORITY_CLASSES",
+    "SolveRequest",
+    "SolveResponse",
+    "priority_level",
+]
+
+#: Admission priority classes, lowest first. Under overload the service
+#: sheds the lowest class first (see
+#: :class:`~repro.service.queue.AdmissionQueue`).
+PRIORITY_CLASSES: tuple[str, ...] = ("low", "normal", "high")
+
+
+def priority_level(priority: str) -> int:
+    """Numeric rank of a priority class (higher = more important)."""
+    try:
+        return PRIORITY_CLASSES.index(priority)
+    except ValueError:
+        raise ReproError(
+            f"priority must be one of {PRIORITY_CLASSES}, got {priority!r}"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -108,6 +129,14 @@ class SolveRequest:
     request produce different response bytes, so they must not dedup
     against each other. When off (the default) the recorder is never
     constructed and the response is byte-identical to current behavior.
+
+    ``priority`` (one of :data:`PRIORITY_CLASSES`) and ``client_id``
+    steer *admission only*: under overload the service sheds lower
+    priorities first and rate-limits per client id. Like ``request_id``
+    they are per-submission plumbing — neither participates in
+    :meth:`work_key`, so a high- and a low-priority request for the same
+    work still dedup onto one solve, and both ride the wire only when
+    set away from their defaults (existing wire bytes are unchanged).
     """
 
     request_id: str
@@ -123,10 +152,17 @@ class SolveRequest:
     record: bool = False
     timeout_s: float | None = None
     trace_ctx: SpanContext | None = None
+    priority: str = "normal"
+    client_id: str = ""
 
     def __post_init__(self) -> None:
         if not self.request_id:
             raise ReproError("request_id must be non-empty")
+        if self.priority not in PRIORITY_CLASSES:
+            raise ReproError(
+                f"unknown priority {self.priority!r}; expected one of "
+                f"{list(PRIORITY_CLASSES)}"
+            )
         if (self.recipe is None) == (self.instance is None):
             raise ReproError(
                 f"request {self.request_id!r} must set exactly one of "
@@ -194,6 +230,12 @@ class SolveRequest:
             # Emitted only when set: the wire line of a non-recording
             # request stays byte-identical to the pre-recorder protocol.
             payload["record"] = True
+        if self.priority != "normal":
+            # Emitted only when set, like `record`: default-priority wire
+            # lines stay byte-identical to the pre-priority protocol.
+            payload["priority"] = self.priority
+        if self.client_id:
+            payload["client_id"] = self.client_id
         if self.timeout_s is not None:
             payload["timeout_s"] = self.timeout_s
         if self.trace_ctx is not None:
@@ -232,6 +274,8 @@ class SolveRequest:
             record=bool(data.get("record", False)),
             timeout_s=float(timeout) if timeout is not None else None,
             trace_ctx=trace_ctx,
+            priority=str(data.get("priority", "normal")),
+            client_id=str(data.get("client_id", "")),
         )
 
 
@@ -240,9 +284,14 @@ class SolveResponse:
     """The service's answer to one request.
 
     ``status`` is one of ``"ok"`` (solved; ``result`` and ``manifest``
-    are populated), ``"timeout"`` (deadline passed while queued),
-    ``"rejected"`` (admission queue full) or ``"error"`` (the solve
-    raised; ``error`` carries the message). ``manifest`` is the same
+    are populated), ``"timeout"`` (deadline passed while queued or
+    before execution started; ``error`` says which phase),
+    ``"rejected"`` (admission refused: queue full, rate-limited, or
+    shed for priority — ``error`` carries the reason),
+    ``"draining"`` (the service is shutting down: the request was
+    either refused at admission or still queued when the drain budget
+    ran out) or ``"error"`` (the solve raised; ``error`` carries the
+    message). ``manifest`` is the same
     :class:`~repro.obs.manifest.RunRecord` dict a direct
     ``repro solve --trace`` writes — byte-identical for equal work, which
     is the service's core correctness contract. ``dedup`` marks

@@ -15,6 +15,10 @@ input line          reply line(s)
 ``{"type":"metrics"}`` one ``metrics`` line (the flat summary dict;
                     with ``"full": true`` the line also carries the
                     complete registry ``snapshot`` payload)
+``{"type":"drain"}`` graceful shutdown: one ``response`` line per
+                    flushed or drain-rejected request, then
+                    ``drain_done`` with the count; the server then
+                    stops (``timeout_s`` bounds the flush)
 ``{"type":"shutdown"}`` one ``bye`` line; the server then stops
 =================== ==================================================
 
@@ -38,6 +42,7 @@ from repro.obs.metrics_io import snapshot_payload
 from repro.service.client import decode_line, encode_line
 from repro.service.request import SolveRequest
 from repro.service.service import SolveService
+from repro.service.store import StoreMiss
 
 __all__ = ["ServiceProtocol", "serve_jsonl", "serve_socket"]
 
@@ -67,14 +72,18 @@ class ServiceProtocol:
             yield {"type": "flush_done", "count": len(responses)}
         elif kind == "fetch":
             request_id = str(payload.get("request_id", ""))
-            response = self.service.fetch(request_id)
-            if response is None:
+            found = self.service.lookup(request_id)
+            if isinstance(found, StoreMiss):
                 yield {
                     "type": "error",
-                    "error": f"no retained response for {request_id!r}",
+                    "error": (
+                        f"no retained response for {request_id!r} "
+                        f"({found.reason})"
+                    ),
+                    "reason": found.reason,
                 }
             else:
-                yield response.to_wire()
+                yield found.to_wire()
         elif kind == "metrics":
             if payload.get("full"):
                 yield {
@@ -87,6 +96,16 @@ class ServiceProtocol:
                     "type": "metrics",
                     "metrics": self.service.metrics_summary(),
                 }
+        elif kind == "drain":
+            timeout = payload.get("timeout_s")
+            responses = self.service.shutdown(
+                drain=True,
+                drain_timeout_s=float(timeout) if timeout is not None else None,
+            )
+            for response in responses:
+                yield response.to_wire()
+            yield {"type": "drain_done", "count": len(responses)}
+            self.shutting_down = True
         elif kind == "shutdown":
             self.shutting_down = True
             yield {"type": "bye"}
@@ -119,17 +138,30 @@ def serve_jsonl(
     stream_in: IO[str],
     stream_out: IO[str],
     emit_metrics: bool = False,
+    drain_signal: Any | None = None,
+    drain_timeout_s: float | None = None,
 ) -> int:
     """Serve the line protocol over text streams until EOF or shutdown.
 
     On EOF, queued work is flushed implicitly (response lines plus the
     ``flush_done`` marker) so ``cat requests.jsonl | repro serve`` always
     answers everything it admitted; ``emit_metrics`` appends one final
-    ``metrics`` line. Returns the number of lines served.
+    ``metrics`` line. ``drain_signal`` — any object with ``is_set()``,
+    e.g. a ``threading.Event`` flipped by a SIGTERM handler — triggers a
+    graceful drain when observed between lines: admission stops, queued
+    work flushes for up to ``drain_timeout_s`` seconds, the remainder is
+    answered ``status="draining"``, and the loop exits. Returns the
+    number of lines served.
     """
     protocol = ServiceProtocol(service)
     served = 0
+
+    def drain_requested() -> bool:
+        return drain_signal is not None and drain_signal.is_set()
+
     for line in stream_in:
+        if drain_requested():
+            break
         if not line.strip():
             continue
         try:
@@ -146,7 +178,13 @@ def serve_jsonl(
         served += 1
         if protocol.shutting_down:
             break
-    if not protocol.shutting_down and service.pending:
+    if drain_requested() and not protocol.shutting_down:
+        drain_payload: dict[str, Any] = {"type": "drain"}
+        if drain_timeout_s is not None:
+            drain_payload["timeout_s"] = drain_timeout_s
+        for reply in protocol.handle(drain_payload):
+            stream_out.write(encode_line(reply))
+    elif not protocol.shutting_down and service.pending:
         for reply in protocol.handle({"type": "flush"}):
             stream_out.write(encode_line(reply))
     if emit_metrics:
@@ -160,49 +198,80 @@ def serve_socket(
     service: SolveService,
     path: str | Path,
     ready: Any | None = None,
+    drain_signal: Any | None = None,
+    drain_timeout_s: float | None = None,
 ) -> int:
     """Serve the line protocol on a Unix domain socket at ``path``.
 
     Connections are handled sequentially (the service itself is
     synchronous); state — queue, store, metrics — persists across
     connections, so a client may submit, disconnect, and re-fetch later
-    within the result TTL. A ``shutdown`` line stops the server after
-    its ``bye`` reply. ``ready``, when given, is an object with a
+    within the result TTL. A ``shutdown`` or ``drain`` line stops the
+    server after its reply. ``ready``, when given, is an object with a
     ``set()`` method (e.g. ``threading.Event``) signalled once the
     socket is listening — the test hook that avoids connect races.
-    Returns the number of connections served.
+
+    The server survives misbehaving clients: a connection that resets,
+    half-sends a frame, or vanishes mid-reply only ends *that*
+    connection — the accept loop keeps serving (the chaos harness
+    injects exactly these faults). ``drain_signal`` (an ``is_set()``
+    object, e.g. a ``threading.Event`` flipped by SIGTERM) is polled
+    between connections and while waiting for one: once set, the
+    service drains gracefully (bounded by ``drain_timeout_s``) and the
+    server exits. Returns the number of connections served.
     """
     socket_path = Path(path)
     if socket_path.exists():
         socket_path.unlink()
     protocol = ServiceProtocol(service)
     connections = 0
+
+    def drain_requested() -> bool:
+        return drain_signal is not None and drain_signal.is_set()
+
     with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as server:
         server.bind(str(socket_path))
         server.listen(1)
+        if drain_signal is not None:
+            # Poll the drain signal between accepts instead of blocking
+            # forever on a connection that may never come.
+            server.settimeout(0.25)
         if ready is not None:
             ready.set()
         while not protocol.shutting_down:
-            conn, _ = server.accept()
+            if drain_requested():
+                service.shutdown(drain=True, drain_timeout_s=drain_timeout_s)
+                break
+            try:
+                conn, _ = server.accept()
+            except socket.timeout:
+                continue
             connections += 1
-            with conn, conn.makefile(
-                "rw", encoding="utf-8", newline="\n"
-            ) as stream:
-                for line in stream:
-                    if not line.strip():
-                        continue
-                    try:
-                        payload = decode_line(line)
-                    except ReproError as error:
-                        stream.write(
-                            encode_line({"type": "error", "error": str(error)})
-                        )
+            try:
+                with conn, conn.makefile(
+                    "rw", encoding="utf-8", newline="\n"
+                ) as stream:
+                    for line in stream:
+                        if not line.strip():
+                            continue
+                        try:
+                            payload = decode_line(line)
+                        except ReproError as error:
+                            stream.write(
+                                encode_line(
+                                    {"type": "error", "error": str(error)}
+                                )
+                            )
+                            stream.flush()
+                            continue
+                        for reply in protocol.handle(payload):
+                            stream.write(encode_line(reply))
                         stream.flush()
-                        continue
-                    for reply in protocol.handle(payload):
-                        stream.write(encode_line(reply))
-                    stream.flush()
-                    if protocol.shutting_down:
-                        break
+                        if protocol.shutting_down:
+                            break
+            except (OSError, ValueError):
+                # A dropped/reset/half-closed client connection is the
+                # client's failure, not the server's: keep serving.
+                continue
     socket_path.unlink(missing_ok=True)
     return connections

@@ -30,7 +30,15 @@ instrument                 meaning
 ``service.latency.seconds`` histogram of admission->completion latency;
                            p50/p95 come from
                            :meth:`~repro.obs.registry.Histogram.quantile`
-``service.timeouts``       requests whose deadline passed while queued
+``service.timeouts``       expired requests, labeled ``phase=queue``
+                           (deadline passed while waiting) or
+                           ``phase=execute`` (passed between drain and
+                           execution start)
+``service.exec.retries``   cell re-executions after worker crash/stall
+``service.exec.respawns``  worker pools discarded and respawned
+``service.sheds``          shed requests, labeled ``priority=...``
+``service.rate_limited``   admissions refused by the per-client bucket
+``service.drain.rejections`` requests answered ``draining`` at shutdown
 ========================== ============================================
 
 Cache-hit deltas are measured around each batch via
@@ -53,7 +61,8 @@ from repro.perf.executor import SweepExecutor
 from repro.service.batcher import Batcher
 from repro.service.queue import AdmissionQueue, AdmissionResult, QueuedRequest
 from repro.service.request import SolveRequest, SolveResponse
-from repro.service.store import ResultStore
+from repro.service.resilience import ResilientExecutor, TokenBucket
+from repro.service.store import ResultStore, StoreMiss
 
 __all__ = ["ServiceConfig", "SolveService"]
 
@@ -89,6 +98,26 @@ class ServiceConfig:
         When the service is traced, opt worker solve spans into
         ``tracemalloc`` peak sampling (reported as ``mem_peak_kb``).
         Ignored without a tracer.
+    high_water:
+        Optional early-shedding queue depth: at or above it, incoming
+        ``"low"``-priority work is refused (``shed_low_priority``)
+        while normal/high traffic still admits up to
+        ``max_queue_depth``. ``None`` disables early shedding.
+    max_solve_attempts:
+        Per-cell execution budget of the default
+        :class:`~repro.service.resilience.ResilientExecutor`: how many
+        times a cell whose worker crashed or wedged is re-executed
+        before it answers with an error.
+    cell_timeout_s:
+        Wall-clock watchdog for pool cells: a cell that has not
+        finished within the budget is treated like a crash (pool
+        respawned, cell retried). ``None`` disables the watchdog.
+    rate_limit_per_client:
+        Token-bucket refill rate (requests/second) applied per
+        ``client_id``; an offer beyond the bucket is rejected with
+        reason ``"rate_limited"``. ``None`` disables rate limiting.
+    rate_limit_burst:
+        Bucket capacity (the burst a quiet client may spend at once).
     """
 
     max_queue_depth: int = 256
@@ -97,11 +126,28 @@ class ServiceConfig:
     result_ttl_s: float | None = 300.0
     max_results: int = 1024
     profile_memory: bool = False
+    high_water: int | None = None
+    max_solve_attempts: int = 3
+    cell_timeout_s: float | None = None
+    rate_limit_per_client: float | None = None
+    rate_limit_burst: float = 8.0
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
             raise ReproError(
                 f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_solve_attempts < 1:
+            raise ReproError(
+                f"max_solve_attempts must be >= 1, "
+                f"got {self.max_solve_attempts}"
+            )
+        if self.rate_limit_per_client is not None and (
+            self.rate_limit_per_client <= 0
+        ):
+            raise ReproError(
+                f"rate_limit_per_client must be positive, "
+                f"got {self.rate_limit_per_client}"
             )
 
 
@@ -146,13 +192,21 @@ class SolveService:
         self.tracer = tracer
         self._request_spans: dict[str, Span] = {}
         self.queue = AdmissionQueue(
-            max_depth=self.config.max_queue_depth, clock=clock
+            max_depth=self.config.max_queue_depth,
+            clock=clock,
+            high_water=self.config.high_water,
         )
         self.batcher = Batcher(
             executor=executor
             if executor is not None
-            else SweepExecutor(workers=self.config.workers)
+            else ResilientExecutor(
+                workers=self.config.workers,
+                max_attempts=self.config.max_solve_attempts,
+                cell_timeout_s=self.config.cell_timeout_s,
+            )
         )
+        self._draining = False
+        self._buckets: dict[str, TokenBucket] = {}
         self.store = ResultStore(
             ttl_s=self.config.result_ttl_s,
             max_entries=self.config.max_results,
@@ -196,7 +250,28 @@ class SolveService:
             buckets=_LATENCY_BUCKETS,
         )
         self._timeouts = reg.counter(
-            "service.timeouts", "requests expired while queued"
+            "service.timeouts",
+            "requests expired before solving (phase=queue|execute)",
+        )
+        self._exec_retries = reg.counter(
+            "service.exec.retries",
+            "cell re-executions after a worker crash or stall",
+        )
+        self._exec_respawns = reg.counter(
+            "service.exec.respawns",
+            "worker pools discarded and respawned after a crash or stall",
+        )
+        self._sheds = reg.counter(
+            "service.sheds",
+            "requests shed under overload, labeled by priority",
+        )
+        self._rate_limited = reg.counter(
+            "service.rate_limited",
+            "admissions refused by the per-client token bucket",
+        )
+        self._drain_rejections = reg.counter(
+            "service.drain.rejections",
+            "requests answered with status=draining during shutdown",
         )
         self._queue_depth.set(0)
         self._store_size.set(0)
@@ -207,9 +282,16 @@ class SolveService:
     def submit(self, request: SolveRequest) -> AdmissionResult:
         """Admit ``request`` (or reject it under backpressure).
 
-        A rejected request is *also* answered: a ``status="rejected"``
-        response is retained in the store so ``fetch`` tells the client
-        what happened instead of silently knowing nothing.
+        A refused request is *also* answered: a ``status="rejected"``
+        (or ``"draining"``) response is retained in the store so
+        ``fetch`` tells the client what happened instead of silently
+        knowing nothing. Refusal reasons, in resolution order: the
+        service is draining; the client's token bucket is empty
+        (``rate_limited``); the queue shed it for priority
+        (``shed_low_priority``); the queue is full (``queue_full``).
+        An accepted offer may itself evict queued lower-priority work —
+        the victims are answered ``shed_low_priority`` on the spot and
+        returned in :attr:`~repro.service.queue.AdmissionResult.shed`.
         """
         if self.tracer is not None:
             self._request_spans[request.request_id] = self.tracer.start_span(
@@ -218,20 +300,70 @@ class SolveService:
                 attributes={"request_id": request.request_id},
                 detached=True,
             )
-        outcome = self.queue.offer(request)
-        if outcome.accepted:
-            self._requests.inc(status="accepted")
-        else:
+        if self._draining:
+            outcome = AdmissionResult(accepted=False, reason="draining")
             self._requests.inc(status="rejected")
+            self._drain_rejections.inc()
+            self._finish(
+                SolveResponse(
+                    request_id=request.request_id,
+                    status="draining",
+                    error="service is draining; request not admitted",
+                )
+            )
+        elif not self._admit_rate(request):
+            outcome = AdmissionResult(accepted=False, reason="rate_limited")
+            self._requests.inc(status="rejected")
+            self._rate_limited.inc()
             self._finish(
                 SolveResponse(
                     request_id=request.request_id,
                     status="rejected",
-                    error=outcome.reason,
+                    error="rate_limited",
                 )
             )
+        else:
+            outcome = self.queue.offer(request)
+            for victim in outcome.shed:
+                self._sheds.inc(priority=victim.request.priority)
+                self._finish(
+                    SolveResponse(
+                        request_id=victim.request.request_id,
+                        status="rejected",
+                        error="shed_low_priority",
+                        wait_s=self._wait(victim),
+                    )
+                )
+            if outcome.accepted:
+                self._requests.inc(status="accepted")
+            else:
+                self._requests.inc(status="rejected")
+                if outcome.reason == "shed_low_priority":
+                    self._sheds.inc(priority=request.priority)
+                self._finish(
+                    SolveResponse(
+                        request_id=request.request_id,
+                        status="rejected",
+                        error=outcome.reason,
+                    )
+                )
         self._queue_depth.set(self.queue.depth)
         return outcome
+
+    def _admit_rate(self, request: SolveRequest) -> bool:
+        """Spend one token from the submitter's bucket (True = admitted)."""
+        rate = self.config.rate_limit_per_client
+        if rate is None:
+            return True
+        bucket = self._buckets.get(request.client_id)
+        if bucket is None:
+            bucket = TokenBucket(
+                rate=rate,
+                burst=self.config.rate_limit_burst,
+                clock=self._clock,
+            )
+            self._buckets[request.client_id] = bucket
+        return bucket.try_acquire()
 
     @property
     def pending(self) -> int:
@@ -254,15 +386,37 @@ class SolveService:
         """
         live, expired = self.queue.drain(max_items=self.config.max_batch_size)
         self._queue_depth.set(self.queue.depth)
+        drained = live + expired
         responses: dict[int, SolveResponse] = {}
         for item in expired:
-            self._timeouts.inc()
+            self._timeouts.inc(phase="queue")
             responses[item.seq] = SolveResponse(
                 request_id=item.request.request_id,
                 status="timeout",
                 error=f"deadline passed after {item.request.timeout_s}s",
                 wait_s=self._wait(item),
             )
+        if live:
+            # Re-check deadlines at execution start: a request that
+            # expired between drain and here must report `timeout`, not
+            # be solved late. Counted separately (phase=execute).
+            now = self._clock()
+            still_live: list[QueuedRequest] = []
+            for item in live:
+                if item.expired(now):
+                    self._timeouts.inc(phase="execute")
+                    responses[item.seq] = SolveResponse(
+                        request_id=item.request.request_id,
+                        status="timeout",
+                        error=(
+                            f"deadline passed after {item.request.timeout_s}s"
+                            " (before execution start)"
+                        ),
+                        wait_s=self._wait(item),
+                    )
+                else:
+                    still_live.append(item)
+            live = still_live
         if live:
             batch = self.batcher.form(live)
             batch_span: Span | None = None
@@ -315,6 +469,23 @@ class SolveService:
                 delta = after[f"{cache}_hits"] - before[f"{cache}_hits"]
                 if delta > 0:
                     self._cache_hits.inc(delta, cache=cache)
+            report = getattr(self.batcher.executor, "last_report", None)
+            if report is not None:
+                if report.retries:
+                    self._exec_retries.inc(report.retries)
+                if report.respawns:
+                    self._exec_respawns.inc(report.respawns)
+                if batch_span is not None and (
+                    report.retries or report.respawns
+                ):
+                    batch_span.annotate(
+                        exec_retries=report.retries,
+                        exec_respawns=report.respawns,
+                    )
+                if unit_spans and len(report.attempts) == len(unit_spans):
+                    for span, count in zip(unit_spans, report.attempts):
+                        if count > 1:
+                            span.annotate(attempts=count)
             self._batches.inc()
             self._batch_size.observe(batch.num_requests)
             self._batch_unique.observe(batch.num_unique)
@@ -344,7 +515,7 @@ class SolveService:
                 batch_span.end()
         ordered = [
             responses[item.seq]
-            for item in sorted(live + expired, key=lambda i: i.seq)
+            for item in sorted(drained, key=lambda i: i.seq)
         ]
         for response in ordered:
             self._finish(response)
@@ -358,13 +529,83 @@ class SolveService:
         return out
 
     # ------------------------------------------------------------------
+    # Drain / shutdown
+
+    @property
+    def draining(self) -> bool:
+        """True once drain has begun; new submissions are refused."""
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop admitting new work; already-queued work keeps executing.
+
+        Idempotent. Every submission after this point is answered with
+        ``status="draining"`` (and counted in
+        ``service.drain.rejections``).
+        """
+        self._draining = True
+
+    def shutdown(
+        self,
+        drain: bool = True,
+        drain_timeout_s: float | None = None,
+    ) -> list[SolveResponse]:
+        """Stop the service, optionally flushing queued work first.
+
+        With ``drain=True`` (the default), admission stops and queued
+        batches execute until the queue is empty or ``drain_timeout_s``
+        of wall clock has elapsed. Whatever is still queued afterwards
+        — everything, when ``drain=False`` — is answered with a typed
+        ``status="draining"`` response (retained and fetchable like any
+        other), so every admitted request still reaches a terminal
+        response. Returns all responses produced, in completion order.
+        """
+        self.begin_drain()
+        out: list[SolveResponse] = []
+        if drain:
+            deadline = (
+                self._clock() + drain_timeout_s
+                if drain_timeout_s is not None
+                else None
+            )
+            while self.queue.depth and (
+                deadline is None or self._clock() < deadline
+            ):
+                out.extend(self.process_pending())
+        leftovers_live, leftovers_expired = self.queue.drain(max_items=None)
+        for item in sorted(
+            leftovers_live + leftovers_expired, key=lambda i: i.seq
+        ):
+            self._drain_rejections.inc()
+            response = SolveResponse(
+                request_id=item.request.request_id,
+                status="draining",
+                error="service shut down before this request executed",
+                wait_s=self._wait(item),
+            )
+            self._finish(response)
+            out.append(response)
+        self._queue_depth.set(self.queue.depth)
+        return out
+
+    # ------------------------------------------------------------------
     # Retrieval and reporting
 
     def fetch(self, request_id: str) -> SolveResponse | None:
         """Retained response for ``request_id``, or ``None``."""
-        response = self.store.get(request_id)
+        found = self.lookup(request_id)
+        return found if isinstance(found, SolveResponse) else None
+
+    def lookup(self, request_id: str) -> SolveResponse | StoreMiss:
+        """Retained response for ``request_id``, or a typed miss.
+
+        The :class:`~repro.service.store.StoreMiss` says *why* the id is
+        unavailable (``unknown`` / ``expired`` / ``evicted``) — the
+        socket transport forwards the reason on its fetch-error line.
+        """
+        found = self.store.lookup(request_id)
         self._store_size.set(len(self.store))
-        return response
+        return found
 
     def metrics_summary(self) -> dict[str, Any]:
         """Flat scalar view of the service instruments.
@@ -380,6 +621,13 @@ class SolveService:
             "responses_ok": self._responses.value(status="ok"),
             "responses_error": self._responses.value(status="error"),
             "timeouts": self._timeouts.total,
+            "timeouts_queue": self._timeouts.value(phase="queue"),
+            "timeouts_execute": self._timeouts.value(phase="execute"),
+            "exec_retries": self._exec_retries.total,
+            "exec_respawns": self._exec_respawns.total,
+            "sheds": self._sheds.total,
+            "rate_limited": self._rate_limited.total,
+            "drain_rejections": self._drain_rejections.total,
             "batches": self._batches.total,
             "batch_size_mean": self._batch_size.mean(),
             "batch_unique_mean": self._batch_unique.mean(),

@@ -8,6 +8,14 @@ non-destructive — a client may fetch the same result repeatedly inside
 the window, which is what lets the ``repro serve`` socket transport
 answer re-fetches without re-solving.
 
+A miss is typed: :meth:`ResultStore.lookup` answers a
+:class:`StoreMiss` carrying *why* the id is gone — ``"expired"`` (TTL
+lapsed), ``"evicted"`` (capacity pressure) or ``"unknown"`` (never
+stored, or so old its tombstone itself rotated out) — so a client
+re-fetching after the window gets an actionable reason instead of a
+bare ``None``. Tombstones are bounded by the same ``max_entries``
+budget as live results.
+
 Like the queue, the store takes an injectable monotonic clock so tests
 can step time explicitly.
 """
@@ -22,7 +30,20 @@ from typing import Callable
 from repro.exceptions import ReproError
 from repro.service.request import SolveResponse
 
-__all__ = ["ResultStore", "StoredResult"]
+__all__ = ["ResultStore", "StoreMiss", "StoredResult"]
+
+
+@dataclass(frozen=True)
+class StoreMiss:
+    """A typed fetch miss: which id, and why it is not retrievable.
+
+    ``reason`` is ``"expired"`` (TTL eviction), ``"evicted"`` (capacity
+    eviction) or ``"unknown"`` (the store never saw the id, or its
+    tombstone has itself rotated out of the bounded tombstone budget).
+    """
+
+    request_id: str
+    reason: str = "unknown"
 
 
 @dataclass(frozen=True)
@@ -66,6 +87,7 @@ class ResultStore:
         self.max_entries = int(max_entries)
         self._clock = clock
         self._entries: OrderedDict[str, StoredResult] = OrderedDict()
+        self._tombstones: OrderedDict[str, str] = OrderedDict()
         self.evicted_ttl = 0
         self.evicted_capacity = 0
 
@@ -77,18 +99,30 @@ class ResultStore:
         now = self._clock()
         expires = now + self.ttl_s if self.ttl_s is not None else None
         self._entries.pop(response.request_id, None)
+        self._tombstones.pop(response.request_id, None)
         self._entries[response.request_id] = StoredResult(
             response=response, stored_at=now, expires_at=expires
         )
         while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            evicted_id, _ = self._entries.popitem(last=False)
+            self._remember_miss(evicted_id, "evicted")
             self.evicted_capacity += 1
 
     def get(self, request_id: str) -> SolveResponse | None:
         """Fetch a retained response, or ``None`` if unknown/expired."""
+        found = self.lookup(request_id)
+        return found if isinstance(found, SolveResponse) else None
+
+    def lookup(self, request_id: str) -> SolveResponse | StoreMiss:
+        """Fetch a retained response, or a typed :class:`StoreMiss`."""
         self.sweep()
         entry = self._entries.get(request_id)
-        return entry.response if entry is not None else None
+        if entry is not None:
+            return entry.response
+        return StoreMiss(
+            request_id=request_id,
+            reason=self._tombstones.get(request_id, "unknown"),
+        )
 
     def sweep(self) -> int:
         """Drop every expired entry; returns how many were evicted."""
@@ -100,5 +134,13 @@ class ResultStore:
         ]
         for request_id in dead:
             del self._entries[request_id]
+            self._remember_miss(request_id, "expired")
         self.evicted_ttl += len(dead)
         return len(dead)
+
+    def _remember_miss(self, request_id: str, reason: str) -> None:
+        """Tombstone an evicted id, bounded by the ``max_entries`` budget."""
+        self._tombstones.pop(request_id, None)
+        self._tombstones[request_id] = reason
+        while len(self._tombstones) > self.max_entries:
+            self._tombstones.popitem(last=False)

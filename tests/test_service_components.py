@@ -10,7 +10,7 @@ from repro.fl.generators import make_instance
 from repro.service.batcher import Batcher
 from repro.service.queue import AdmissionQueue
 from repro.service.request import InstanceRecipe, SolveRequest, SolveResponse
-from repro.service.store import ResultStore
+from repro.service.store import ResultStore, StoreMiss
 from repro.service.worker import run_service_cell_guarded
 
 
@@ -196,6 +196,55 @@ class TestResultStore:
             ResultStore(ttl_s=0)
         with pytest.raises(ReproError):
             ResultStore(max_entries=0)
+
+    def test_lookup_miss_is_typed(self):
+        clock = FakeClock()
+        store = ResultStore(ttl_s=10.0, max_entries=2, clock=clock)
+        never = store.lookup("never-stored")
+        assert isinstance(never, StoreMiss)
+        assert never.reason == "unknown"
+        store.put(self.response("a"))
+        clock.advance(11.0)
+        expired = store.lookup("a")
+        assert isinstance(expired, StoreMiss)
+        assert expired.reason == "expired"
+        for rid in ("b", "c", "d"):
+            store.put(self.response(rid))
+        evicted = store.lookup("b")
+        assert isinstance(evicted, StoreMiss)
+        assert evicted.reason == "evicted"
+
+    def test_ttl_and_capacity_interact(self):
+        # An entry can be threatened by both evictors; whichever fires
+        # first owns the tombstone, and a re-put wipes it clean.
+        clock = FakeClock()
+        store = ResultStore(ttl_s=10.0, max_entries=2, clock=clock)
+        store.put(self.response("a"))
+        clock.advance(5.0)
+        store.put(self.response("b"))
+        store.put(self.response("c"))  # capacity evicts "a" pre-expiry
+        assert store.evicted_capacity == 1
+        assert store.lookup("a").reason == "evicted"
+        clock.advance(10.5)  # t=15.5: "b" and "c" (stored at t=5) expired
+        assert isinstance(store.lookup("b"), StoreMiss)
+        assert store.lookup("b").reason == "expired"
+        assert store.evicted_ttl == 2
+        # Re-putting a tombstoned id resurrects it with a fresh TTL.
+        store.put(self.response("a"))
+        assert store.get("a") is not None
+        clock.advance(9.0)
+        assert store.get("a") is not None  # TTL counted from the re-put
+
+    def test_tombstones_bounded_by_capacity_budget(self):
+        clock = FakeClock()
+        store = ResultStore(ttl_s=None, max_entries=2, clock=clock)
+        for i in range(6):
+            store.put(self.response(f"r{i}"))
+        # Four ids were capacity-evicted but only two tombstones fit.
+        assert store.lookup("r0").reason == "unknown"  # rotated out
+        assert store.lookup("r1").reason == "unknown"
+        assert store.lookup("r2").reason == "evicted"
+        assert store.lookup("r3").reason == "evicted"
 
 
 class TestBatcherForm:

@@ -11,6 +11,7 @@ invisible in the output.
 from __future__ import annotations
 
 import json
+import tempfile
 from typing import Any
 
 import pytest
@@ -223,6 +224,44 @@ class TestServedEqualsDirect:
             assert canonical(dict(a.manifest)) == canonical(dict(b.manifest))
             # Unrecorded wire bytes never mention the recording key.
             assert "recording" not in a.to_wire()
+
+    def test_crash_retries_change_nothing(self):
+        # The resilience guardrail: with every cell's first execution
+        # crashing, recovery re-executes the cells and the served bytes
+        # stay identical to the fault-free run — serially and in a pool
+        # (where the crash is a hard worker kill + pool respawn).
+        from repro.analysis.chaos_serve import (
+            ChaosResilientExecutor,
+            ChaosServePlan,
+        )
+
+        _, plain = self.run_workload()
+        for workers in (1, 2):
+            clear_caches()
+            service = SolveService(
+                executor=ChaosResilientExecutor(
+                    workers=workers,
+                    max_attempts=3,
+                    plan=ChaosServePlan(crash_rate=1.0),
+                    marker_dir=tempfile.mkdtemp(prefix="eqv-chaos-"),
+                )
+            )
+            client = ServiceClient(service)
+            crashed = {
+                r.request_id: r
+                for r in client.solve_many(
+                    [build_request(spec) for spec in WORKLOAD]
+                )
+            }
+            assert service.metrics_summary()["exec_retries"] >= 1
+            for spec in WORKLOAD:
+                a, b = plain[spec["rid"]], crashed[spec["rid"]]
+                assert a.status == b.status == "ok"
+                assert a.result["cost"] == b.result["cost"]
+                assert a.dedup == b.dedup
+                assert canonical(dict(a.manifest)) == canonical(
+                    dict(b.manifest)
+                )
 
     def test_inline_instance_matches_recipe_answer(self):
         # The same problem submitted two ways (recipe vs inline upload)
