@@ -12,6 +12,9 @@ Everything the library does is reachable from the shell::
     repro bench benchmarks/_artifacts --name micro -o benchmarks/baselines
     repro bench --suite micro --workers 2 -o benchmarks/baselines
     repro bench --suite macro --workers 4 -o .
+    repro bench --suite scale --max-nodes 100000 -o .
+    repro solve --sparse-degree 3 -m 2000 -n 98000 --seed 7 -k 8 \\
+        --engine columnar --shards 2 --no-lp --digest
     repro baselines inst.json
     repro experiment E3 --quick
     repro chaos --family uniform -m 6 -n 18 -k 9 --num-seeds 3 -o chaos.json
@@ -118,6 +121,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="rounding policy (dual_ascent only)",
     )
     solve.add_argument("--c-round", type=float, default=1.0)
+    solve.add_argument(
+        "--engine",
+        choices=["simulator", "loop", "vectorized", "columnar"],
+        default="simulator",
+        help="execution engine (default: the message-passing simulator; "
+        "the emulation engines skip network simulation, and columnar "
+        "scales to million-node instances)",
+    )
+    solve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="worker processes for --engine columnar (shared-memory "
+        "node-range sharding; never changes the output bytes)",
+    )
+    solve.add_argument(
+        "--sparse-degree",
+        type=int,
+        metavar="D",
+        help="generate the instance natively on the columnar edge plane "
+        "(-m/-n/--seed, D candidate facilities per client) instead of "
+        "loading one; the columnar engine never densifies it, so this is "
+        "the entry point for million-node solves (other engines "
+        "materialize the dense matrix — oracle sizes only)",
+    )
+    solve.add_argument(
+        "--digest",
+        action="store_true",
+        help="also print the canonical final-checkpoint digest of the "
+        "solution (cheap cross-engine identity check; same hash the "
+        "flight recorder puts at its `final` checkpoint)",
+    )
     solve.add_argument("--json", action="store_true", help="machine-readable output")
     solve.add_argument(
         "--trace",
@@ -161,8 +196,9 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--profile-memory",
         action="store_true",
-        help="with --spans: sample the tracemalloc peak over the solve "
-        "span (reported as mem_peak_kb)",
+        help="sample the tracemalloc peak over the solve (reported as "
+        "mem_peak_kb; with --spans it lands on the span, otherwise in "
+        "the solve output)",
     )
 
     inspect = sub.add_parser(
@@ -211,9 +247,16 @@ def build_parser() -> argparse.ArgumentParser:
     record.add_argument("--c-round", type=float, default=1.0)
     record.add_argument(
         "--engine",
-        choices=["loop", "vectorized", "simulator"],
+        choices=["loop", "vectorized", "simulator", "columnar"],
         default="loop",
         help="which engine to record (default loop)",
+    )
+    record.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="worker processes for --engine columnar (digests are "
+        "shard-count independent by the determinism contract)",
     )
     record.add_argument(
         "--full",
@@ -233,7 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("recording", help="recording JSON written by repro record")
     replay.add_argument(
         "--engine",
-        choices=["loop", "vectorized", "simulator"],
+        choices=["loop", "vectorized", "simulator", "columnar"],
         default=None,
         help="override the recorded engine (cross-engine digest check)",
     )
@@ -298,9 +341,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=["micro", "macro"],
+        choices=["micro", "macro", "scale"],
         help="run the named perf suite instead of folding artifacts "
         "(see docs/PERFORMANCE.md)",
+    )
+    bench.add_argument(
+        "--max-nodes",
+        type=int,
+        default=None,
+        help="scale suite only: skip rungs whose m+n exceeds this "
+        "(CI runs the reduced ladder; the committed baseline is full)",
     )
     bench.add_argument(
         "--workers",
@@ -724,9 +774,235 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _final_solution_digest(
+    open_facilities: Any,
+    assignment: Any,
+    num_facilities: int,
+    num_clients: int,
+) -> str:
+    """Digest of the canonical ``final`` checkpoint, recorder-identical.
+
+    Built from the solution alone (no recording of the run), so two
+    engines printing the same string here would also produce recordings
+    with identical ``final`` checkpoints — the cheap CI cross-check.
+    ``assignment`` may be a client→facility mapping or an ``(n,)`` array.
+    """
+    from repro.obs.recorder import Checkpoint
+
+    open_set = {int(i) for i in open_facilities}
+    if hasattr(assignment, "get"):
+        served = {int(j): int(f) for j, f in assignment.items()}
+        assigned = {
+            f"client:{j}": served.get(j, -1) for j in range(num_clients)
+        }
+    else:
+        assigned = {
+            f"client:{j}": int(assignment[j]) for j in range(num_clients)
+        }
+    checkpoint = Checkpoint.build(
+        "final",
+        {
+            "open": {
+                f"facility:{i}": i in open_set for i in range(num_facilities)
+            },
+            "assignment": assigned,
+        },
+    )
+    return checkpoint.digest
+
+
+def _solve_instances(
+    args: argparse.Namespace,
+) -> tuple[FacilityLocationInstance | None, Any]:
+    """Resolve the solve target: ``(dense instance, columnar instance)``.
+
+    With ``--sparse-degree`` the columnar form is generated directly on
+    the edge plane and the dense form stays ``None`` — only engines that
+    genuinely need the matrix (anything but columnar) materialize it.
+    """
+    if args.sparse_degree is None:
+        return _load_instance(args), None
+    if args.instance or args.family:
+        raise ReproError(
+            "--sparse-degree generates its own instance from -m/-n/--seed; "
+            "drop the instance path / --family"
+        )
+    from repro.core.columnar import ColumnarInstance
+
+    cinst = ColumnarInstance.generate_sparse(
+        args.facilities,
+        args.clients,
+        args.seed,
+        client_degree=args.sparse_degree,
+    )
+    if args.engine == "columnar":
+        return None, cinst
+    return cinst.to_instance(), cinst
+
+
+def _cmd_solve_emulated(
+    args: argparse.Namespace,
+    instance: FacilityLocationInstance | None,
+    cinst: Any,
+    policy: RoundingPolicy,
+) -> int:
+    """solve with ``--engine loop|vectorized|columnar`` (no simulator)."""
+    import time
+
+    from repro.obs.spans import measure_peak_memory
+
+    for name, value in (
+        ("--trace", args.trace),
+        ("--watchdogs", args.watchdogs),
+        ("--strict-watchdogs", args.strict_watchdogs),
+        ("--spans", args.spans),
+    ):
+        if value:
+            raise ReproError(f"{name} requires --engine simulator")
+    if args.metrics_out and args.engine != "columnar":
+        raise ReproError(
+            "--metrics-out needs a message plane: --engine simulator "
+            "or columnar"
+        )
+    if args.timeline and args.engine != "columnar":
+        raise ReproError(
+            "--timeline needs a message plane: --engine simulator "
+            "or columnar"
+        )
+    lp_value: float | None = None
+    if not args.no_lp:
+        if instance is None:
+            raise ReproError(
+                "the LP bound would densify the instance; pass --no-lp "
+                "with --sparse-degree + --engine columnar"
+            )
+        lp_value = solve_lp(instance).value
+
+    payload: dict[str, Any] = {
+        "instance": (instance or cinst).name,
+        "k": args.k,
+        "variant": args.variant,
+        "engine": args.engine,
+    }
+    started = time.perf_counter()
+    if args.engine == "columnar":
+        from repro.core.columnar import solve_columnar
+
+        def run():
+            return solve_columnar(
+                cinst if cinst is not None else instance,
+                k=args.k,
+                variant=args.variant,
+                seed=args.algo_seed,
+                rounding=policy,
+                shards=args.shards,
+            )
+
+        mem_peak_kb: float | None = None
+        if args.profile_memory:
+            result, mem_peak_kb = measure_peak_memory(run)
+        else:
+            result = run()
+        payload.update(
+            {
+                "shards": args.shards,
+                "cost": result.cost,
+                "feasible": result.feasible,
+                "num_open": int(result.open_mask.sum()),
+                "rounds": result.metrics.rounds,
+                "total_messages": result.metrics.total_messages,
+                "max_message_bits": result.metrics.max_message_bits,
+            }
+        )
+        digest_inputs = (
+            result.open_facilities,
+            result.assignment,
+            result.instance.m,
+            result.instance.n,
+        )
+        timeline = result.timeline
+        metrics = result.metrics
+    else:
+        from repro.core.sequential_sim import run_sequential
+
+        def run():
+            return run_sequential(
+                instance,
+                k=args.k,
+                variant=args.variant,
+                seed=args.algo_seed,
+                rounding=policy,
+                engine=args.engine,
+            )
+
+        mem_peak_kb = None
+        if args.profile_memory:
+            result, mem_peak_kb = measure_peak_memory(run)
+        else:
+            result = run()
+        payload.update(
+            {
+                "cost": result.cost,
+                "feasible": True,
+                "num_open": len(result.open_facilities),
+            }
+        )
+        digest_inputs = (
+            result.open_facilities,
+            result.assignment,
+            instance.num_facilities,
+            instance.num_clients,
+        )
+        timeline = None
+        metrics = None
+    payload["wall_seconds"] = time.perf_counter() - started
+    if mem_peak_kb is not None:
+        payload["mem_peak_kb"] = mem_peak_kb
+    if lp_value is not None:
+        payload["ratio_vs_lp"] = payload["cost"] / max(lp_value, 1e-12)
+    if args.digest:
+        payload["digest"] = _final_solution_digest(*digest_inputs)
+    if args.metrics_out and metrics is not None:
+        from repro.obs.metrics_io import write_snapshot
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        metrics.publish(registry)
+        write_snapshot(
+            registry,
+            args.metrics_out,
+            meta={
+                "command": "solve",
+                "engine": args.engine,
+                "instance": payload["instance"],
+                "k": args.k,
+                "variant": args.variant,
+            },
+        )
+        payload["metrics_out"] = args.metrics_out
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        rows = [(key, value) for key, value in payload.items()]
+        print(
+            render_table(
+                ("field", "value"),
+                rows,
+                title=f"{args.engine} solve",
+            )
+        )
+    if args.timeline and timeline is not None:
+        print(timeline.render())
+    return 0
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
-    instance = _load_instance(args)
     policy = RoundingPolicy(mode=args.rounding, c_round=args.c_round)
+    instance, cinst = _solve_instances(args)
+    if args.shards != 1 and args.engine != "columnar":
+        raise ReproError("--shards applies to --engine columnar only")
+    if args.engine != "simulator":
+        return _cmd_solve_emulated(args, instance, cinst, policy)
     sink = JsonlTraceSink(args.trace) if args.trace else None
     # The LP bound is computed *before* the run when probes will want it:
     # the per-round quality probe turns it into the anytime ratio estimate.
@@ -747,8 +1023,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         from repro.obs.registry import MetricsRegistry
 
         registry = MetricsRegistry()
-    try:
-        result = solve_distributed(
+    def run_simulator():
+        return solve_distributed(
             instance,
             k=args.k,
             variant=args.variant,
@@ -761,6 +1037,15 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             tracer=tracer,
             registry=registry,
         )
+
+    mem_peak_kb: float | None = None
+    try:
+        if args.profile_memory and tracer is None:
+            from repro.obs.spans import measure_peak_memory
+
+            result, mem_peak_kb = measure_peak_memory(run_simulator)
+        else:
+            result = run_simulator()
     except ReproError:
         if sink is not None:
             sink.close()
@@ -776,6 +1061,18 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         "max_message_bits": result.metrics.max_message_bits,
         "wall_seconds": result.wall_seconds,
     }
+    if mem_peak_kb is not None:
+        payload["mem_peak_kb"] = mem_peak_kb
+    if args.digest:
+        assignment = (
+            result.solution.assignment if result.solution is not None else {}
+        )
+        payload["digest"] = _final_solution_digest(
+            result.open_facilities,
+            assignment,
+            instance.num_facilities,
+            instance.num_clients,
+        )
     extras: dict[str, object] = {}
     if lp_value is not None:
         extras["ratio_vs_lp"] = result.cost / max(lp_value, 1e-12)
@@ -859,6 +1156,7 @@ def _cmd_record(args: argparse.Namespace) -> int:
         rounding=args.rounding,
         c_round=args.c_round,
         full=args.full,
+        shards=args.shards,
     )
     target = recording.write_json(args.output)
     print(
@@ -943,7 +1241,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         from repro.perf.suite import run_perf_suite
 
         target = run_perf_suite(
-            args.suite, workers=args.workers, out=args.output, name=args.name
+            args.suite,
+            workers=args.workers,
+            out=args.output,
+            name=args.name,
+            max_nodes=args.max_nodes,
         )
         print(f"wrote {target} (suite={args.suite}, workers={args.workers})")
         return 0

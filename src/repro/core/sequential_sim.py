@@ -62,9 +62,11 @@ class SequentialRunResult:
         return self.solution.cost
 
 
-#: Available emulation engines: the numpy-batched hot path (default) and
-#: the pure-Python reference loops it is validated against bit for bit.
-ENGINES = ("vectorized", "loop")
+#: Available emulation engines: the numpy-batched hot path (default), the
+#: pure-Python reference loops it is validated against bit for bit, and
+#: the columnar CSR engine (optionally sharded across processes) that
+#: scales the same semantics to million-node instances.
+ENGINES = ("vectorized", "loop", "columnar")
 
 
 def run_sequential(
@@ -76,43 +78,81 @@ def run_sequential(
     open_fraction: float = 0.5,
     engine: str = "vectorized",
     recorder=None,
+    shards: int = 1,
+    ledger=None,
 ) -> SequentialRunResult:
     """Emulate one protocol run; see module docstring for semantics.
 
     ``engine`` selects the implementation: ``"vectorized"`` (the default)
     batches every per-iteration update into numpy array operations over
     the instance's dense cost matrix, ``"loop"`` is the original
-    pure-Python reference. The two are bit-identical — same open sets,
-    same assignments, same coin flips — which the cross-validation tests
+    pure-Python reference, and ``"columnar"`` runs the CSR edge-plane
+    engine from :mod:`repro.core.columnar` (the only engine that honors
+    ``shards > 1``, splitting the node range across worker processes over
+    shared memory). All three are bit-identical — same open sets, same
+    assignments, same coin flips — which the cross-validation tests
     assert on every instance family and both variants; the vectorized
-    engine is simply an order of magnitude faster at scale.
+    engine is an order of magnitude faster at scale and the columnar one
+    extends that to instances dense matrices cannot hold.
 
     ``recorder`` (a :class:`repro.obs.recorder.FlightRecorder`) captures
     per-iteration/per-level state digests; in full-record mode the loop
     engine additionally logs the causal provenance DAG. ``None`` (the
-    default) records nothing and changes no behavior.
+    default) records nothing and changes no behavior. ``ledger`` (a
+    :class:`repro.net.columnar.ColumnarBitLedger`, columnar engine only)
+    accumulates modeled CONGEST traffic.
     """
     if engine not in ENGINES:
         raise AlgorithmError(
             f"unknown sequential engine {engine!r}; expected one of {ENGINES}"
         )
+    if shards != 1 and engine != "columnar":
+        raise AlgorithmError(
+            f"engine {engine!r} does not shard; use engine='columnar' for shards > 1"
+        )
     variant = Variant(variant)
     if variant is Variant.GREEDY:
         params = TradeoffParameters.from_instance(instance, k)
-        emulate = (
-            emulate_greedy_vectorized if engine == "vectorized" else _emulate_greedy
-        )
-        open_set, assignment = emulate(
-            instance, params, seed, open_fraction, recorder=recorder
-        )
+        if engine == "columnar":
+            from repro.core.columnar import emulate_greedy_columnar
+
+            open_set, assignment = emulate_greedy_columnar(
+                instance,
+                params,
+                seed,
+                open_fraction,
+                recorder=recorder,
+                shards=shards,
+                ledger=ledger,
+            )
+        else:
+            emulate = (
+                emulate_greedy_vectorized if engine == "vectorized" else _emulate_greedy
+            )
+            open_set, assignment = emulate(
+                instance, params, seed, open_fraction, recorder=recorder
+            )
     else:
         params = TradeoffParameters.linear(instance, k)
-        emulate = (
-            emulate_dual_vectorized if engine == "vectorized" else _emulate_dual
-        )
-        open_set, assignment = emulate(
-            instance, params, seed, rounding or RoundingPolicy(), recorder=recorder
-        )
+        if engine == "columnar":
+            from repro.core.columnar import emulate_dual_columnar
+
+            open_set, assignment = emulate_dual_columnar(
+                instance,
+                params,
+                seed,
+                rounding or RoundingPolicy(),
+                recorder=recorder,
+                shards=shards,
+                ledger=ledger,
+            )
+        else:
+            emulate = (
+                emulate_dual_vectorized if engine == "vectorized" else _emulate_dual
+            )
+            open_set, assignment = emulate(
+                instance, params, seed, rounding or RoundingPolicy(), recorder=recorder
+            )
     # Canonical (client-sorted) insertion order: solution costs sum the
     # assignment in dict order, so without this the two engines could
     # disagree in the last ulp despite producing the same mapping.

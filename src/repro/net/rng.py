@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["spawn_node_rngs", "derive_rng"]
+__all__ = ["spawn_node_rngs", "spawn_node_rng_range", "derive_rng"]
 
 
 def spawn_node_rngs(seed: int, num_nodes: int) -> list[np.random.Generator]:
@@ -27,6 +27,25 @@ def spawn_node_rngs(seed: int, num_nodes: int) -> list[np.random.Generator]:
     """
     root = np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in root.spawn(num_nodes)]
+
+
+def spawn_node_rng_range(seed: int, start: int, stop: int) -> list[np.random.Generator]:
+    """Streams for the node-id range ``[start, stop)`` only.
+
+    ``SeedSequence.spawn`` keys each child purely by its index
+    (``spawn_key=(i,)`` under the root entropy), so the stream of node
+    ``i`` does not depend on how many siblings were spawned alongside it.
+    This builds ``stop - start`` generators bit-identical to
+    ``spawn_node_rngs(seed, N)[start:stop]`` for any ``N >= stop`` without
+    materializing the other ``N - (stop - start)`` streams — which is what
+    lets a million-node columnar run (where only facilities ever draw
+    coins) and a sharded worker (which owns one node slice) pay only for
+    the streams they actually use.
+    """
+    return [
+        np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(i,)))
+        for i in range(start, stop)
+    ]
 
 
 def derive_rng(seed: int, *keys: int) -> np.random.Generator:

@@ -63,7 +63,7 @@ __all__ = [
 RECORDING_SCHEMA = "repro.recording/v1"
 
 #: Engines a recording can come from.
-RECORDING_ENGINES = ("loop", "vectorized", "simulator")
+RECORDING_ENGINES = ("loop", "vectorized", "simulator", "columnar")
 
 
 def canonical_value(value: Any) -> str:
@@ -626,13 +626,17 @@ def record_run(
     c_round: float = 1.0,
     open_fraction: float = 0.5,
     full: bool = False,
+    shards: int = 1,
 ) -> FlightRecorder:
     """Run one solve under a flight recorder and return the recording.
 
     The full solve recipe — including the instance itself — is embedded
     in the recording's ``config``, which is what makes
     :func:`replay_recording` hermetic: the artifact alone suffices to
-    re-run and digest-check the execution on any machine.
+    re-run and digest-check the execution on any machine. ``shards``
+    applies to the columnar engine only (and, by the sharding determinism
+    contract, never changes the resulting digests — which replaying a
+    ``shards=4`` recording at ``shards=1`` verifies for free).
     """
     from repro.core.dual_ascent_nodes import RoundingPolicy
     from repro.fl.io import instance_to_dict
@@ -659,6 +663,8 @@ def record_run(
         "full": bool(full),
         "instance": instance_to_dict(instance),
     }
+    if int(shards) != 1:
+        config["shards"] = int(shards)
     recorder = FlightRecorder(engine=engine, full=full, config=config)
     policy = RoundingPolicy(mode=rounding, c_round=c_round)
     if engine == "simulator":
@@ -685,6 +691,7 @@ def record_run(
             open_fraction=open_fraction,
             engine=engine,
             recorder=recorder,
+            shards=int(shards) if engine == "columnar" else 1,
         )
     return recorder
 
@@ -718,4 +725,5 @@ def replay_recording(
         c_round=float(config.get("c_round", 1.0)),
         open_fraction=float(config.get("open_fraction", 0.5)),
         full=bool(config.get("full", False)),
+        shards=int(config.get("shards", 1)),
     )

@@ -55,9 +55,39 @@ __all__ = [
     "write_chrome_trace",
     "write_spans_jsonl",
     "load_spans_jsonl",
+    "measure_peak_memory",
     "render_span_tree",
     "critical_path",
 ]
+
+
+def measure_peak_memory(fn: "Any") -> tuple[Any, float]:
+    """Run ``fn()`` under tracemalloc; returns ``(result, mem_peak_kb)``.
+
+    The standalone form of the :class:`Tracer` ``profile_memory`` hook:
+    same tracemalloc plane, same ``mem_peak_kb`` unit and rounding, so a
+    bench record's peak-memory gauge and a traced span's attribute are
+    directly comparable. Numpy buffer allocations are included (numpy
+    registers its allocator with tracemalloc), which is what makes this
+    a meaningful budget gate for the columnar engine; child processes
+    (sharded workers) are *not* — a sharded run's gauge covers the parent,
+    i.e. the shared plane plus recorder/ledger overhead. Returns peak
+    0.0 when tracemalloc is unavailable. Restores the prior tracing
+    state, so nesting under a profiling tracer is safe.
+    """
+    if tracemalloc is None:  # pragma: no cover - stdlib always has it
+        return fn(), 0.0
+    started = not tracemalloc.is_tracing()
+    if started:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if started:
+            tracemalloc.stop()
+    return result, round(peak / 1024.0, 3)
 
 
 @dataclass(frozen=True)

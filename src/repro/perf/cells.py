@@ -80,7 +80,12 @@ class SolveCell:
 
 @dataclass(frozen=True)
 class SequentialCell:
-    """One sequential-emulation configuration (no network simulation)."""
+    """One sequential-emulation configuration (no network simulation).
+
+    ``shards`` applies to the columnar engine only (every other engine
+    rejects values other than 1); by the sharding determinism contract
+    it never changes the cell's outcome, only its execution layout.
+    """
 
     instance: FacilityLocationInstance
     k: int
@@ -89,6 +94,7 @@ class SequentialCell:
     rounding: RoundingPolicy | None = None
     open_fraction: float | None = None
     engine: str = "vectorized"
+    shards: int = 1
 
 
 def run_solve_cell(cell: SolveCell) -> CellOutcome:
@@ -129,6 +135,7 @@ def run_sequential_cell(cell: SequentialCell) -> CellOutcome:
         variant=cell.variant,
         seed=cell.seed,
         engine=cell.engine,
+        shards=cell.shards,
         **kwargs,
     )
     return CellOutcome(

@@ -46,7 +46,7 @@ from repro.perf.executor import SweepExecutor
 
 __all__ = ["SUITES", "run_perf_suite"]
 
-SUITES = ("micro", "macro")
+SUITES = ("micro", "macro", "scale")
 
 #: Per-suite sizing. ``micro`` is the CI gate (seconds); ``macro`` is the
 #: committed trajectory point backing docs/PERFORMANCE.md (a minute or two).
@@ -77,28 +77,54 @@ _CONFIGS: dict[str, dict[str, Any]] = {
     },
 }
 
+#: The ``scale`` suite ladder: columnar solves at m+n = 10^4 → 10^6 on
+#: natively sparse instances (client degree 3), greedy variant, k=8.
+#: Each rung also names the shard count its sharded-identity check uses.
+_SCALE_SIZES: tuple[tuple[str, int, int, int], ...] = (
+    ("scale_10k", 200, 9_800, 2),
+    ("scale_100k", 2_000, 98_000, 2),
+    ("scale_1m", 20_000, 980_000, 4),
+)
+_SCALE_K = 8
+_SCALE_SEED = 7
+
 
 def run_perf_suite(
     suite: str,
     workers: int = 1,
     out: str | Path = ".",
     name: str | None = None,
+    max_nodes: int | None = None,
 ) -> Path:
     """Run one perf suite and write its ``BENCH_<name>.json``.
 
-    ``name`` defaults to the suite name for ``macro`` (the committed
-    repo-root trajectory file is ``BENCH_macro.json``) and to
-    ``perf_micro`` for ``micro`` (matching the committed CI baseline
-    under ``benchmarks/baselines/``). Raises :class:`ReproError` if any
-    cross-engine or serial/parallel equivalence check fails — a suite
-    that measured a *wrong* fast path must not emit a trajectory point.
+    ``name`` defaults to the suite name for ``macro`` and ``scale`` (the
+    committed repo-root trajectory file is ``BENCH_macro.json``; the
+    scale ladder commits as ``benchmarks/baselines/BENCH_scale.json``)
+    and to ``perf_micro`` for ``micro`` (matching the committed CI
+    baseline under ``benchmarks/baselines/``). Raises
+    :class:`ReproError` if any cross-engine or serial/parallel
+    equivalence check fails — a suite that measured a *wrong* fast path
+    must not emit a trajectory point.
+
+    ``max_nodes`` (scale suite only) skips ladder rungs with more than
+    that many nodes; the committed full-ladder baseline still gates the
+    rungs a reduced CI run *does* produce, because ``repro compare``
+    treats one-sided records as informational, not regressions.
     """
     if suite not in SUITES:
         raise ReproError(f"unknown perf suite {suite!r}; expected one of {SUITES}")
     if name is None:
-        name = suite if suite == "macro" else "perf_micro"
-    config = _CONFIGS[suite]
+        name = suite if suite in ("macro", "scale") else "perf_micro"
     records: dict[str, dict[str, Any]] = {}
+    if suite == "scale":
+        records["scale_equivalence"] = _scale_equivalence_record()
+        for record_name, m, n, shards in _SCALE_SIZES:
+            if max_nodes is not None and m + n > max_nodes:
+                continue
+            records[record_name] = _scale_solve_record(record_name, m, n, shards)
+        return write_bench(name, records, out)
+    config = _CONFIGS[suite]
     for variant in (Variant.GREEDY, Variant.DUAL_ASCENT):
         key = f"emulator_{'greedy' if variant is Variant.GREEDY else 'dual'}"
         records[key] = _emulator_record(variant, workers=workers, **config["emulator"])
@@ -112,6 +138,9 @@ def run_perf_suite(
         repeats=config["lp_repeats"], **{
             key: config["solve"][key] for key in ("family", "m", "n")
         }
+    )
+    records["simulator_churn"] = _simulator_churn_record(
+        **{key: config["solve"][key] for key in ("family", "m", "n", "k")}
     )
     return write_bench(name, records, out)
 
@@ -339,6 +368,180 @@ def _sweep_distributed_record(
             "cells_per_second": len(cells) / max(best_seconds, 1e-9),
             "rounds_per_second": total_rounds / max(best_seconds, 1e-9),
             "byte_identical": 1.0,
+        },
+    }
+
+
+def _scale_equivalence_record() -> dict[str, Any]:
+    """Oracle-sized four-way digest identity: the scale suite's correctness
+    anchor. Every rung above it runs only the columnar engine (nothing
+    else fits), so this record proves — per variant, at shards 1 and 4 —
+    that the engine being scaled is checkpoint-for-checkpoint identical
+    to the loop oracle before any big number is trusted."""
+    from repro.obs.recorder import diff_recordings, record_run
+
+    m, n, k, seed = 12, 48, 5, 3
+    instance = cached_instance("sparse", m, n, seed)
+    identical = True
+    compared = 0
+    elapsed_total = 0.0
+    for variant in (Variant.GREEDY.value, Variant.DUAL_ASCENT.value):
+        elapsed, oracle = _timed(
+            lambda: record_run(instance, engine="loop", k=k, seed=seed, variant=variant)
+        )
+        elapsed_total += elapsed
+        for engine, shards in (("vectorized", 1), ("columnar", 1), ("columnar", 4)):
+            elapsed, other = _timed(
+                lambda: record_run(
+                    instance, engine=engine, k=k, seed=seed, variant=variant,
+                    shards=shards,
+                )
+            )
+            elapsed_total += elapsed
+            report = diff_recordings(oracle, other)
+            compared += 1
+            if not report.identical:
+                raise ReproError(
+                    f"scale suite: {engine} (shards={shards}, {variant}) "
+                    f"diverged from the loop oracle\n{report.render()}"
+                )
+    return {
+        "source": "perf-suite",
+        "wall_seconds": elapsed_total,
+        "params": {"m": m, "n": n, "k": k, "seed": seed, "engine": "all", "shards": [1, 4]},
+        "metrics": {
+            "digest_identical": float(identical),
+            "engine_pairs_compared": float(compared),
+        },
+    }
+
+
+def _scale_solve_record(name: str, m: int, n: int, shards: int) -> dict[str, Any]:
+    """One rung of the scale ladder: a native-sparse columnar solve.
+
+    Measures end-to-end wall clock and tracemalloc peak (the gated
+    ``mem_peak_kb`` budget), then re-solves with ``shards`` worker
+    processes and requires byte-equal solution arrays — so every rung
+    carries its own sharding-identity proof at full size, where the
+    flight recorder would be too heavy to afford.
+    """
+    from repro.core.columnar import ColumnarInstance, solve_columnar
+    from repro.obs.spans import measure_peak_memory
+
+    cinst = ColumnarInstance.generate_sparse(m, n, seed=_SCALE_SEED)
+
+    def solve_once():
+        return solve_columnar(
+            cinst, k=_SCALE_K, variant=Variant.GREEDY, seed=_SCALE_SEED
+        )
+
+    elapsed, timed = _timed(lambda: measure_peak_memory(solve_once))
+    result, mem_peak_kb = timed
+    if not result.feasible:
+        raise ReproError(f"scale suite: columnar solve infeasible at {name}")
+    sharded_elapsed, sharded = _timed(
+        lambda: solve_columnar(
+            cinst, k=_SCALE_K, variant=Variant.GREEDY, seed=_SCALE_SEED,
+            shards=shards,
+        )
+    )
+    import numpy as np
+
+    sharded_identical = bool(
+        np.array_equal(result.open_mask, sharded.open_mask)
+        and np.array_equal(result.assignment, sharded.assignment)
+    )
+    if not sharded_identical:
+        raise ReproError(
+            f"scale suite: shards={shards} solution diverged from shards=1 at {name}"
+        )
+    return {
+        "source": "perf-suite",
+        "wall_seconds": elapsed,
+        "params": {
+            "m": m,
+            "n": n,
+            "nodes": m + n,
+            "degree": 3,
+            "k": _SCALE_K,
+            "seed": _SCALE_SEED,
+            "engine": "columnar",
+            "shards": shards,
+            "variant": "greedy",
+        },
+        "metrics": {
+            "solve_seconds": elapsed,
+            "sharded_solve_seconds": sharded_elapsed,
+            "mem_peak_kb": mem_peak_kb,
+            "cost": float(result.cost),
+            "rounds": float(result.metrics.rounds),
+            "total_messages": float(result.metrics.total_messages),
+            "nodes_per_second": (m + n) / max(elapsed, 1e-9),
+            "feasible": float(result.feasible),
+            "sharded_identical": float(sharded_identical),
+        },
+    }
+
+
+def _simulator_churn_record(family: str, m: int, n: int, k: int) -> dict[str, Any]:
+    """Allocation churn of the object-graph round engine's hot paths.
+
+    Two measurements: (a) the inbox ordering itself — the shipped
+    two-pass single-attribute stable sort against the tuple-key
+    ``attrgetter("sender", "kind")`` sort it replaced, on realistic
+    nearly-sender-sorted inboxes; (b) a full message-passing solve's
+    round throughput and tracemalloc peak, which the pooled inbox
+    buffers keep flat across rounds.
+    """
+    import operator
+
+    from repro.net.message import Message
+    from repro.obs.spans import measure_peak_memory
+
+    kinds = ("alp", "acc", "off", "srv")
+    inboxes = [
+        [
+            Message(sender=s, receiver=0, kind=kinds[(s * 7 + i) % 4], round_sent=1)
+            for i, s in enumerate(sorted(range(64)) * 4)
+        ]
+        for _ in range(200)
+    ]
+    tuple_key = operator.attrgetter("sender", "kind")
+    primary = operator.attrgetter("sender")
+    secondary = operator.attrgetter("kind")
+
+    def sort_tuple() -> None:
+        for inbox in inboxes:
+            sorted(inbox, key=tuple_key)
+
+    def sort_twopass() -> None:
+        for inbox in inboxes:
+            copy = list(inbox)
+            copy.sort(key=secondary)
+            copy.sort(key=primary)
+
+    sort_tuple()  # warm both paths before timing
+    sort_twopass()
+    tuple_seconds, _ = _timed(sort_tuple)
+    twopass_seconds, _ = _timed(sort_twopass)
+
+    instance = cached_instance(family, m, n, 3)
+    cell = SolveCell(instance=instance, k=k, variant=Variant.GREEDY.value, seed=0)
+    elapsed, (outcome, mem_peak_kb) = _timed(
+        lambda: measure_peak_memory(lambda: run_solve_cell(cell))
+    )
+    return {
+        "source": "perf-suite",
+        "wall_seconds": elapsed,
+        "params": {"family": family, "m": m, "n": n, "k": k, "engine": "simulator"},
+        "metrics": {
+            "sort_tuple_seconds": tuple_seconds,
+            "sort_twopass_seconds": twopass_seconds,
+            "sort_speedup": tuple_seconds / max(twopass_seconds, 1e-9),
+            "solve_seconds": elapsed,
+            "rounds_per_second": outcome.rounds / max(elapsed, 1e-9),
+            "messages_per_second": outcome.total_messages / max(elapsed, 1e-9),
+            "mem_peak_kb": mem_peak_kb,
         },
     }
 

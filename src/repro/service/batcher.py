@@ -65,6 +65,8 @@ class WorkUnit:
             record=request.record,
             trace_ctx=trace_ctx,
             profile_memory=profile_memory,
+            engine=request.engine,
+            shards=request.shards,
         )
 
 

@@ -29,10 +29,21 @@ from repro.obs.spans import SpanContext
 __all__ = [
     "InstanceRecipe",
     "PRIORITY_CLASSES",
+    "SERVICE_ENGINES",
     "SolveRequest",
     "SolveResponse",
     "priority_level",
 ]
+
+#: Engines a request may select. ``"simulator"`` (the default) is the
+#: message-passing simulator every pre-engine client gets; the emulation
+#: engines skip network simulation (columnar additionally shards).
+SERVICE_ENGINES: tuple[str, ...] = (
+    "simulator",
+    "loop",
+    "vectorized",
+    "columnar",
+)
 
 #: Admission priority classes, lowest first. Under overload the service
 #: sheds the lowest class first (see
@@ -137,6 +148,16 @@ class SolveRequest:
     :meth:`work_key`, so a high- and a low-priority request for the same
     work still dedup onto one solve, and both ride the wire only when
     set away from their defaults (existing wire bytes are unchanged).
+
+    ``engine`` (one of :data:`SERVICE_ENGINES`) selects the execution
+    engine; non-simulator engines change the response bytes (no
+    simulated network), so ``engine`` joins :meth:`work_key` — but only
+    when set away from ``"simulator"``, keeping every pre-engine work
+    key (and wire line) byte-identical. ``shards`` splits a columnar
+    solve across worker processes; by the sharding determinism contract
+    it can never change the answer bytes, so like ``priority`` it stays
+    *out* of the work key — requests differing only in ``shards`` dedup
+    onto one solve.
     """
 
     request_id: str
@@ -154,6 +175,8 @@ class SolveRequest:
     trace_ctx: SpanContext | None = None
     priority: str = "normal"
     client_id: str = ""
+    engine: str = "simulator"
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if not self.request_id:
@@ -179,6 +202,23 @@ class SolveRequest:
             raise ReproError(
                 f"timeout_s must be positive, got {self.timeout_s}"
             )
+        if self.engine not in SERVICE_ENGINES:
+            raise ReproError(
+                f"unknown engine {self.engine!r}; expected one of "
+                f"{list(SERVICE_ENGINES)}"
+            )
+        if self.shards < 1:
+            raise ReproError(f"shards must be >= 1, got {self.shards}")
+        if self.shards != 1 and self.engine != "columnar":
+            raise ReproError(
+                f"engine {self.engine!r} does not shard; "
+                "shards > 1 needs engine='columnar'"
+            )
+        if self.capture_events and self.engine != "simulator":
+            raise ReproError(
+                "capture_events needs the simulator engine (the emulation "
+                "engines produce no protocol events)"
+            )
 
     def instance_key(self) -> tuple[Any, ...]:
         """Canonical identity of the instance this request solves.
@@ -201,7 +241,7 @@ class SolveRequest:
         ``capture_events``, which add fields to the response) — but not
         ``request_id`` or ``timeout_s``, which are per-submission.
         """
-        return (
+        key: tuple[Any, ...] = (
             self.instance_key(),
             self.k,
             self.variant,
@@ -212,6 +252,13 @@ class SolveRequest:
             self.capture_events,
             self.record,
         )
+        if self.engine != "simulator":
+            # Appended only when set away from the default so every
+            # pre-engine work key is unchanged; shards never joins —
+            # by the sharding determinism contract it cannot change
+            # the answer bytes, so shard counts dedup together.
+            key += (self.engine,)
+        return key
 
     def to_wire(self) -> dict[str, Any]:
         """Flat JSON dict for the JSONL protocol (``type: "solve"``)."""
@@ -236,6 +283,12 @@ class SolveRequest:
             payload["priority"] = self.priority
         if self.client_id:
             payload["client_id"] = self.client_id
+        if self.engine != "simulator":
+            # Emitted only when set, like `record`: default-engine wire
+            # lines stay byte-identical to the pre-engine protocol.
+            payload["engine"] = self.engine
+        if self.shards != 1:
+            payload["shards"] = self.shards
         if self.timeout_s is not None:
             payload["timeout_s"] = self.timeout_s
         if self.trace_ctx is not None:
@@ -276,6 +329,8 @@ class SolveRequest:
             trace_ctx=trace_ctx,
             priority=str(data.get("priority", "normal")),
             client_id=str(data.get("client_id", "")),
+            engine=str(data.get("engine", "simulator")),
+            shards=int(data.get("shards", 1)),
         )
 
 

@@ -51,6 +51,15 @@ class ServiceCell:
     ``tracemalloc`` peak sampling. ``record`` runs the solve under a
     flight recorder and ships the recording back under the extra
     ``"recording"`` key, riding beside the result exactly like spans.
+
+    ``engine`` selects the execution path: ``"simulator"`` (the default)
+    is the message-passing simulator; the emulation engines run through
+    :func:`~repro.core.sequential_sim.run_sequential` and shape their
+    outcome as a :class:`~repro.core.algorithm.DistributedRunResult` so
+    the manifest/payload tail is shared. ``shards`` (columnar only)
+    splits the solve across worker processes and — by the sharding
+    determinism contract — never changes the answer bytes, which is why
+    the batcher may execute a dedup group with any member's shard count.
     """
 
     recipe: InstanceRecipe | None
@@ -65,6 +74,8 @@ class ServiceCell:
     record: bool = False
     trace_ctx: SpanContext | None = None
     profile_memory: bool = False
+    engine: str = "simulator"
+    shards: int = 1
 
 
 def run_service_cell(cell: ServiceCell) -> dict[str, Any]:
@@ -118,7 +129,7 @@ def run_service_cell(cell: ServiceCell) -> dict[str, Any]:
         from repro.obs.recorder import FlightRecorder
 
         recorder = FlightRecorder(
-            engine="simulator",
+            engine=cell.engine,
             config={
                 "k": cell.k,
                 "variant": cell.variant,
@@ -127,28 +138,41 @@ def run_service_cell(cell: ServiceCell) -> dict[str, Any]:
                 "c_round": cell.c_round,
             },
         )
-    result = solve_distributed(
-        instance,
-        k=cell.k,
-        variant=cell.variant,
-        seed=cell.seed,
-        rounding=RoundingPolicy(mode=cell.rounding, c_round=cell.c_round),
-        trace=trace,
-        tracer=tracer,
-        recorder=recorder,
-    )
+    if cell.engine == "simulator":
+        result = solve_distributed(
+            instance,
+            k=cell.k,
+            variant=cell.variant,
+            seed=cell.seed,
+            rounding=RoundingPolicy(mode=cell.rounding, c_round=cell.c_round),
+            trace=trace,
+            tracer=tracer,
+            recorder=recorder,
+        )
+    elif tracer is not None:
+        with tracer.span("worker.engine", engine=cell.engine):
+            result = _run_engine_result(cell, instance, recorder)
+    else:
+        result = _run_engine_result(cell, instance, recorder)
     extras: dict[str, Any] = {}
     if lp_value is not None:
         extras["ratio_vs_lp"] = result.cost / max(lp_value, 1e-12)
+    parameters: dict[str, Any] = {
+        "k": cell.k,
+        "variant": cell.variant,
+        "rounding": cell.rounding,
+        "c_round": cell.c_round,
+    }
+    if cell.engine != "simulator":
+        # Recorded only when set away from the default, so default
+        # manifests stay byte-identical to the pre-engine service.
+        # Shards never appears: it is outside the work key, so a dedup
+        # group may mix shard counts yet must share one answer byte-run.
+        parameters["engine"] = cell.engine
     manifest = RunRecord.from_run(
         result,
         seed=cell.seed,
-        parameters={
-            "k": cell.k,
-            "variant": cell.variant,
-            "rounding": cell.rounding,
-            "c_round": cell.c_round,
-        },
+        parameters=parameters,
         wall_seconds=result.wall_seconds,
         extras=extras,
     )
@@ -162,6 +186,8 @@ def run_service_cell(cell: ServiceCell) -> dict[str, Any]:
         "total_messages": result.metrics.total_messages,
         "max_message_bits": result.metrics.max_message_bits,
     }
+    if cell.engine != "simulator":
+        payload["engine"] = cell.engine
     if lp_value is not None:
         payload["lp_value"] = lp_value
         payload["ratio_vs_lp"] = extras["ratio_vs_lp"]
@@ -180,6 +206,66 @@ def run_service_cell(cell: ServiceCell) -> dict[str, Any]:
         tracer.close()
         out["spans"] = tracer.export()
     return out
+
+
+def _run_engine_result(cell: ServiceCell, instance, recorder):
+    """Run an emulation engine, shaped as a DistributedRunResult.
+
+    Columnar runs carry their modeled CONGEST traffic in a
+    :class:`~repro.net.columnar.ColumnarBitLedger`; the in-memory
+    engines report empty metrics (they exchange no messages). Either
+    way the result quacks like the simulator's, so the manifest and
+    payload construction downstream is one shared path.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.core.algorithm import DistributedRunResult
+    from repro.core.sequential_sim import run_sequential
+    from repro.net.metrics import NetworkMetrics
+    from repro.obs.timeline import RoundTimeline
+
+    ledger = None
+    if cell.engine == "columnar":
+        from repro.net.columnar import ColumnarBitLedger
+
+        ledger = ColumnarBitLedger(
+            instance.num_facilities,
+            instance.num_clients,
+            int(np.isfinite(instance.connection_costs).sum()),
+        )
+    started = time.perf_counter()
+    run = run_sequential(
+        instance,
+        k=cell.k,
+        variant=cell.variant,
+        seed=cell.seed,
+        rounding=RoundingPolicy(mode=cell.rounding, c_round=cell.c_round),
+        engine=cell.engine,
+        shards=cell.shards,
+        recorder=recorder,
+        ledger=ledger,
+    )
+    wall_seconds = time.perf_counter() - started
+    if ledger is not None:
+        metrics = ledger.to_metrics()
+        timeline = ledger.to_timeline(instance.num_nodes)
+    else:
+        metrics = NetworkMetrics()
+        timeline = RoundTimeline()
+    return DistributedRunResult(
+        instance=instance,
+        params=run.params,
+        variant=run.variant,
+        solution=run.solution,
+        open_facilities=run.open_facilities,
+        unserved_clients=(),
+        metrics=metrics,
+        timeline=timeline,
+        wall_seconds=wall_seconds,
+        diagnostics={"engine": cell.engine},
+    )
 
 
 def run_service_cell_guarded(cell: ServiceCell) -> dict[str, Any]:

@@ -25,7 +25,7 @@ def test_unknown_suite_rejected(tmp_path):
 
 
 def test_suite_names():
-    assert SUITES == ("micro", "macro")
+    assert SUITES == ("micro", "macro", "scale")
 
 
 def test_micro_suite_emits_gateable_bench(tmp_path):
@@ -40,6 +40,7 @@ def test_micro_suite_emits_gateable_bench(tmp_path):
         "emulator_dual",
         "sweep_emulation",
         "sweep_distributed",
+        "simulator_churn",
     }
     # Every correctness flag must be exactly 1.0 — the suite refuses to
     # emit a trajectory point for a fast path that changed answers.
@@ -69,3 +70,20 @@ def test_micro_suite_emits_gateable_bench(tmp_path):
 def test_suite_name_override(tmp_path):
     path = run_perf_suite("micro", out=tmp_path, name="nightly")
     assert path.name == "BENCH_nightly.json"
+
+
+def test_scale_suite_reduced_ladder(tmp_path):
+    """``max_nodes`` trims the ladder (the CI shape); gates still hold."""
+    path = run_perf_suite("scale", out=tmp_path, max_nodes=10_000)
+    assert path.name == "BENCH_scale.json"
+    records = json.loads(path.read_text())["records"]
+    assert set(records) == {"scale_equivalence", "scale_10k"}
+    equivalence = records["scale_equivalence"]["metrics"]
+    assert equivalence["digest_identical"] == 1.0
+    rung = records["scale_10k"]
+    assert rung["params"]["engine"] == "columnar"
+    assert rung["params"]["shards"] > 1
+    assert rung["metrics"]["feasible"] == 1.0
+    assert rung["metrics"]["sharded_identical"] == 1.0
+    assert rung["metrics"]["mem_peak_kb"] > 0.0
+    assert rung["metrics"]["nodes_per_second"] > 0.0
