@@ -59,6 +59,7 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import threading
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 from typing import Any, Callable
@@ -984,6 +985,12 @@ def _shard_worker(
                         assignment=arrays["assignment"], active=arrays["active"],
                     )
                 barrier.wait(_BARRIER_TIMEOUT_S)
+                # Snapshot barrier: the parent reads iteration state (bit
+                # ledger, flight-recorder checkpoint) between the barrier
+                # above and this one, so the next iteration's writes to
+                # ``member``/``priorities``/``best_size`` must not start
+                # until every party passes here.
+                barrier.wait(_BARRIER_TIMEOUT_S)
             if arrays["active"].any():
                 _greedy_force_compute_phase(
                     cinst, c0, c1,
@@ -1020,6 +1027,11 @@ def _shard_worker(
                     cinst, c0, c1, witness=arrays["witness"], frozen=arrays["frozen"]
                 )
                 barrier.wait(_BARRIER_TIMEOUT_S)
+                # Snapshot barrier: the parent reads level state (ledger
+                # counts, ``dual:level:{l}`` checkpoint) between the
+                # barrier above and this one, so the next level's alpha
+                # writes must not start until every party passes here.
+                barrier.wait(_BARRIER_TIMEOUT_S)
             # The parent validates the terminal ladder property between
             # these barriers and aborts the barrier on violation.
             barrier.wait(_BARRIER_TIMEOUT_S)
@@ -1046,7 +1058,9 @@ def _shard_worker(
                 is_open=arrays["is_open"],
             )
             barrier.wait(_BARRIER_TIMEOUT_S)
-    except multiprocessing.context.ProcessError:
+    except threading.BrokenBarrierError:
+        # A peer shard (or the parent) aborted the barrier after queueing
+        # its own error report; nothing useful to add from this side.
         pass
     except Exception as error:  # noqa: BLE001 — shipped to the parent
         import traceback
@@ -1077,10 +1091,13 @@ def _run_sharded(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Drive ``shards`` worker processes over one shared state plane.
 
-    The parent participates in every barrier as a passive party; after
-    the end-of-iteration barrier it reads the shared state to feed the
-    flight recorder and the bit ledger, so recordings are taken at
-    exactly the same protocol points as the in-process path.
+    The parent participates in every barrier as a passive party. Each
+    greedy iteration / dual level ends with an extra *snapshot* barrier:
+    the parent reads the shared state for the flight recorder and the
+    bit ledger between the last phase barrier and the snapshot barrier,
+    while every worker is still parked — so recordings are taken at
+    exactly the same protocol points as the in-process path and never
+    overlap the next phase's writes.
     """
     m, n = cinst.m, cinst.n
     specs = _shared_specs(m, n, cinst.num_edges, variant, shards)
@@ -1127,6 +1144,7 @@ def _run_sharded(
             barrier.wait(_BARRIER_TIMEOUT_S)
 
         if variant is Variant.GREEDY:
+            active_remaining = n
             for iteration in range(1, params.num_iterations + 1):
                 if ledger is not None:
                     busy = bool(arrays["active"].any())
@@ -1139,6 +1157,9 @@ def _run_sharded(
                 wait()
                 wait()
                 wait()
+                # Snapshot window: workers are parked at the iteration's
+                # snapshot barrier, so the reads below cannot overlap the
+                # next facility phase's writes.
                 if ledger is not None:
                     if busy:
                         ledger.greedy_iteration(
@@ -1157,8 +1178,10 @@ def _run_sharded(
                         arrays["is_open"],
                         arrays["assignment"],
                     )
-            if ledger is not None and arrays["active"].any():
-                ledger.greedy_force(int(arrays["active"].sum()))
+                active_remaining = int(arrays["active"].sum())
+                wait()
+            if ledger is not None and active_remaining:
+                ledger.greedy_force(active_remaining)
             wait()
             wait()
         else:
@@ -1171,6 +1194,9 @@ def _run_sharded(
                 wait()
                 wait()
                 wait()
+                # Snapshot window: workers are parked at the level's
+                # snapshot barrier, so the reads below cannot overlap the
+                # next level's alpha-phase writes.
                 if ledger is not None:
                     ledger.dual_level(
                         unfrozen,
@@ -1184,6 +1210,7 @@ def _run_sharded(
                         arrays["alphas"], arrays["frozen"],
                         arrays["witness"], arrays["tight"],
                     )
+                wait()
             if not arrays["frozen"].all():
                 j = int(np.flatnonzero(~arrays["frozen"])[0])
                 barrier.abort()
@@ -1209,11 +1236,14 @@ def _run_sharded(
         is_open = arrays["is_open"].copy()
         assignment = arrays["assignment"].copy()
         return is_open, assignment
-    except multiprocessing.context.ProcessError as broken:
+    except (threading.BrokenBarrierError, multiprocessing.context.ProcessError) as broken:
         failures = []
         try:
-            while not errors.empty():
-                failures.append(errors.get_nowait())
+            # A failing shard queues its report *before* aborting the
+            # barrier, but the queue feeder thread may lag the abort —
+            # allow a short grace period so details are not lost.
+            while True:
+                failures.append(errors.get(timeout=1.0))
         except Exception:  # noqa: BLE001 — best-effort drain
             pass
         detail = "; ".join(f"shard {s}: {msg}" for s, msg, _tb in failures)

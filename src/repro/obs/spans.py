@@ -73,13 +73,17 @@ def measure_peak_memory(fn: "Any") -> tuple[Any, float]:
     (sharded workers) are *not* — a sharded run's gauge covers the parent,
     i.e. the shared plane plus recorder/ledger overhead. Returns peak
     0.0 when tracemalloc is unavailable. Restores the prior tracing
-    state, so nesting under a profiling tracer is safe.
+    state *and* the enclosing profiler's high-water mark, so nesting
+    under a profiling tracer is safe.
     """
     if tracemalloc is None:  # pragma: no cover - stdlib always has it
         return fn(), 0.0
     started = not tracemalloc.is_tracing()
     if started:
         tracemalloc.start()
+        prior_peak = 0
+    else:
+        _, prior_peak = tracemalloc.get_traced_memory()
     tracemalloc.reset_peak()
     try:
         result = fn()
@@ -87,6 +91,19 @@ def measure_peak_memory(fn: "Any") -> tuple[Any, float]:
     finally:
         if started:
             tracemalloc.stop()
+        elif prior_peak:
+            current, post_peak = tracemalloc.get_traced_memory()
+            if prior_peak > post_peak:
+                # ``reset_peak`` above erased the enclosing profiler's
+                # peak and tracemalloc has no way to set it back, so lift
+                # traced memory to the pre-call high-water mark with a
+                # transient *uninitialized* allocation (numpy registers
+                # with tracemalloc; untouched pages cost no real memory
+                # beyond a level this process already reached).
+                import numpy as _np
+
+                pad = _np.empty(prior_peak - current, dtype=_np.uint8)
+                del pad
     return result, round(peak / 1024.0, 3)
 
 

@@ -382,7 +382,6 @@ def _scale_equivalence_record() -> dict[str, Any]:
 
     m, n, k, seed = 12, 48, 5, 3
     instance = cached_instance("sparse", m, n, seed)
-    identical = True
     compared = 0
     elapsed_total = 0.0
     for variant in (Variant.GREEDY.value, Variant.DUAL_ASCENT.value):
@@ -410,7 +409,9 @@ def _scale_equivalence_record() -> dict[str, Any]:
         "wall_seconds": elapsed_total,
         "params": {"m": m, "n": n, "k": k, "seed": seed, "engine": "all", "shards": [1, 4]},
         "metrics": {
-            "digest_identical": float(identical),
+            # Any divergence raises above, so reaching this return proves
+            # every compared pair was digest-identical.
+            "digest_identical": 1.0,
             "engine_pairs_compared": float(compared),
         },
     }
