@@ -400,6 +400,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="bind a Unix domain socket at PATH instead of serving stdin",
     )
     serve.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        help="bind a TCP socket instead of serving stdin (port 0 picks an "
+        "ephemeral port, printed to stderr); connections are served "
+        "concurrently",
+    )
+    serve.add_argument(
+        "--service-workers",
+        type=int,
+        default=1,
+        metavar="K",
+        help="backend service workers behind a consistent-hash router; "
+        "requests route on their work key so dedup and result reuse "
+        "survive sharding (default 1 = no router)",
+    )
+    serve.add_argument(
+        "--hash-replicas",
+        type=int,
+        default=64,
+        help="vnodes per worker on the routing hash ring "
+        "(with --service-workers > 1; default 64)",
+    )
+    serve.add_argument(
+        "--shared-cache-ttl",
+        type=float,
+        default=300.0,
+        help="seconds a cross-worker shared-cache entry stays servable "
+        "(with --service-workers > 1; 0 disables the TTL; default 300)",
+    )
+    serve.add_argument(
+        "--shared-cache-size",
+        type=int,
+        default=512,
+        help="cross-worker shared-cache capacity "
+        "(with --service-workers > 1; default 512)",
+    )
+    serve.add_argument(
         "--max-depth",
         type=int,
         default=256,
@@ -498,6 +535,146 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate SLOs when the server exits and fail (exit 1) on "
         "violation; SPEC is a JSON file or the literal 'default' "
         "(availability 99%%, p95 latency under 2s)",
+    )
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="drive a deterministic traffic shape against a multi-worker "
+        "TCP front end, measure latency quantiles and goodput, verify "
+        "served results against direct solves, and emit a "
+        "BENCH_loadtest.json record for repro compare gating",
+    )
+    loadtest.add_argument(
+        "--mode",
+        choices=("closed", "open"),
+        default="closed",
+        help="closed = synchronous users (next request after the previous "
+        "completes); open = scheduled arrivals through one pipelined "
+        "connection (default closed)",
+    )
+    loadtest.add_argument(
+        "--users",
+        type=int,
+        default=4,
+        help="concurrent users; closed mode gives each its own "
+        "connection and thread (default 4)",
+    )
+    loadtest.add_argument(
+        "--requests",
+        type=int,
+        default=6,
+        help="requests per user (default 6)",
+    )
+    loadtest.add_argument(
+        "--service-workers",
+        type=int,
+        default=2,
+        metavar="K",
+        help="backend workers behind the router started for the test "
+        "(ignored with --address; default 2)",
+    )
+    loadtest.add_argument(
+        "--catalog",
+        type=int,
+        default=12,
+        help="distinct recipes in the traffic catalog — the number of "
+        "distinct work keys the run can produce (default 12)",
+    )
+    loadtest.add_argument(
+        "--zipf",
+        type=float,
+        default=1.1,
+        help="zipf skew of recipe popularity; larger = hotter duplicates "
+        "= more dedup/shared-cache traffic (default 1.1)",
+    )
+    loadtest.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=200.0,
+        metavar="RPS",
+        help="open mode: scheduled arrivals per second (default 200)",
+    )
+    loadtest.add_argument(
+        "--burstiness",
+        type=float,
+        default=0.0,
+        help="open mode, in [0,1): 0 spaces arrivals evenly, higher "
+        "collapses groups into bursts at the same average rate "
+        "(default 0)",
+    )
+    loadtest.add_argument(
+        "--deadline-fraction",
+        type=float,
+        default=0.0,
+        help="fraction of requests carrying a tight queue deadline, so "
+        "timeout paths fire under load (default 0)",
+    )
+    loadtest.add_argument(
+        "--low-priority-fraction",
+        type=float,
+        default=0.0,
+        help="fraction of requests tagged priority=low (default 0)",
+    )
+    loadtest.add_argument(
+        "--high-priority-fraction",
+        type=float,
+        default=0.0,
+        help="fraction of requests tagged priority=high (default 0)",
+    )
+    loadtest.add_argument("-m", "--facilities", type=int, default=12)
+    loadtest.add_argument("-n", "--clients", type=int, default=12)
+    loadtest.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="master seed; equal shapes generate byte-equal workloads "
+        "(default 0)",
+    )
+    loadtest.add_argument(
+        "--name",
+        default="smoke",
+        help="record id inside the BENCH_loadtest.json file "
+        "(default smoke)",
+    )
+    loadtest.add_argument(
+        "--address",
+        metavar="HOST:PORT",
+        help="drive an external repro serve --tcp front end instead of "
+        "starting one inside the test (no shutdown is sent)",
+    )
+    loadtest.add_argument(
+        "--bench-out",
+        metavar="PATH",
+        help="write the BENCH_loadtest.json trajectory file (PATH may be "
+        "a directory; the canonical filename is used)",
+    )
+    loadtest.add_argument(
+        "--max-p95-ms",
+        type=float,
+        default=None,
+        help="fail (exit 1) when p95 latency exceeds this budget",
+    )
+    loadtest.add_argument(
+        "--max-p99-ms",
+        type=float,
+        default=None,
+        help="fail (exit 1) when p99 latency exceeds this budget",
+    )
+    loadtest.add_argument(
+        "--min-goodput",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="fail (exit 1) when goodput drops below this floor",
+    )
+    loadtest.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the byte-identity check of served results against "
+        "direct solves (on by default; lost/divergent always gate)",
+    )
+    loadtest.add_argument(
+        "--json", action="store_true", help="machine-readable output"
     )
 
     trace = sub.add_parser(
@@ -1460,29 +1637,74 @@ def _install_drain_handler() -> Any | None:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import ServiceConfig, SolveService, serve_jsonl, serve_socket
 
+    if args.socket and args.tcp:
+        print("error: --socket and --tcp are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.service_workers > 1 and (args.trace_spans or args.slo):
+        # Router workers keep private registries; span/SLO aggregation
+        # across them is not wired up yet.
+        print(
+            "error: --trace-spans/--slo are single-service features; "
+            "drop them or use --service-workers 1",
+            file=sys.stderr,
+        )
+        return 2
     tracer = None
     if args.trace_spans:
         from repro.obs.spans import Tracer
 
         tracer = Tracer(profile_memory=args.profile_memory)
-    service = SolveService(
-        config=ServiceConfig(
-            max_queue_depth=args.max_depth,
-            max_batch_size=args.batch_size,
-            workers=args.workers,
-            result_ttl_s=args.ttl if args.ttl > 0 else None,
-            max_results=args.max_results,
-            profile_memory=args.profile_memory,
-            high_water=args.high_water,
-            max_solve_attempts=args.max_attempts,
-            cell_timeout_s=args.cell_timeout,
-            rate_limit_per_client=args.rate_limit,
-            rate_limit_burst=args.rate_burst,
-        ),
-        tracer=tracer,
+    service_config = ServiceConfig(
+        max_queue_depth=args.max_depth,
+        max_batch_size=args.batch_size,
+        workers=args.workers,
+        result_ttl_s=args.ttl if args.ttl > 0 else None,
+        max_results=args.max_results,
+        profile_memory=args.profile_memory,
+        high_water=args.high_water,
+        max_solve_attempts=args.max_attempts,
+        cell_timeout_s=args.cell_timeout,
+        rate_limit_per_client=args.rate_limit,
+        rate_limit_burst=args.rate_burst,
     )
+    service: Any
+    if args.service_workers > 1:
+        from repro.service import RouterConfig, ServiceRouter
+
+        service = ServiceRouter(
+            config=RouterConfig(
+                num_workers=args.service_workers,
+                replicas=args.hash_replicas,
+                shared_cache_ttl_s=(
+                    args.shared_cache_ttl if args.shared_cache_ttl > 0 else None
+                ),
+                shared_cache_entries=args.shared_cache_size,
+            ),
+            service_config=service_config,
+        )
+        print(
+            f"routing across {args.service_workers} service workers "
+            f"({args.hash_replicas} ring replicas each)",
+            file=sys.stderr,
+        )
+    else:
+        service = SolveService(config=service_config, tracer=tracer)
     drain_signal = _install_drain_handler()
-    if args.socket:
+    if args.tcp:
+        from repro.service import parse_hostport, serve_tcp
+
+        host, port = parse_hostport(args.tcp)
+        serve_tcp(
+            service,
+            host,
+            port,
+            on_bound=lambda bound: print(
+                f"serving on tcp {host}:{bound}", file=sys.stderr, flush=True
+            ),
+            drain_signal=drain_signal,
+            drain_timeout_s=args.drain_timeout,
+        )
+    elif args.socket:
         print(f"serving on unix socket {args.socket}", file=sys.stderr)
         serve_socket(
             service,
@@ -1516,6 +1738,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if not monitor.all_ok():
             print("error: SLO violation", file=sys.stderr)
             return 1
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.analysis.loadgen import LoadShape, run_loadtest
+    from repro.obs.bench import write_bench
+
+    shape = LoadShape(
+        name=args.name,
+        mode=args.mode,
+        num_users=args.users,
+        requests_per_user=args.requests,
+        arrival_rate_rps=args.arrival_rate,
+        burstiness=args.burstiness,
+        zipf_s=args.zipf,
+        catalog_size=args.catalog,
+        num_facilities=args.facilities,
+        num_clients=args.clients,
+        deadline_fraction=args.deadline_fraction,
+        low_priority_fraction=args.low_priority_fraction,
+        high_priority_fraction=args.high_priority_fraction,
+        seed=args.seed,
+    )
+    report = run_loadtest(
+        shape,
+        service_workers=args.service_workers,
+        address=args.address,
+        check_correctness=not args.no_verify,
+    )
+    failures = report.gate_failures(
+        max_p95_ms=args.max_p95_ms,
+        max_p99_ms=args.max_p99_ms,
+        min_goodput_rps=args.min_goodput,
+    )
+    if args.bench_out:
+        target = write_bench(
+            "loadtest", {shape.name: report.bench_record()}, args.bench_out
+        )
+    if args.json:
+        payload = {
+            "passed": not failures,
+            "failures": failures,
+            "record": report.bench_record(),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.render())
+        if args.bench_out:
+            print(f"wrote {target}")
+    if failures:
+        for failure in failures:
+            print(f"error: loadtest gate failed: {failure}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -1629,6 +1904,7 @@ _HANDLERS = {
     "chaos-serve": _cmd_chaos_serve,
     "report": _cmd_report,
     "serve": _cmd_serve,
+    "loadtest": _cmd_loadtest,
     "trace": _cmd_trace,
     "top": _cmd_top,
 }

@@ -25,7 +25,8 @@ throughput-oriented service front-end, the shape a deployment that
   :class:`~repro.obs.registry.MetricsRegistry`.
 * :class:`~repro.service.client.ServiceClient` — the in-process helper
   used by tests, examples and the ``repro serve`` CLI; plus the JSONL
-  wire codec and a Unix-socket client for the socket transport.
+  wire codec and the synchronous Unix-socket / TCP stream clients over
+  the shared :class:`~repro.service.transport.LineTransport`.
 * :mod:`~repro.service.resilience` — the fault-tolerance layer: the
   typed ``Retriable``/``Fatal`` service-error taxonomy, the
   crash-surviving :class:`~repro.service.resilience.ResilientExecutor`
@@ -34,16 +35,33 @@ throughput-oriented service front-end, the shape a deployment that
   :class:`~repro.service.resilience.RetryingServiceClient`, and the
   per-client :class:`~repro.service.resilience.TokenBucket` rate
   limiter behind admission control.
+* :mod:`~repro.service.router` — the horizontal half:
+  :class:`~repro.service.router.ServiceRouter` consistent-hash-routes
+  each request on its canonical work key across K backend workers
+  (:class:`~repro.service.router.HashRing`) behind a cross-worker
+  :class:`~repro.service.router.SharedResultCache`, so dedup and result
+  reuse survive sharding; ``repro serve --service-workers K`` builds
+  one.
+* :func:`~repro.service.tcp.serve_tcp` — the concurrent TCP front end
+  (``repro serve --tcp HOST:PORT``), one reader thread per connection,
+  same line protocol as every other transport.
+* :class:`~repro.service.async_client.AsyncServiceClient` — the
+  pipelining client: many in-flight requests per connection, acks and
+  responses matched out-of-order by request id, wrappable by
+  :class:`~repro.service.resilience.RetryingServiceClient`.
 
-See ``docs/ARCHITECTURE.md`` ("Serving layer", "Serving resilience")
-for the data flow and ``examples/serving.py`` for a worked mixed-batch
+See ``docs/SERVING.md`` for the full serving guide,
+``docs/ARCHITECTURE.md`` ("Serving layer", "Serving resilience") for
+the data flow and ``examples/serving.py`` for a worked mixed-batch
 session.
 """
 
+from repro.service.async_client import AsyncServiceClient
 from repro.service.batcher import Batch, Batcher, WorkUnit
 from repro.service.client import (
     ServiceClient,
     SocketServiceClient,
+    TcpServiceClient,
     decode_line,
     encode_line,
 )
@@ -68,9 +86,17 @@ from repro.service.resilience import (
     TokenBucket,
     WorkerCrashError,
 )
+from repro.service.router import (
+    HashRing,
+    RouterConfig,
+    ServiceRouter,
+    SharedResultCache,
+)
 from repro.service.server import ServiceProtocol, serve_jsonl, serve_socket
 from repro.service.service import ServiceConfig, SolveService
 from repro.service.store import ResultStore, StoreMiss
+from repro.service.tcp import serve_tcp
+from repro.service.transport import LineTransport, parse_hostport
 from repro.service.worker import (
     ServiceCell,
     run_service_cell,
@@ -80,11 +106,14 @@ from repro.service.worker import (
 __all__ = [
     "AdmissionQueue",
     "AdmissionResult",
+    "AsyncServiceClient",
     "Batch",
     "Batcher",
     "ExecutionReport",
     "FatalServiceError",
+    "HashRing",
     "InstanceRecipe",
+    "LineTransport",
     "PRIORITY_CLASSES",
     "RETRIABLE_REJECT_REASONS",
     "ResilientExecutor",
@@ -93,24 +122,30 @@ __all__ = [
     "RetryPolicy",
     "RetryStats",
     "RetryingServiceClient",
+    "RouterConfig",
     "ServiceCell",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
     "ServiceProtocol",
+    "ServiceRouter",
+    "SharedResultCache",
     "SocketServiceClient",
     "SolveRequest",
     "SolveResponse",
     "SolveService",
     "StoreMiss",
+    "TcpServiceClient",
     "TokenBucket",
     "WorkUnit",
     "WorkerCrashError",
     "decode_line",
     "encode_line",
+    "parse_hostport",
     "priority_level",
     "run_service_cell",
     "run_service_cell_guarded",
     "serve_jsonl",
     "serve_socket",
+    "serve_tcp",
 ]

@@ -1,66 +1,58 @@
 """Clients of the solve service, plus the JSONL wire codec.
 
-Two clients share one mental model — submit requests, flush, collect
-responses by request id:
+Three synchronous clients share one mental model — submit requests,
+flush, collect responses by request id:
 
 * :class:`ServiceClient` wraps an in-process
   :class:`~repro.service.service.SolveService`; tests, examples and the
   stdin transport use it.
-* :class:`SocketServiceClient` speaks the same line protocol over a
-  Unix domain socket to a ``repro serve --socket PATH`` process; every
-  sent line yields at least one reply line, so the client stays a
-  simple synchronous request/response loop (see
-  :mod:`repro.service.server` for the protocol table).
+* :class:`SocketServiceClient` speaks the line protocol over a Unix
+  domain socket to a ``repro serve --socket PATH`` process.
+* :class:`TcpServiceClient` speaks the same protocol over TCP to a
+  ``repro serve --tcp HOST:PORT`` front end (usually a
+  :class:`~repro.service.router.ServiceRouter` fronting several service
+  workers).
 
-The codec pair :func:`encode_line` / :func:`decode_line` defines the
-wire format both transports use: one compact, key-sorted JSON object per
-line. Key sorting makes encoded bytes deterministic, which the
-equivalence tests rely on when diffing served against direct results.
+Every sent line yields at least one reply line, so the stream clients
+stay simple request/response loops (see :mod:`repro.service.server` for
+the protocol table); the framed I/O, typed-error mapping and
+broken-connection poisoning they share live in
+:class:`~repro.service.transport.LineTransport`. For many in-flight
+requests per connection, use
+:class:`~repro.service.async_client.AsyncServiceClient` instead.
+
+The codec pair :func:`encode_line` / :func:`decode_line` (re-exported
+from :mod:`repro.service.transport`) defines the wire format: one
+compact, key-sorted JSON object per line. Key sorting makes encoded
+bytes deterministic, which the equivalence tests rely on when diffing
+served against direct results.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import json
-import socket
 from typing import Any, Iterable, Mapping
 
 from repro.exceptions import ReproError
 from repro.obs.spans import Tracer
 from repro.service.request import SolveRequest, SolveResponse
-from repro.service.resilience import (
-    FatalServiceError,
-    RetriableServiceError,
-)
 from repro.service.service import SolveService
+from repro.service.transport import (
+    LineTransport,
+    connect_tcp,
+    connect_unix,
+    decode_line,
+    encode_line,
+    parse_hostport,
+)
 
 __all__ = [
     "ServiceClient",
     "SocketServiceClient",
+    "TcpServiceClient",
     "decode_line",
     "encode_line",
 ]
-
-
-def encode_line(payload: Mapping[str, Any]) -> str:
-    """One wire line: compact key-sorted JSON plus the newline."""
-    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
-
-
-def decode_line(line: str) -> dict[str, Any]:
-    """Inverse of :func:`encode_line`; raises ``ReproError`` on junk."""
-    stripped = line.strip()
-    if not stripped:
-        raise ReproError("empty wire line")
-    try:
-        payload = json.loads(stripped)
-    except json.JSONDecodeError as error:
-        raise ReproError(f"undecodable wire line: {error}") from error
-    if not isinstance(payload, dict):
-        raise ReproError(
-            f"wire line must decode to an object, got {type(payload).__name__}"
-        )
-    return payload
 
 
 def _stamp_trace(request: SolveRequest, tracer: Tracer) -> SolveRequest:
@@ -151,15 +143,13 @@ class ServiceClient:
         return out
 
 
-class SocketServiceClient:
-    """Synchronous client for the ``repro serve --socket`` transport.
+class _StreamServiceClient:
+    """Shared body of the synchronous stream clients (Unix and TCP).
 
-    Usable as a context manager; :meth:`close` just drops the
-    connection (the server keeps running), while :meth:`shutdown` asks
-    the server process to exit. With a ``tracer``, submitted requests
-    are stamped with the tracer's current span context (``trace`` wire
-    field), so a tracing server parents its spans under this client —
-    one trace tree across the socket boundary.
+    Subclasses open the connection (a
+    :class:`~repro.service.transport.LineTransport`) in ``__init__``;
+    everything else — the request/response verbs, the context-manager
+    protocol, the chaos hooks — is transport-agnostic and lives here.
 
     Transport failures surface as the typed taxonomy from
     :mod:`repro.service.resilience`: a receive timeout, connection
@@ -173,40 +163,21 @@ class SocketServiceClient:
     automatically).
     """
 
-    def __init__(
-        self,
-        path: str,
-        timeout_s: float = 30.0,
-        tracer: Tracer | None = None,
-    ) -> None:
-        self.path = str(path)
-        self.timeout_s = float(timeout_s)
-        self.tracer = tracer
-        self._broken = False
-        try:
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.settimeout(timeout_s)
-            self._sock.connect(self.path)
-        except OSError as error:
-            raise RetriableServiceError(
-                f"cannot connect to service socket {self.path!r}: {error}"
-            ) from error
-        self._file = self._sock.makefile("rw", encoding="utf-8", newline="\n")
+    _transport: LineTransport
 
-    def __enter__(self) -> "SocketServiceClient":
+    tracer: Tracer | None = None
+
+    def __enter__(self) -> "_StreamServiceClient":
+        """Context-manager entry; the connection is already open."""
         return self
 
     def __exit__(self, *exc_info: Any) -> None:
+        """Context-manager exit: drop the connection."""
         self.close()
 
     def close(self) -> None:
         """Drop the connection (the server keeps serving others)."""
-        try:
-            self._file.close()
-        except (OSError, ValueError):
-            pass  # a broken transport may refuse even to close
-        finally:
-            self._sock.close()
+        self._transport.close()
 
     def abort(self) -> None:
         """Sever the transport abruptly, with no clean close.
@@ -216,64 +187,7 @@ class SocketServiceClient:
         which is exactly what a mid-session connection reset looks like
         from the caller's side.
         """
-        try:
-            self._sock.shutdown(socket.SHUT_RDWR)
-        except OSError:
-            pass  # already disconnected: aborting is a no-op
-
-    def _check_usable(self) -> None:
-        if self._broken:
-            raise FatalServiceError(
-                "connection is in an undefined state after a transport "
-                "error; build a fresh client to reconnect"
-            )
-
-    def _send(self, payload: Mapping[str, Any]) -> None:
-        self._check_usable()
-        try:
-            self._file.write(encode_line(payload))
-            self._file.flush()
-        except socket.timeout as error:
-            self._broken = True
-            raise RetriableServiceError(
-                f"timed out sending to the service after {self.timeout_s}s"
-            ) from error
-        except (BrokenPipeError, ConnectionResetError, OSError) as error:
-            self._broken = True
-            raise RetriableServiceError(
-                f"service connection lost mid-send: {error}"
-            ) from error
-        except ValueError as error:  # write on a closed file object
-            self._broken = True
-            raise FatalServiceError(
-                f"client is closed: {error}"
-            ) from error
-
-    def _recv(self) -> dict[str, Any]:
-        self._check_usable()
-        try:
-            line = self._file.readline()
-        except socket.timeout as error:
-            # After a timeout mid-recv the line buffer may hold a
-            # partial frame — nothing on this connection can be trusted.
-            self._broken = True
-            raise RetriableServiceError(
-                f"timed out waiting for the service after {self.timeout_s}s"
-            ) from error
-        except (ConnectionResetError, OSError) as error:
-            self._broken = True
-            raise RetriableServiceError(
-                f"service connection reset mid-recv: {error}"
-            ) from error
-        except ValueError as error:  # read on a closed file object
-            self._broken = True
-            raise FatalServiceError(
-                f"client is closed: {error}"
-            ) from error
-        if not line:
-            self._broken = True
-            raise RetriableServiceError("service closed the connection")
-        return decode_line(line)
+        self._transport.abort()
 
     def raw_request(self, line: str) -> dict[str, Any]:
         """Send one raw line (no codec) and decode the reply.
@@ -282,25 +196,15 @@ class SocketServiceClient:
         harness injects malformed frames through a live connection. The
         newline is appended when missing.
         """
-        self._check_usable()
-        if not line.endswith("\n"):
-            line += "\n"
-        try:
-            self._file.write(line)
-            self._file.flush()
-        except (OSError, ValueError) as error:
-            self._broken = True
-            raise RetriableServiceError(
-                f"service connection lost mid-send: {error}"
-            ) from error
-        return self._recv()
+        self._transport.send_raw(line)
+        return self._transport.recv_payload()
 
     def submit(self, request: SolveRequest) -> bool:
         """Send one solve request; True when the server admitted it."""
         if self.tracer is not None:
             request = _stamp_trace(request, self.tracer)
-        self._send(request.to_wire())
-        ack = self._recv()
+        self._transport.send_payload(request.to_wire())
+        ack = self._transport.recv_payload()
         return bool(ack.get("accepted", False))
 
     def flush(self) -> list[SolveResponse]:
@@ -310,10 +214,10 @@ class SocketServiceClient:
         followed by a ``flush_done`` line carrying the count, so the
         client knows exactly how many lines to read.
         """
-        self._send({"type": "flush"})
+        self._transport.send_payload({"type": "flush"})
         responses: list[SolveResponse] = []
         while True:
-            payload = self._recv()
+            payload = self._transport.recv_payload()
             if payload.get("type") == "flush_done":
                 break
             responses.append(SolveResponse.from_wire(payload))
@@ -321,19 +225,76 @@ class SocketServiceClient:
 
     def fetch(self, request_id: str) -> SolveResponse | None:
         """Re-fetch a retained response by id (``None`` when unknown)."""
-        self._send({"type": "fetch", "request_id": request_id})
-        payload = self._recv()
+        self._transport.send_payload(
+            {"type": "fetch", "request_id": request_id}
+        )
+        payload = self._transport.recv_payload()
         if payload.get("type") == "error":
             return None
         return SolveResponse.from_wire(payload)
 
     def metrics(self) -> dict[str, Any]:
         """The server's flat metrics summary."""
-        self._send({"type": "metrics"})
-        payload = self._recv()
+        self._transport.send_payload({"type": "metrics"})
+        payload = self._transport.recv_payload()
         return dict(payload.get("metrics", {}))
 
     def shutdown(self) -> None:
         """Ask the server process to stop accepting and exit."""
-        self._send({"type": "shutdown"})
-        self._recv()  # the "bye" line
+        self._transport.send_payload({"type": "shutdown"})
+        self._transport.recv_payload()  # the "bye" line
+
+
+class SocketServiceClient(_StreamServiceClient):
+    """Synchronous client for the ``repro serve --socket`` transport.
+
+    Usable as a context manager; :meth:`close` just drops the
+    connection (the server keeps running), while :meth:`shutdown` asks
+    the server process to exit. With a ``tracer``, submitted requests
+    are stamped with the tracer's current span context (``trace`` wire
+    field), so a tracing server parents its spans under this client —
+    one trace tree across the socket boundary.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        timeout_s: float = 30.0,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.path = str(path)
+        self.timeout_s = float(timeout_s)
+        self.tracer = tracer
+        self._transport = connect_unix(self.path, self.timeout_s)
+
+
+class TcpServiceClient(_StreamServiceClient):
+    """Synchronous client for the ``repro serve --tcp`` front end.
+
+    ``address`` is a ``HOST:PORT`` string (or pass ``host``/``port``
+    explicitly). The protocol — and therefore every verb, the tracing
+    behavior and the typed failure taxonomy — is identical to
+    :class:`SocketServiceClient`; only the connection differs, which is
+    the point of the shared
+    :class:`~repro.service.transport.LineTransport`.
+    """
+
+    def __init__(
+        self,
+        address: str | None = None,
+        host: str | None = None,
+        port: int | None = None,
+        timeout_s: float = 30.0,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if address is not None:
+            host, port = parse_hostport(address)
+        if host is None or port is None:
+            raise ReproError(
+                "TcpServiceClient needs address='HOST:PORT' or host and port"
+            )
+        self.host = str(host)
+        self.port = int(port)
+        self.timeout_s = float(timeout_s)
+        self.tracer = tracer
+        self._transport = connect_tcp(self.host, self.port, self.timeout_s)

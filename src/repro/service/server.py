@@ -248,25 +248,30 @@ def serve_socket(
                 continue
             connections += 1
             try:
+                # Separate reader/writer streams: a combined "rw"
+                # makefile drops its read-ahead buffer on write, losing
+                # lines a pipelining client sent before our reply.
                 with conn, conn.makefile(
-                    "rw", encoding="utf-8", newline="\n"
-                ) as stream:
-                    for line in stream:
+                    "r", encoding="utf-8", newline="\n"
+                ) as reader, conn.makefile(
+                    "w", encoding="utf-8", newline="\n"
+                ) as writer:
+                    for line in reader:
                         if not line.strip():
                             continue
                         try:
                             payload = decode_line(line)
                         except ReproError as error:
-                            stream.write(
+                            writer.write(
                                 encode_line(
                                     {"type": "error", "error": str(error)}
                                 )
                             )
-                            stream.flush()
+                            writer.flush()
                             continue
                         for reply in protocol.handle(payload):
-                            stream.write(encode_line(reply))
-                        stream.flush()
+                            writer.write(encode_line(reply))
+                        writer.flush()
                         if protocol.shutting_down:
                             break
             except (OSError, ValueError):

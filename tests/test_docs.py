@@ -1,7 +1,7 @@
 """Execute the documentation's ``python`` code blocks.
 
-Every fenced ```python block in README.md and docs/ARCHITECTURE.md is
-compiled and executed in a fresh namespace, so the quickstarts stay
+Every fenced ```python block in README.md, docs/ARCHITECTURE.md and
+docs/SERVING.md is compiled and executed in a fresh namespace, so the quickstarts stay
 correct by construction: an API rename or behavior change that would
 silently rot the docs fails this module instead.
 """
@@ -13,7 +13,11 @@ from pathlib import Path
 import pytest
 
 REPO = Path(__file__).resolve().parent.parent
-DOC_FILES = (REPO / "README.md", REPO / "docs" / "ARCHITECTURE.md")
+DOC_FILES = (
+    REPO / "README.md",
+    REPO / "docs" / "ARCHITECTURE.md",
+    REPO / "docs" / "SERVING.md",
+)
 
 
 def python_blocks(path: Path) -> list[tuple[int, str]]:

@@ -280,3 +280,127 @@ class TestServedEqualsDirect:
             recipe_resp.result["open_facilities"]
             == inline_resp.result["open_facilities"]
         )
+
+
+class TestServedViaTcpRouter:
+    """Byte-identity through the full horizontal stack.
+
+    The same workload served through ``serve_tcp`` fronting a 2-worker
+    :class:`~repro.service.router.ServiceRouter` — consistent-hash
+    routing, per-worker batching/dedup, and the cross-worker shared
+    result cache all in the path — must answer byte-identically to
+    direct solves. This is the acceptance gate of the horizontal
+    serving PR.
+    """
+
+    def serve_router(self, num_workers: int = 2):
+        import threading
+
+        from repro.service import RouterConfig, ServiceRouter, serve_tcp
+
+        router = ServiceRouter(RouterConfig(num_workers=num_workers))
+        ready = threading.Event()
+        bound: dict[str, int] = {}
+        thread = threading.Thread(
+            target=serve_tcp,
+            args=(router, "127.0.0.1", 0),
+            kwargs={
+                "ready": ready,
+                "on_bound": lambda port: bound.update(port=port),
+            },
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(10.0), "TCP router failed to start"
+        return router, f"127.0.0.1:{bound['port']}", thread
+
+    def test_tcp_router_matches_direct_solves(self):
+        from repro.service import TcpServiceClient
+
+        router, address, thread = self.serve_router()
+        with TcpServiceClient(address=address) as client:
+            for spec in WORKLOAD:
+                assert client.submit(build_request(spec))
+            by_id = {r.request_id: r for r in client.flush()}
+            client.shutdown()
+        thread.join(timeout=10.0)
+        assert len(by_id) == len(WORKLOAD)
+        for spec in WORKLOAD:
+            response = by_id[spec["rid"]]
+            assert response.status == "ok"
+            cost, manifest = direct_manifest(spec)
+            assert response.result["cost"] == cost
+            assert canonical(dict(response.manifest)) == canonical(manifest)
+        # More than one worker actually took traffic for this workload.
+        routed = router.route_counts()
+        assert sum(routed.values()) > 0
+
+    def test_zipf_duplicates_through_shared_cache_match_direct(self):
+        # Two waves of a zipf-skewed duplicate mix: wave one populates
+        # the shared cache, wave two (fresh request ids, same work keys)
+        # is answered from it — and every response, cached or solved,
+        # must be byte-identical to the direct solve of its spec.
+        from repro.analysis.loadgen import LoadShape, build_workload
+        from repro.service import TcpServiceClient
+
+        shape = LoadShape(
+            num_users=3,
+            requests_per_user=4,
+            catalog_size=4,
+            zipf_s=1.4,
+            families=("uniform",),
+            num_facilities=6,
+            num_clients=15,
+            ks=(4, 9),
+            seed=13,
+        )
+        wave_one = [
+            request
+            for script in build_workload(shape).per_user
+            for request in script
+        ]
+        import dataclasses
+
+        wave_two = [
+            dataclasses.replace(request, request_id=f"again-{request.request_id}")
+            for request in wave_one
+        ]
+        router, address, thread = self.serve_router()
+        with TcpServiceClient(address=address) as client:
+            for request in wave_one:
+                assert client.submit(request)
+            first = {r.request_id: r for r in client.flush()}
+            for request in wave_two:
+                assert client.submit(request)
+            second = {r.request_id: r for r in client.flush()}
+            metrics = client.metrics()
+            client.shutdown()
+        thread.join(timeout=10.0)
+        # The shared cache actually served wave two.
+        assert metrics["shared_cache_hits"] >= len(wave_two)
+        oracle: dict[Any, tuple[str, str]] = {}
+        for request in wave_one + wave_two:
+            answers = first if request.request_id in first else second
+            response = answers[request.request_id]
+            assert response.status == "ok"
+            key = request.work_key()
+            signature = (
+                json.dumps(dict(response.result), sort_keys=True),
+                canonical(dict(response.manifest)),
+            )
+            if key in oracle:
+                assert signature == oracle[key]  # byte-identical reuse
+            else:
+                oracle[key] = signature
+        # And the distinct keys themselves match unbatched direct runs.
+        for request in wave_one:
+            spec = {
+                "rid": request.request_id,
+                "family": request.recipe.family,
+                "seed": request.recipe.seed,
+                "k": request.k,
+            }
+            cost, manifest = direct_manifest(spec)
+            response = first[request.request_id]
+            assert response.result["cost"] == cost
+            assert canonical(dict(response.manifest)) == canonical(manifest)

@@ -1,0 +1,315 @@
+"""The TCP front end, the pipelining client, and the shared transport.
+
+Covers the three pieces PR-level serving scale added on the wire side:
+``serve_tcp`` (concurrent connections, drain, malformed frames), the
+pipelined :class:`~repro.service.async_client.AsyncServiceClient`
+(many in-flight requests, out-of-order completion by request id,
+composition with :class:`RetryingServiceClient`), and the
+:class:`~repro.service.transport.LineTransport` helper whose framing +
+typed-error mapping + poisoning discipline both stream clients share.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.service import (
+    AsyncServiceClient,
+    RetryingServiceClient,
+    RetryPolicy,
+    RouterConfig,
+    ServiceRouter,
+    SolveService,
+    TcpServiceClient,
+    serve_socket,
+    serve_tcp,
+)
+from repro.service.request import InstanceRecipe, SolveRequest
+from repro.service.resilience import (
+    FatalServiceError,
+    RetriableServiceError,
+)
+from repro.service.transport import LineTransport, parse_hostport
+
+
+def make_request(rid: str, seed: int = 1, k: int = 4) -> SolveRequest:
+    return SolveRequest(
+        request_id=rid,
+        recipe=InstanceRecipe("uniform", 6, 15, seed),
+        k=k,
+    )
+
+
+@pytest.fixture
+def tcp_server():
+    """A serve_tcp thread on an ephemeral port; yields its address."""
+
+    def start(service):
+        ready = threading.Event()
+        bound: dict[str, int] = {}
+        thread = threading.Thread(
+            target=serve_tcp,
+            args=(service, "127.0.0.1", 0),
+            kwargs={
+                "ready": ready,
+                "on_bound": lambda port: bound.update(port=port),
+            },
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(10.0), "TCP server failed to start"
+        return f"127.0.0.1:{bound['port']}", thread
+
+    return start
+
+
+class TestServeTcp:
+    def test_round_trip_single_service(self, tcp_server):
+        address, thread = tcp_server(SolveService())
+        with TcpServiceClient(address=address) as client:
+            assert client.submit(make_request("t0"))
+            responses = client.flush()
+            assert [r.status for r in responses] == ["ok"]
+            assert client.fetch("t0").status == "ok"
+            client.shutdown()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+
+    def test_router_behind_tcp(self, tcp_server):
+        router = ServiceRouter(RouterConfig(num_workers=2))
+        address, thread = tcp_server(router)
+        with TcpServiceClient(address=address) as client:
+            for index in range(4):
+                assert client.submit(make_request(f"r{index}", seed=index % 2))
+            responses = {r.request_id: r for r in client.flush()}
+            assert all(r.status == "ok" for r in responses.values())
+            assert responses["r2"].dedup and responses["r3"].dedup
+            metrics = client.metrics()
+            assert metrics["route_workers"] == 2
+            client.shutdown()
+        thread.join(timeout=10.0)
+
+    def test_concurrent_connections(self, tcp_server):
+        address, thread = tcp_server(SolveService())
+        # An idle connection must not block another client's traffic.
+        idle = TcpServiceClient(address=address)
+        try:
+            with TcpServiceClient(address=address) as busy:
+                assert busy.submit(make_request("c0"))
+                assert [r.status for r in busy.flush()] == ["ok"]
+        finally:
+            idle.close()
+        with TcpServiceClient(address=address) as client:
+            client.shutdown()
+        thread.join(timeout=10.0)
+
+    def test_malformed_frame_answers_error_and_survives(self, tcp_server):
+        address, thread = tcp_server(SolveService())
+        with TcpServiceClient(address=address) as client:
+            reply = client.raw_request("this is not json")
+            assert reply["type"] == "error"
+            # Same connection still works afterwards.
+            assert client.submit(make_request("after-junk"))
+            assert [r.status for r in client.flush()] == ["ok"]
+            client.shutdown()
+        thread.join(timeout=10.0)
+
+    def test_drain_signal_stops_the_server(self):
+        service = SolveService()
+        ready = threading.Event()
+        drain = threading.Event()
+        bound: dict[str, int] = {}
+        thread = threading.Thread(
+            target=serve_tcp,
+            args=(service, "127.0.0.1", 0),
+            kwargs={
+                "ready": ready,
+                "on_bound": lambda port: bound.update(port=port),
+                "drain_signal": drain,
+                "drain_timeout_s": 5.0,
+            },
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(10.0)
+        drain.set()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert service.draining
+
+
+class TestAsyncServiceClient:
+    def test_pipelined_submits_resolve_out_of_order(self, tcp_server):
+        address, thread = tcp_server(SolveService())
+        with AsyncServiceClient(address=address, max_in_flight=3) as client:
+            rids = [f"p{i}" for i in range(6)]
+            for index, rid in enumerate(rids):
+                client.submit(make_request(rid, seed=index % 2))
+            assert client.in_flight <= 3  # the bound drained the rest
+            client.flush()
+            # Collect in reverse submission order: matching is by id.
+            for rid in reversed(rids):
+                response = client.take_response(rid) or client.fetch(rid)
+                assert response is not None and response.status == "ok"
+            assert all(client.accepted(rid) for rid in rids)
+            client.shutdown()
+        thread.join(timeout=10.0)
+
+    def test_rejection_reasons_surface_after_drain(self, tcp_server):
+        from repro.service import ServiceConfig
+
+        service = SolveService(config=ServiceConfig(max_queue_depth=1))
+        address, thread = tcp_server(service)
+        with AsyncServiceClient(address=address) as client:
+            client.submit(make_request("keep", seed=1))
+            client.submit(make_request("spill", seed=2))
+            acks = client.drain_acks()
+            assert acks["keep"] is True
+            assert acks["spill"] is False
+            assert client.rejection_reason("spill") == "queue_full"
+            client.shutdown()
+        thread.join(timeout=10.0)
+
+    def test_pipelining_over_unix_socket(self, tmp_path):
+        # Pipelining is a protocol property, not a TCP one — and this
+        # exercises the serve_socket read-buffer fix directly.
+        path = str(tmp_path / "svc.sock")
+        ready = threading.Event()
+        thread = threading.Thread(
+            target=serve_socket,
+            args=(SolveService(), path),
+            kwargs={"ready": ready},
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(10.0)
+        with AsyncServiceClient(path=path) as client:
+            for index in range(4):
+                client.submit(make_request(f"u{index}", seed=index % 2))
+            responses = client.flush()
+            assert sorted(r.request_id for r in responses) == [
+                "u0",
+                "u1",
+                "u2",
+                "u3",
+            ]
+            assert all(r.status == "ok" for r in responses)
+            client.shutdown()
+        thread.join(timeout=10.0)
+
+    def test_composes_with_retrying_client(self, tcp_server):
+        address, thread = tcp_server(SolveService())
+        retrying = RetryingServiceClient(
+            lambda: AsyncServiceClient(address=address),
+            policy=RetryPolicy(max_attempts=3, backoff_base_s=0.0, jitter=0.0),
+            sleep=lambda _s: None,
+        )
+        retrying.current.abort()  # simulate a mid-session connection reset
+        responses = retrying.solve_many(
+            [make_request("retry-0"), make_request("retry-1", seed=2)]
+        )
+        assert [r.status for r in responses] == ["ok", "ok"]
+        assert retrying.stats.reconnects >= 1
+        retrying.close()
+        with TcpServiceClient(address=address) as client:
+            client.shutdown()
+        thread.join(timeout=10.0)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ReproError):
+            AsyncServiceClient()
+        with pytest.raises(ReproError):
+            AsyncServiceClient(address="127.0.0.1:1", max_in_flight=0)
+
+
+class TestParseHostport:
+    def test_parses_host_and_port(self):
+        assert parse_hostport("127.0.0.1:9000") == ("127.0.0.1", 9000)
+        assert parse_hostport("example.org:80") == ("example.org", 80)
+
+    def test_strips_ipv6_brackets(self):
+        assert parse_hostport("[::1]:9000") == ("::1", 9000)
+
+    def test_rejects_junk(self):
+        for bad in ("no-port", ":9000", "host:", "host:not-a-port", "host:70000"):
+            with pytest.raises(ReproError):
+                parse_hostport(bad)
+
+
+class TestLineTransport:
+    """Unit coverage of the shared frame/error/poisoning helper."""
+
+    def make_pair(self, timeout_s: float = 0.5):
+        ours, theirs = socket.socketpair()
+        return LineTransport(ours, timeout_s, peer="test-peer"), theirs
+
+    def test_round_trip_and_raw_newline(self):
+        transport, peer = self.make_pair()
+        transport.send_payload({"type": "ping"})
+        assert peer.recv(1024) == b'{"type":"ping"}\n'
+        transport.send_raw("no-newline")  # appended automatically
+        assert peer.recv(1024) == b"no-newline\n"
+        peer.sendall(b'{"type":"pong"}\n')
+        assert transport.recv_payload() == {"type": "pong"}
+        transport.close()
+        peer.close()
+
+    def test_recv_timeout_poisons_the_connection(self):
+        transport, peer = self.make_pair(timeout_s=0.1)
+        with pytest.raises(RetriableServiceError):
+            transport.recv_payload()  # nothing sent: timeout
+        assert transport.broken
+        with pytest.raises(FatalServiceError):
+            transport.send_payload({"type": "ping"})
+        with pytest.raises(FatalServiceError):
+            transport.recv_payload()
+        transport.close()
+        peer.close()
+
+    def test_peer_close_is_retriable(self):
+        transport, peer = self.make_pair()
+        peer.close()
+        with pytest.raises(RetriableServiceError):
+            transport.recv_payload()
+        assert transport.broken
+        transport.close()
+
+    def test_pipelined_lines_survive_interleaved_writes(self):
+        # The regression that motivated split reader/writer streams: a
+        # combined "rw" makefile dropped buffered read data on write.
+        transport, peer = self.make_pair()
+        peer.sendall(b'{"n":1}\n{"n":2}\n{"n":3}\n')
+        assert transport.recv_payload() == {"n": 1}
+        transport.send_payload({"type": "interleaved-write"})
+        assert transport.recv_payload() == {"n": 2}
+        assert transport.recv_payload() == {"n": 3}
+        transport.close()
+        peer.close()
+
+    def test_abort_then_recv_is_retriable(self):
+        transport, peer = self.make_pair()
+        transport.abort()
+        with pytest.raises(RetriableServiceError):
+            transport.recv_payload()
+        assert transport.broken
+        transport.close()
+        peer.close()
+
+    def test_junk_line_raises_repro_error(self):
+        transport, peer = self.make_pair()
+        peer.sendall(b"not json\n")
+        with pytest.raises(ReproError):
+            transport.recv_payload()
+        transport.close()
+        peer.close()
+
+    def test_close_is_idempotent_and_silent(self):
+        transport, peer = self.make_pair()
+        transport.close()
+        transport.close()
+        peer.close()
